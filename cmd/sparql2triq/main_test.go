@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSparql2TriqTranslate(t *testing.T) {
+	q := writeFile(t, "q.rq", `SELECT ?X WHERE { ?Y is_author_of ?Z . ?Y name ?X }`)
+	for _, regime := range []string{"plain", "u", "all"} {
+		if err := run(q, regime, ""); err != nil {
+			t.Fatalf("regime %s: %v", regime, err)
+		}
+	}
+}
+
+func TestSparql2TriqEvaluate(t *testing.T) {
+	q := writeFile(t, "q.rq", `SELECT ?X WHERE { ?Y is_author_of ?Z . ?Y name ?X }`)
+	g := writeFile(t, "g.nt", `
+		dbUllman is_author_of tcb .
+		dbUllman name jeff .
+	`)
+	if err := run(q, "plain", g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparql2TriqErrors(t *testing.T) {
+	q := writeFile(t, "q.rq", `SELECT ?X WHERE { ?X p ?Y }`)
+	bad := writeFile(t, "bad.rq", `SELECT`)
+	cases := []func() error{
+		func() error { return run("", "plain", "") },
+		func() error { return run(q, "klingon", "") },
+		func() error { return run(q+".nope", "plain", "") },
+		func() error { return run(bad, "plain", "") },
+		func() error { return run(q, "plain", "/nope.nt") },
+	}
+	for i, f := range cases {
+		if f() == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}

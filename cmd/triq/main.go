@@ -1,0 +1,181 @@
+// Command triq evaluates a TriQ 1.0 / TriQ-Lite 1.0 query over an RDF graph.
+//
+// Usage:
+//
+//	triq -data graph.nt -program rules.dlog -query answer [-lang triqlite] [-regime]
+//	triq -data graph.nt -program rules.dlog -prove 'p(a, b)'
+//
+// The data file is N-Triples (bare prefixed names allowed); the program file
+// uses the rule syntax of the paper, e.g.
+//
+//	triple(?X, partOf, transportService) -> ts(?X).
+//	triple(?X, partOf, ?Y), ts(?Y) -> ts(?X).
+//	ts(?T), triple(?X, ?T, ?Y) -> query(?X, ?Y).
+//
+// With -regime the fixed OWL 2 QL core ontology program τ_owl2ql_core is
+// prepended, so the query sees the entailed triples in triple1(·,·,·).
+// With -prove the ProofTree decision procedure of Section 6.3 is run on a
+// single goal atom and the proof tree is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/chase"
+	"repro/internal/datalog"
+	"repro/internal/owl"
+	"repro/internal/rdf"
+	"repro/internal/triq"
+)
+
+func main() {
+	var (
+		dataPath    = flag.String("data", "", "N-Triples data file (required)")
+		programPath = flag.String("program", "", "Datalog program file (required)")
+		queryPred   = flag.String("query", "query", "output predicate")
+		langName    = flag.String("lang", "triqlite", "language check: triq | triqlite | any")
+		regime      = flag.Bool("regime", false, "prepend the fixed OWL 2 QL core ontology program")
+		ontoPath    = flag.String("ontology", "", "OWL 2 QL core ontology file in functional-style syntax; its RDF serialization is merged into the data")
+		exact       = flag.Bool("exact", false, "use the exact ProofTree enumeration (TriQ-Lite 1.0 only)")
+		prove       = flag.String("prove", "", "instead of querying, decide one ground atom with ProofTree and print the proof")
+		analyze     = flag.Bool("analyze", false, "instead of querying, print the program analysis report (strata, affected positions, wards, dialects)")
+		dot         = flag.Bool("dot", false, "with -analyze: print the predicate dependency graph in Graphviz DOT; with -prove: print the proof tree in DOT")
+		maxDepth    = flag.Int("depth", 0, "chase null-depth bound (0 = default)")
+	)
+	flag.Parse()
+	if err := run(*dataPath, *programPath, *queryPred, *langName, *regime, *ontoPath, *exact, *prove, *analyze, *dot, *maxDepth); err != nil {
+		fmt.Fprintln(os.Stderr, "triq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataPath, programPath, queryPred, langName string, regime bool, ontoPath string, exact bool, prove string, analyze, dot bool, maxDepth int) error {
+	if programPath == "" {
+		return fmt.Errorf("-program is required")
+	}
+	if analyze {
+		src, err := os.ReadFile(programPath)
+		if err != nil {
+			return err
+		}
+		prog, err := datalog.Parse(string(src))
+		if err != nil {
+			return err
+		}
+		if regime {
+			prog = owl.Program().Merge(prog)
+		}
+		if dot {
+			fmt.Print(datalog.DependencyDOT(prog))
+			return nil
+		}
+		fmt.Print(datalog.Report(prog))
+		return nil
+	}
+	if dataPath == "" {
+		return fmt.Errorf("-data is required")
+	}
+	dataFile, err := os.Open(dataPath)
+	if err != nil {
+		return err
+	}
+	defer dataFile.Close()
+	g, err := rdf.ParseNTriples(dataFile)
+	if err != nil {
+		return err
+	}
+	if ontoPath != "" {
+		ontoSrc, err := os.ReadFile(ontoPath)
+		if err != nil {
+			return err
+		}
+		onto, err := owl.ParseOntology(string(ontoSrc))
+		if err != nil {
+			return err
+		}
+		g.AddGraph(onto.ToGraph())
+	}
+	src, err := os.ReadFile(programPath)
+	if err != nil {
+		return err
+	}
+	prog, err := datalog.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	if regime {
+		prog = owl.Program().Merge(prog)
+	}
+	db, err := chase.FromFacts(owl.GraphToDB(g))
+	if err != nil {
+		return err
+	}
+
+	if prove != "" {
+		goal, err := datalog.ParseAtom(prove)
+		if err != nil {
+			return fmt.Errorf("parsing goal: %w", err)
+		}
+		pv, err := triq.NewProver(db, prog, triq.ProofOptions{})
+		if err != nil {
+			return err
+		}
+		node, ok, err := pv.Prove(goal)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			fmt.Printf("%s is NOT in Π(D)\n", goal)
+			return nil
+		}
+		if dot {
+			fmt.Print(node.DOT())
+			return nil
+		}
+		fmt.Printf("%s is in Π(D); proof tree:\n\n%s", goal, node.Render())
+		return nil
+	}
+
+	var lang triq.Language
+	switch strings.ToLower(langName) {
+	case "triq":
+		lang = triq.TriQ10
+	case "triqlite":
+		lang = triq.TriQLite10
+	case "any":
+		lang = triq.Unrestricted
+	default:
+		return fmt.Errorf("unknown language %q (want triq, triqlite, or any)", langName)
+	}
+	q := datalog.NewQuery(prog, queryPred)
+	opts := triq.Options{}
+	if maxDepth > 0 {
+		opts.Chase.MaxDepth = maxDepth
+	}
+	var res *triq.Result
+	if exact {
+		res, err = triq.EvalExact(db, q, opts)
+	} else {
+		res, err = triq.Eval(db, q, lang, opts)
+	}
+	if err != nil {
+		return err
+	}
+	if res.Answers.Inconsistent {
+		fmt.Println("⊤ (the graph is inconsistent with the program's constraints)")
+		return nil
+	}
+	for _, tup := range res.Answers.Tuples {
+		parts := make([]string, len(tup))
+		for i, t := range tup {
+			parts[i] = t.String()
+		}
+		fmt.Println(strings.Join(parts, "\t"))
+	}
+	fmt.Fprintf(os.Stderr, "%d answers (depth %d, exact=%v, %d facts derived)\n",
+		len(res.Answers.Tuples), res.Depth, res.Exact, res.Stats.FactsDerived)
+	return nil
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const cliData = `
+TheAirline partOf transportService .
+A311 partOf TheAirline .
+Oxford A311 London .
+`
+
+const cliProgram = `
+triple(?X, partOf, transportService) -> ts(?X).
+triple(?X, partOf, ?Y), ts(?Y) -> ts(?X).
+ts(?T), triple(?X, ?T, ?Y) -> conn(?X, ?Y).
+conn(?X, ?Y) -> query(?X, ?Y).
+`
+
+func TestCLIRunQuery(t *testing.T) {
+	data := writeFile(t, "g.nt", cliData)
+	prog := writeFile(t, "p.dlog", cliProgram)
+	if err := run(data, prog, "query", "triqlite", false, "", false, "", false, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Exact mode too.
+	if err := run(data, prog, "query", "triqlite", false, "", true, "", false, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	// TriQ language name and explicit depth.
+	if err := run(data, prog, "query", "triq", false, "", false, "", false, false, 6); err != nil {
+		t.Fatal(err)
+	}
+	// "any" language.
+	if err := run(data, prog, "query", "any", false, "", false, "", false, false, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIProve(t *testing.T) {
+	data := writeFile(t, "g.nt", cliData)
+	prog := writeFile(t, "p.dlog", cliProgram)
+	if err := run(data, prog, "query", "triqlite", false, "", false, "ts(A311)", false, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	// DOT output of the proof.
+	if err := run(data, prog, "query", "triqlite", false, "", false, "ts(A311)", false, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Unprovable goal still succeeds (prints NOT).
+	if err := run(data, prog, "query", "triqlite", false, "", false, "ts(Oxford)", false, false, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIAnalyze(t *testing.T) {
+	prog := writeFile(t, "p.dlog", cliProgram)
+	if err := run("", prog, "query", "triqlite", false, "", false, "", true, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", prog, "query", "triqlite", false, "", false, "", true, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Regime merge in analyze mode.
+	if err := run("", prog, "query", "triqlite", true, "", false, "", true, false, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIOntologyAndRegime(t *testing.T) {
+	data := writeFile(t, "g.nt", "")
+	onto := writeFile(t, "o.owl", `
+		SubClassOf(dog, animal)
+		ClassAssertion(dog, rex)
+	`)
+	prog := writeFile(t, "p.dlog", `
+		triple1(?X, rdf:type, animal), C(?X) -> query(?X).
+	`)
+	if err := run(data, prog, "query", "triqlite", true, onto, false, "", false, false, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	data := writeFile(t, "g.nt", cliData)
+	prog := writeFile(t, "p.dlog", cliProgram)
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"missing program", func() error {
+			return run(data, "", "query", "triqlite", false, "", false, "", false, false, 0)
+		}},
+		{"missing data", func() error {
+			return run("", prog, "query", "triqlite", false, "", false, "", false, false, 0)
+		}},
+		{"bad language", func() error {
+			return run(data, prog, "query", "klingon", false, "", false, "", false, false, 0)
+		}},
+		{"bad data path", func() error {
+			return run(data+".nope", prog, "query", "triqlite", false, "", false, "", false, false, 0)
+		}},
+		{"bad program path", func() error {
+			return run(data, prog+".nope", "query", "triqlite", false, "", false, "", false, false, 0)
+		}},
+		{"bad goal", func() error {
+			return run(data, prog, "query", "triqlite", false, "", false, "?X", false, false, 0)
+		}},
+		{"bad ontology path", func() error {
+			return run(data, prog, "query", "triqlite", false, "/nope.owl", false, "", false, false, 0)
+		}},
+	}
+	for _, tc := range cases {
+		if tc.err() == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}

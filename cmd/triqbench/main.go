@@ -1,0 +1,56 @@
+// Command triqbench runs the full experiment harness — one experiment per
+// paper artifact (Table 1, Figure 1, Theorems 4.4, 5.2, 5.3, 6.7, 6.15,
+// Lemmas 6.5/6.6, Theorems 7.1/7.2) — and prints the paper-vs-measured
+// tables recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	triqbench            # run everything
+//	triqbench -only E2   # run one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment by id (T1, F1, E1 … E9)")
+	flag.Parse()
+
+	runners := map[string]func() *bench.Table{
+		"T1": bench.RunT1, "F1": bench.RunF1,
+		"E1": bench.RunE1, "E2": bench.RunE2, "E3": bench.RunE3,
+		"E4": bench.RunE4, "E5": bench.RunE5, "E6": bench.RunE6,
+		"E7": bench.RunE7, "E8": bench.RunE8, "E9": bench.RunE9,
+	}
+
+	var tables []*bench.Table
+	if *only != "" {
+		r, ok := runners[strings.ToUpper(*only)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "triqbench: unknown experiment %q\n", *only)
+			os.Exit(1)
+		}
+		tables = append(tables, r())
+	} else {
+		tables = bench.RunAll()
+	}
+
+	failed := 0
+	for _, t := range tables {
+		fmt.Println(t.Render())
+		if !t.OK {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "triqbench: %d experiment(s) did not reproduce\n", failed)
+		os.Exit(1)
+	}
+	fmt.Printf("all %d experiments reproduced.\n", len(tables))
+}

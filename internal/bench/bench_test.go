@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every experiment runner must report OK: the qualitative claims of the
+// paper are assertions, not just measurements.
+func TestAllExperimentsReproduce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite skipped in -short mode")
+	}
+	for _, tbl := range RunAll() {
+		tbl := tbl
+		t.Run(tbl.ID, func(t *testing.T) {
+			if !tbl.OK {
+				t.Errorf("%s did not reproduce:\n%s", tbl.ID, tbl.Render())
+			}
+			if len(tbl.Rows) == 0 {
+				t.Errorf("%s produced no rows", tbl.ID)
+			}
+			out := tbl.Render()
+			if !strings.Contains(out, tbl.ID) || !strings.Contains(out, "|") {
+				t.Errorf("Render output malformed:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestTableRenderMismatch(t *testing.T) {
+	tbl := &Table{ID: "X", Title: "t", Claim: "c", Columns: []string{"a"}, Rows: [][]string{{"1"}}}
+	if !strings.Contains(tbl.Render(), "MISMATCH") {
+		t.Error("OK=false should render as MISMATCH")
+	}
+}

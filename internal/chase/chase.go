@@ -1,0 +1,473 @@
+package chase
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/datalog"
+)
+
+// Mode selects the chase variant.
+type Mode int
+
+const (
+	// Skolem is the semi-oblivious chase: the null invented by a rule is a
+	// deterministic function of the rule and the frontier binding, so
+	// re-deriving the same trigger reuses the same null. It is complete for
+	// certain (ground) answers and is the default.
+	Skolem Mode = iota
+	// Restricted fires a trigger only when the head is not already
+	// satisfied in the current instance; it terminates more often (e.g. on
+	// all DL-LiteR-style programs with acyclic existential parts).
+	Restricted
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Skolem:
+		return "skolem"
+	case Restricted:
+		return "restricted"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Options bound the chase. The zero value selects the defaults below.
+type Options struct {
+	// Mode is the chase variant (default Skolem).
+	Mode Mode
+	// MaxDepth caps the nesting depth of invented nulls: a null invented
+	// from a trigger whose frontier contains nulls of depth d gets depth
+	// d+1; triggers that would exceed MaxDepth are skipped and the result
+	// is marked DepthTruncated. Default 12.
+	MaxDepth int
+	// MaxFacts aborts the chase with an error when the instance grows
+	// beyond this many atoms. Default 4,000,000.
+	MaxFacts int
+	// MaxRounds aborts the chase with an error after this many semi-naive
+	// rounds. Default 1,000,000.
+	MaxRounds int
+	// NaiveEvaluation disables the semi-naive delta restriction, re-matching
+	// every rule against the full instance each round. Exposed for the
+	// ablation benchmarks; results are identical, only slower.
+	NaiveEvaluation bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 12
+	}
+	if o.MaxFacts == 0 {
+		o.MaxFacts = 4_000_000
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 1_000_000
+	}
+	return o
+}
+
+// Stats reports what the chase did.
+type Stats struct {
+	Rounds         int
+	TriggersFired  int
+	FactsDerived   int
+	NullsInvented  int
+	DepthTruncated bool
+}
+
+// Result is the outcome of evaluating a program over a database.
+type Result struct {
+	// Instance is Π(D) (up to the depth bound), or the state reached when
+	// an inconsistency was detected.
+	Instance *Instance
+	// Inconsistent is true when some constraint fired: Π(D) = ⊤.
+	Inconsistent bool
+	Stats        Stats
+}
+
+// compiledRule is a rule lowered to slot-indexed patterns with precomputed
+// join orders (one per semi-naive seed position, plus the unseeded order).
+type compiledRule struct {
+	rule      datalog.Rule
+	idx       int
+	st        *slotTable
+	bodyPos   []pattern
+	bodyNeg   []pattern
+	heads     []pattern
+	headOrder []int
+	bodySlots int   // slots of body variables; existential slots follow
+	exSlots   []int // environment slots of the existential variables
+	exNames   []string
+	frontier  []int // body slots propagated to the head
+	fullOrder []int
+	seeded    [][]int // seeded[j]: order of the remaining atoms when atom j matched delta
+}
+
+func compileRule(r datalog.Rule, idx int) *compiledRule {
+	c := &compiledRule{rule: r, idx: idx, st: newSlotTable()}
+	for _, a := range r.BodyPos {
+		c.bodyPos = append(c.bodyPos, compileAtom(a, c.st))
+	}
+	for _, a := range r.BodyNeg {
+		c.bodyNeg = append(c.bodyNeg, compileAtom(a, c.st))
+	}
+	c.bodySlots = len(c.st.vars)
+	for _, h := range r.Head {
+		c.heads = append(c.heads, compileAtom(h, c.st))
+	}
+	for s := c.bodySlots; s < len(c.st.vars); s++ {
+		c.exSlots = append(c.exSlots, s)
+		c.exNames = append(c.exNames, c.st.vars[s].Name)
+	}
+	frontierSeen := make(map[int]bool)
+	for _, h := range c.heads {
+		for _, a := range h.args {
+			if a.slot >= 0 && a.slot < c.bodySlots && !frontierSeen[a.slot] {
+				frontierSeen[a.slot] = true
+				c.frontier = append(c.frontier, a.slot)
+			}
+		}
+	}
+	c.headOrder = orderPatterns(c.heads, -1)
+	c.fullOrder = orderPatterns(c.bodyPos, -1)
+	c.seeded = make([][]int, len(c.bodyPos))
+	for j := range c.bodyPos {
+		c.seeded[j] = orderPatterns(c.bodyPos, j)
+	}
+	return c
+}
+
+// engine holds the mutable chase state shared across strata.
+type engine struct {
+	opts     Options
+	inst     *Instance
+	depth    map[string]int    // null name → invention depth
+	skolem   map[string]string // skolem key → null name
+	nextNull int
+	stats    Stats
+}
+
+func newEngine(db *Instance, opts Options) *engine {
+	e := &engine{
+		opts:   opts,
+		inst:   db.Clone(),
+		depth:  make(map[string]int),
+		skolem: make(map[string]string),
+	}
+	for _, n := range e.inst.Nulls() {
+		e.depth[n.Name] = 0
+	}
+	return e
+}
+
+func (e *engine) freshNull(key string, d int) datalog.Term {
+	if name, ok := e.skolem[key]; ok {
+		return datalog.N(name)
+	}
+	name := "n" + strconv.Itoa(e.nextNull)
+	e.nextNull++
+	e.skolem[key] = name
+	e.depth[name] = d
+	e.stats.NullsInvented++
+	return datalog.N(name)
+}
+
+// chaseStratum exhaustively applies the given rules (one stratum) to the
+// engine instance. Negated atoms are evaluated against the current instance,
+// which is correct under stratification: their predicates belong to lower
+// strata and are already final.
+func (e *engine) chaseStratum(rules []datalog.Rule) error {
+	comp := make([]*compiledRule, len(rules))
+	for i, r := range rules {
+		comp[i] = compileRule(r, i)
+	}
+	envs := make([]*env, len(rules))
+	for i, c := range comp {
+		envs[i] = newEnv(len(c.st.vars))
+	}
+	var delta *Instance // nil on the first round = match everything
+	for round := 0; ; round++ {
+		if round > e.opts.MaxRounds {
+			return fmt.Errorf("chase: exceeded MaxRounds=%d", e.opts.MaxRounds)
+		}
+		e.stats.Rounds++
+		next := NewInstance()
+		for ci, c := range comp {
+			ev := envs[ci]
+			var fireErr error
+			emit := func() bool {
+				// Stratified negation against the current instance.
+				for _, np := range c.bodyNeg {
+					if e.inst.Has(np.instantiate(ev)) {
+						return true
+					}
+				}
+				newFacts, err := e.fire(c, ev)
+				if err != nil {
+					fireErr = err
+					return false
+				}
+				for _, f := range newFacts {
+					next.Add(f)
+				}
+				return true
+			}
+			if delta == nil {
+				ev.reset()
+				matchPatterns(e.inst, c.bodyPos, c.fullOrder, ev, emit)
+			} else {
+				// Semi-naive: for each body position, seed from delta and
+				// match the rest against the full instance; deduplicate
+				// bindings across seeds.
+				seen := make(map[string]struct{})
+				emitDedup := func() bool {
+					key := bindingKey(ev, c.bodySlots)
+					if _, dup := seen[key]; dup {
+						return true
+					}
+					seen[key] = struct{}{}
+					return emit()
+				}
+				for j := range c.bodyPos {
+					var added []int
+					ev.reset() // candidate selection must not see stale bindings
+					for _, fact := range candidatesFor(delta, c.bodyPos[j], ev) {
+						ev.reset()
+						added = added[:0]
+						if !c.bodyPos[j].matchInto(fact, ev, &added) {
+							continue
+						}
+						if !matchPatterns(e.inst, c.bodyPos, c.seeded[j], ev, emitDedup) {
+							break
+						}
+					}
+					if fireErr != nil {
+						break
+					}
+				}
+			}
+			if fireErr != nil {
+				return fireErr
+			}
+		}
+		if next.Len() == 0 {
+			return nil
+		}
+		if e.opts.NaiveEvaluation {
+			delta = nil
+		} else {
+			delta = next
+		}
+	}
+}
+
+func bindingKey(ev *env, slots int) string {
+	buf := make([]byte, 0, 16*slots)
+	for s := 0; s < slots; s++ {
+		if !ev.set[s] {
+			buf = append(buf, 0xFF)
+			continue
+		}
+		t := ev.val[s]
+		buf = append(buf, byte('0'+t.Kind))
+		buf = append(buf, t.Name...)
+		buf = append(buf, 0)
+	}
+	return string(buf)
+}
+
+// fire applies one trigger; it returns the head atoms that were new.
+func (e *engine) fire(c *compiledRule, ev *env) ([]datalog.Atom, error) {
+	if len(c.exSlots) > 0 {
+		// Depth control for null invention.
+		d := 1
+		for _, s := range c.frontier {
+			if s < c.bodySlots && ev.set[s] && ev.val[s].IsNull() {
+				if e.depth[ev.val[s].Name]+1 > d {
+					d = e.depth[ev.val[s].Name] + 1
+				}
+			}
+		}
+		if d > e.opts.MaxDepth {
+			e.stats.DepthTruncated = true
+			return nil, nil
+		}
+		if e.opts.Mode == Restricted {
+			// Skip when an extension of the frontier binding already maps
+			// the whole head into the instance. The existential slots are
+			// unbound here, so matchPatterns searches for witnesses.
+			satisfied := false
+			matchPatterns(e.inst, c.heads, c.headOrder, ev, func() bool {
+				satisfied = true
+				return false
+			})
+			if satisfied {
+				return nil, nil
+			}
+		}
+		for k, s := range c.exSlots {
+			key := e.skolemKeyFor(c, k, ev)
+			if e.opts.Mode == Restricted {
+				// Restricted-mode nulls are always fresh.
+				key += "|#" + strconv.Itoa(e.nextNull)
+			}
+			ev.set[s] = true
+			ev.val[s] = e.freshNull(key, d)
+		}
+		defer func() {
+			for _, s := range c.exSlots {
+				ev.set[s] = false
+			}
+		}()
+	}
+	var added []datalog.Atom
+	for _, h := range c.heads {
+		fact := h.instantiate(ev)
+		if e.inst.Add(fact) {
+			e.stats.FactsDerived++
+			added = append(added, fact)
+		}
+	}
+	if len(added) > 0 {
+		e.stats.TriggersFired++
+	}
+	if e.inst.Len() > e.opts.MaxFacts {
+		return nil, fmt.Errorf("chase: instance exceeded MaxFacts=%d", e.opts.MaxFacts)
+	}
+	return added, nil
+}
+
+func (e *engine) skolemKeyFor(c *compiledRule, exIdx int, ev *env) string {
+	buf := make([]byte, 0, 32)
+	buf = append(buf, 'r')
+	buf = strconv.AppendInt(buf, int64(c.idx), 10)
+	buf = append(buf, '|')
+	buf = append(buf, c.exNames[exIdx]...)
+	for _, s := range c.frontier {
+		buf = append(buf, '|')
+		if ev.set[s] {
+			t := ev.val[s]
+			buf = append(buf, byte('0'+t.Kind))
+			buf = append(buf, t.Name...)
+		}
+	}
+	return string(buf)
+}
+
+// Run evaluates a Datalog^{∃,¬s,⊥} program over a database following the
+// stratified semantics of Section 3.2: S_0 = chase(D, Π_0),
+// S_i = chase(S_{i-1}, (Π_i)^{S_{i-1}}), then constraints are checked on
+// S_ℓ. The result is Π(D) (Result.Inconsistent true encodes ⊤).
+func Run(db *Instance, prog *datalog.Program, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	// Stratified evaluation needs single-head rules when a multi-head rule
+	// spans strata; normalizing unconditionally keeps the engine simple.
+	work := prog
+	if prog.HasNegation() {
+		for _, r := range prog.Rules {
+			if len(r.Head) > 1 {
+				work = datalog.SingleHead(prog)
+				break
+			}
+		}
+	}
+	strat, err := datalog.Stratify(work)
+	if err != nil {
+		return nil, err
+	}
+	strata, err := strat.Strata(work)
+	if err != nil {
+		return nil, err
+	}
+	e := newEngine(db, opts)
+	for _, rules := range strata {
+		if len(rules) == 0 {
+			continue
+		}
+		if err := e.chaseStratum(rules); err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{Instance: e.inst, Stats: e.stats}
+	for _, c := range work.Constraints {
+		violated := false
+		matchBody(e.inst, e.inst, c.Body, nil, Binding{}, func(Binding) bool {
+			violated = true
+			return false
+		})
+		if violated {
+			res.Inconsistent = true
+			break
+		}
+	}
+	return res, nil
+}
+
+// Answers is the evaluation Q(D) of a query: either ⊤ (Inconsistent) or the
+// set of constant tuples of the output predicate.
+type Answers struct {
+	Inconsistent bool
+	Tuples       [][]datalog.Term
+}
+
+// Has reports whether the tuple is among the answers.
+func (a *Answers) Has(tuple ...datalog.Term) bool {
+	for _, t := range a.Tuples {
+		if len(t) != len(tuple) {
+			continue
+		}
+		eq := true
+		for i := range t {
+			if t[i] != tuple[i] {
+				eq = false
+				break
+			}
+		}
+		if eq {
+			return true
+		}
+	}
+	return false
+}
+
+// HasConstants is Has over constant names.
+func (a *Answers) HasConstants(names ...string) bool {
+	tuple := make([]datalog.Term, len(names))
+	for i, n := range names {
+		tuple[i] = datalog.C(n)
+	}
+	return a.Has(tuple...)
+}
+
+// Answer evaluates the query Q = (Π, p) over the database: Q(D) = ⊤ when D is
+// inconsistent w.r.t. Π, and otherwise the set of constant tuples t with
+// p(t) ∈ Π(D), sorted canonically.
+func Answer(db *Instance, q datalog.Query, opts Options) (*Answers, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	res, err := Run(db, q.Program, opts)
+	if err != nil {
+		return nil, err
+	}
+	if res.Inconsistent {
+		return &Answers{Inconsistent: true}, nil
+	}
+	return collectAnswers(res.Instance, q.Output), nil
+}
+
+func collectAnswers(inst *Instance, output string) *Answers {
+	ans := &Answers{}
+	atoms := append([]datalog.Atom(nil), inst.AtomsOf(output)...)
+	datalog.SortAtoms(atoms)
+	for _, a := range atoms {
+		if a.IsConstantGround() {
+			ans.Tuples = append(ans.Tuples, a.Args)
+		}
+	}
+	return ans
+}

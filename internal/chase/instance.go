@@ -1,0 +1,268 @@
+// Package chase implements the chase procedure of Section 3.2 of the paper:
+// instances of ground atoms over constants and labeled nulls, homomorphism
+// matching, the (semi-naive) chase for Datalog^∃ programs in restricted and
+// Skolem variants, the stratified semantics S_0, …, S_ℓ for Datalog^{∃,¬s,⊥},
+// constraint checking, and the ground semantics Π(D)↓.
+package chase
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/datalog"
+)
+
+// Instance is a set of ground atoms (constants and labeled nulls) with
+// per-position hash indexes for matching. Internally terms and predicates
+// are dictionary-encoded to small integers, so set membership and index
+// lookups hash packed integer keys instead of structured strings — the
+// dominant cost in the chase inner loop. The zero value is unusable; call
+// NewInstance.
+type Instance struct {
+	set    map[string]struct{}
+	byPred map[string][]datalog.Atom
+	// idx maps packed (pred, position, term) keys to the atoms with that
+	// term at that position.
+	idx    map[uint64][]datalog.Atom
+	termID map[datalog.Term]uint32
+	predID map[string]uint32
+	n      int
+}
+
+// NewInstance returns an instance containing the given atoms.
+func NewInstance(atoms ...datalog.Atom) *Instance {
+	i := &Instance{
+		set:    make(map[string]struct{}),
+		byPred: make(map[string][]datalog.Atom),
+		idx:    make(map[uint64][]datalog.Atom),
+		termID: make(map[datalog.Term]uint32),
+		predID: make(map[string]uint32),
+	}
+	for _, a := range atoms {
+		i.Add(a)
+	}
+	return i
+}
+
+func (i *Instance) internTerm(t datalog.Term) uint32 {
+	if id, ok := i.termID[t]; ok {
+		return id
+	}
+	id := uint32(len(i.termID))
+	i.termID[t] = id
+	return id
+}
+
+func (i *Instance) internPred(p string) uint32 {
+	if id, ok := i.predID[p]; ok {
+		return id
+	}
+	id := uint32(len(i.predID))
+	i.predID[p] = id
+	return id
+}
+
+// key packs the atom into a compact byte-string key: predicate id followed
+// by the argument term ids, 4 bytes each.
+func (i *Instance) key(pid uint32, argIDs []uint32) string {
+	buf := make([]byte, 4+4*len(argIDs))
+	binary.LittleEndian.PutUint32(buf, pid)
+	for k, id := range argIDs {
+		binary.LittleEndian.PutUint32(buf[4+4*k:], id)
+	}
+	return string(buf)
+}
+
+// idxKey packs (pred, position, term) into one uint64: 24 bits predicate,
+// 8 bits position, 32 bits term.
+func idxKey(pid uint32, pos int, tid uint32) uint64 {
+	return uint64(pid)<<40 | uint64(pos)<<32 | uint64(tid)
+}
+
+// Add inserts a ground atom, reporting whether it was new. Atoms with
+// variables are rejected with a panic: they indicate a bug in the caller.
+func (i *Instance) Add(a datalog.Atom) bool {
+	if !a.IsGround() {
+		panic(fmt.Sprintf("chase: non-ground atom %v added to instance", a))
+	}
+	pid := i.internPred(a.Pred)
+	var idsArr [8]uint32
+	ids := idsArr[:0]
+	if len(a.Args) > len(idsArr) {
+		ids = make([]uint32, 0, len(a.Args))
+	}
+	for _, t := range a.Args {
+		ids = append(ids, i.internTerm(t))
+	}
+	k := i.key(pid, ids)
+	if _, ok := i.set[k]; ok {
+		return false
+	}
+	i.set[k] = struct{}{}
+	i.byPred[a.Pred] = append(i.byPred[a.Pred], a)
+	for pos, tid := range ids {
+		kk := idxKey(pid, pos, tid)
+		i.idx[kk] = append(i.idx[kk], a)
+	}
+	i.n++
+	return true
+}
+
+// Has reports whether the ground atom is present.
+func (i *Instance) Has(a datalog.Atom) bool {
+	pid, ok := i.predID[a.Pred]
+	if !ok {
+		return false
+	}
+	var idsArr [8]uint32
+	ids := idsArr[:0]
+	if len(a.Args) > len(idsArr) {
+		ids = make([]uint32, 0, len(a.Args))
+	}
+	for _, t := range a.Args {
+		tid, ok := i.termID[t]
+		if !ok {
+			return false
+		}
+		ids = append(ids, tid)
+	}
+	_, ok = i.set[i.key(pid, ids)]
+	return ok
+}
+
+// Len returns the number of atoms.
+func (i *Instance) Len() int { return i.n }
+
+// AtomsOf returns the atoms with the given predicate; the slice must not be
+// modified.
+func (i *Instance) AtomsOf(pred string) []datalog.Atom { return i.byPred[pred] }
+
+// Lookup returns the atoms of pred having term t at (0-based) position pos.
+func (i *Instance) Lookup(pred string, pos int, t datalog.Term) []datalog.Atom {
+	pid, ok := i.predID[pred]
+	if !ok {
+		return nil
+	}
+	tid, ok := i.termID[t]
+	if !ok {
+		return nil
+	}
+	return i.idx[idxKey(pid, pos, tid)]
+}
+
+// All returns every atom, predicate-by-predicate in sorted predicate order.
+func (i *Instance) All() []datalog.Atom {
+	preds := make([]string, 0, len(i.byPred))
+	for p := range i.byPred {
+		preds = append(preds, p)
+	}
+	sort.Strings(preds)
+	out := make([]datalog.Atom, 0, i.n)
+	for _, p := range preds {
+		out = append(out, i.byPred[p]...)
+	}
+	return out
+}
+
+// Sorted returns every atom in the canonical order; for deterministic output.
+func (i *Instance) Sorted() []datalog.Atom {
+	out := i.All()
+	datalog.SortAtoms(out)
+	return out
+}
+
+// Clone returns a deep copy of the instance.
+func (i *Instance) Clone() *Instance {
+	j := NewInstance()
+	for _, a := range i.All() {
+		j.Add(a)
+	}
+	return j
+}
+
+// GroundPart returns Π(D)↓-style restriction: the atoms whose arguments are
+// all constants.
+func (i *Instance) GroundPart() *Instance {
+	j := NewInstance()
+	for _, a := range i.All() {
+		if a.IsConstantGround() {
+			j.Add(a)
+		}
+	}
+	return j
+}
+
+// Constants returns dom(D) ∩ U: the constants occurring in the instance.
+func (i *Instance) Constants() []datalog.Term {
+	seen := make(map[datalog.Term]struct{})
+	for _, a := range i.All() {
+		for _, t := range a.Args {
+			if t.IsConst() {
+				seen[t] = struct{}{}
+			}
+		}
+	}
+	out := make([]datalog.Term, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Compare(out[b]) < 0 })
+	return out
+}
+
+// Nulls returns the labeled nulls occurring in the instance.
+func (i *Instance) Nulls() []datalog.Term {
+	seen := make(map[datalog.Term]struct{})
+	for _, a := range i.All() {
+		for _, t := range a.Args {
+			if t.IsNull() {
+				seen[t] = struct{}{}
+			}
+		}
+	}
+	out := make([]datalog.Term, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Compare(out[b]) < 0 })
+	return out
+}
+
+// Equal reports whether two instances hold exactly the same atoms.
+func (i *Instance) Equal(j *Instance) bool {
+	if i.Len() != j.Len() {
+		return false
+	}
+	// Dictionaries may assign different ids, so compare atom-wise.
+	for _, a := range i.All() {
+		if !j.Has(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the instance one atom per line in canonical order.
+func (i *Instance) String() string {
+	var b strings.Builder
+	for _, a := range i.Sorted() {
+		b.WriteString(a.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FromFacts builds an instance from constant-only atoms, validating that no
+// nulls or variables sneak into the extensional database.
+func FromFacts(atoms []datalog.Atom) (*Instance, error) {
+	i := NewInstance()
+	for _, a := range atoms {
+		if !a.IsConstantGround() {
+			return nil, fmt.Errorf("chase: database atom %v must contain only constants", a)
+		}
+		i.Add(a)
+	}
+	return i, nil
+}

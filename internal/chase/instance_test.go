@@ -1,0 +1,116 @@
+package chase
+
+import (
+	"testing"
+
+	"repro/internal/datalog"
+)
+
+func atom(pred string, names ...string) datalog.Atom {
+	args := make([]datalog.Term, len(names))
+	for i, n := range names {
+		args[i] = datalog.C(n)
+	}
+	return datalog.NewAtom(pred, args...)
+}
+
+func TestInstanceAddHasLen(t *testing.T) {
+	i := NewInstance()
+	a := atom("p", "a", "b")
+	if !i.Add(a) || i.Add(a) {
+		t.Error("Add should report newness")
+	}
+	if !i.Has(a) || i.Has(atom("p", "b", "a")) {
+		t.Error("Has wrong")
+	}
+	if i.Len() != 1 {
+		t.Errorf("Len = %d", i.Len())
+	}
+}
+
+func TestInstanceRejectsVariables(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add of non-ground atom should panic")
+		}
+	}()
+	NewInstance().Add(datalog.NewAtom("p", datalog.V("X")))
+}
+
+func TestInstanceLookup(t *testing.T) {
+	i := NewInstance(
+		atom("p", "a", "b"),
+		atom("p", "a", "c"),
+		atom("p", "b", "c"),
+		atom("q", "a"),
+	)
+	if got := len(i.Lookup("p", 0, datalog.C("a"))); got != 2 {
+		t.Errorf("Lookup p[1]=a returned %d", got)
+	}
+	if got := len(i.Lookup("p", 1, datalog.C("c"))); got != 2 {
+		t.Errorf("Lookup p[2]=c returned %d", got)
+	}
+	if got := len(i.Lookup("p", 0, datalog.C("z"))); got != 0 {
+		t.Errorf("Lookup missing returned %d", got)
+	}
+	if got := len(i.AtomsOf("p")); got != 3 {
+		t.Errorf("AtomsOf(p) = %d", got)
+	}
+}
+
+func TestInstanceGroundPartAndNulls(t *testing.T) {
+	i := NewInstance(
+		atom("p", "a"),
+		datalog.NewAtom("p", datalog.N("z0")),
+		datalog.NewAtom("q", datalog.C("a"), datalog.N("z1")),
+	)
+	g := i.GroundPart()
+	if g.Len() != 1 || !g.Has(atom("p", "a")) {
+		t.Errorf("GroundPart = %v", g.All())
+	}
+	if got := i.Nulls(); len(got) != 2 {
+		t.Errorf("Nulls = %v", got)
+	}
+	if got := i.Constants(); len(got) != 1 || got[0] != datalog.C("a") {
+		t.Errorf("Constants = %v", got)
+	}
+}
+
+func TestInstanceCloneEqual(t *testing.T) {
+	i := NewInstance(atom("p", "a"), atom("q", "b"))
+	j := i.Clone()
+	if !i.Equal(j) {
+		t.Error("clone not equal")
+	}
+	j.Add(atom("r", "c"))
+	if i.Equal(j) {
+		t.Error("modified clone still equal")
+	}
+	k := NewInstance(atom("p", "a"), atom("q", "c"))
+	if i.Equal(k) {
+		t.Error("different same-size instances equal")
+	}
+}
+
+func TestInstanceSortedDeterministic(t *testing.T) {
+	i := NewInstance(atom("q", "b"), atom("p", "z"), atom("p", "a"))
+	s := i.Sorted()
+	for k := 1; k < len(s); k++ {
+		if s[k-1].Compare(s[k]) >= 0 {
+			t.Fatalf("Sorted not strictly increasing: %v", s)
+		}
+	}
+	if i.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestFromFacts(t *testing.T) {
+	if _, err := FromFacts([]datalog.Atom{datalog.NewAtom("p", datalog.N("z"))}); err == nil {
+		t.Error("null in database should be rejected")
+	}
+	i, err := FromFacts([]datalog.Atom{atom("p", "a")})
+	if err != nil || i.Len() != 1 {
+		t.Errorf("FromFacts = %v, %v", i, err)
+	}
+}

@@ -1,0 +1,295 @@
+package datalog
+
+import "testing"
+
+// cliqueProgram is the k-clique query program of Example 4.3 (Π_aux ∪ Π_clique).
+const cliqueProgramSrc = `
+	% Π_aux: linear order on [0,k]
+	succ0(?X, ?Y) -> less0(?X, ?Y).
+	succ0(?X, ?Y), less0(?Y, ?Z) -> less0(?X, ?Z).
+	less0(?X, ?Y) -> not_max(?X).
+	less0(?X, ?Y) -> not_min(?Y).
+	less0(?X, ?Y), not not_min(?X) -> zero0(?X).
+	less0(?Y, ?X), not not_max(?X) -> max0(?X).
+	% Π_aux: copy into the clique schema
+	node0(?X) -> node(?X).
+	edge0(?X, ?Y) -> edge(?X, ?Y).
+	succ0(?X, ?Y) -> succ(?X, ?Y).
+	less0(?X, ?Y) -> less(?X, ?Y).
+	zero0(?X) -> zero(?X).
+	max0(?X) -> max(?X).
+	% Π_clique: the tree of mappings
+	zero(?X) -> exists ?Y ism(?Y, ?X).
+	ism(?X, ?Y), succ(?Y, ?Z), node(?W) ->
+		exists ?U next(?X, ?W, ?U), ism(?U, ?Z), map(?U, ?Z, ?W).
+	next(?X, ?Y, ?Z), map(?X, ?U, ?V) -> map(?Z, ?U, ?V).
+	less(?X, ?Y), map(?Z, ?X, ?W), map(?Z, ?Y, ?U), not edge(?W, ?U) -> noclique(?Z).
+	less(?X, ?Y), map(?Z, ?X, ?W), map(?Z, ?Y, ?W) -> noclique(?Z).
+	ism(?X, ?Y), max(?Y), not noclique(?X) -> yes().
+`
+
+// example610 is the warded program of Example 6.10 / Figure 1.
+const example610Src = `
+	s(?X, ?Y, ?Z) -> exists ?W s(?X, ?Z, ?W).
+	s(?X, ?Y, ?Z), s(?Y, ?Z, ?W) -> q(?X, ?Y).
+	t(?X) -> exists ?Z p(?X, ?Z).
+	p(?X, ?Y), q(?X, ?Z) -> r(?X, ?Y, ?Z).
+	r(?X, ?Y, ?Z) -> p(?X, ?Z).
+`
+
+func TestExample41GuardLattice(t *testing.T) {
+	p := example41()
+	// The paper states: "the program Π in Example 4.1 is
+	// weakly-frontier-guarded but not weakly-guarded."
+	if err := CheckWeaklyFrontierGuarded(p); err != nil {
+		t.Errorf("Example 4.1 should be weakly-frontier-guarded: %v", err)
+	}
+	if err := CheckWeaklyGuarded(p); err == nil {
+		t.Error("Example 4.1 should NOT be weakly-guarded (ρ1 has harmful ?X, ?Z in different atoms)")
+	}
+	if err := CheckGuarded(p); err == nil {
+		t.Error("Example 4.1 should not be guarded")
+	}
+}
+
+func TestCliqueProgramDialects(t *testing.T) {
+	p := MustParse(cliqueProgramSrc)
+	// Example 4.3 presents this as a TriQ 1.0 query: weakly-frontier-guarded…
+	if err := CheckDialect(p, WeaklyFrontierGuarded); err != nil {
+		t.Errorf("clique program should be TriQ 1.0: %v", err)
+	}
+	// …but it must be neither warded (the map-propagation rule joins the
+	// ward with another atom on the harmful ?X)…
+	if err := CheckWarded(p); err == nil {
+		t.Error("clique program should NOT be warded")
+	}
+	// …nor have grounded negation (¬noclique(?X) with harmful ?X).
+	if err := CheckGroundedNegation(p); err == nil {
+		t.Error("clique program should NOT have grounded negation")
+	}
+	if err := CheckDialect(p, TriQLite); err == nil {
+		t.Error("clique program must be rejected as TriQ-Lite 1.0")
+	}
+}
+
+func TestExample610IsWarded(t *testing.T) {
+	p := MustParse(example610Src)
+	if err := CheckWarded(p); err != nil {
+		t.Errorf("Example 6.10 program should be warded: %v", err)
+	}
+	if err := CheckDialect(p, TriQLite); err != nil {
+		t.Errorf("Example 6.10 program should be TriQ-Lite 1.0: %v", err)
+	}
+}
+
+func TestDatalogIsTriviallyWarded(t *testing.T) {
+	// Section 6.3: "every Datalog program is a warded Datalog∃,¬sg,⊥ program."
+	p := MustParse(`
+		e(?X, ?Y) -> tc(?X, ?Y).
+		e(?X, ?Y), tc(?Y, ?Z) -> tc(?X, ?Z).
+		tc(?X, ?X) -> cyclic(?X).
+	`)
+	if err := CheckDialect(p, TriQLite); err != nil {
+		t.Errorf("plain Datalog should be TriQ-Lite 1.0: %v", err)
+	}
+	if err := CheckDialect(p, WeaklyFrontierGuarded); err != nil {
+		t.Errorf("plain Datalog should be TriQ 1.0: %v", err)
+	}
+}
+
+func TestGuardedCheck(t *testing.T) {
+	guarded := MustParse(`p(?X, ?Y, ?Z), q(?X, ?Y) -> r(?X).`)
+	if err := CheckGuarded(guarded); err != nil {
+		t.Errorf("should be guarded: %v", err)
+	}
+	notGuarded := MustParse(`p(?X, ?Y), q(?Y, ?Z) -> r(?X).`)
+	if err := CheckGuarded(notGuarded); err == nil {
+		t.Error("should not be guarded: no atom has all of ?X ?Y ?Z")
+	}
+}
+
+func TestFrontierGuardedCheck(t *testing.T) {
+	// Frontier {?X, ?Z} spans two atoms → not frontier-guarded…
+	p := MustParse(`p(?X, ?Y), q(?Y, ?Z) -> r(?X, ?Z).`)
+	if err := CheckFrontierGuarded(p); err == nil {
+		t.Error("should not be frontier-guarded")
+	}
+	// …but it is weakly-frontier-guarded (no affected positions at all).
+	if err := CheckWeaklyFrontierGuarded(p); err != nil {
+		t.Errorf("should be weakly-frontier-guarded: %v", err)
+	}
+	q := MustParse(`p(?X, ?Y), q(?Y, ?Z) -> r(?Y).`)
+	if err := CheckFrontierGuarded(q); err != nil {
+		t.Errorf("should be frontier-guarded: %v", err)
+	}
+}
+
+func TestNearlyFrontierGuarded(t *testing.T) {
+	// Transitive closure is not frontier-guarded but all variables are
+	// harmless → nearly frontier-guarded (Section 6.2 motivation).
+	p := MustParse(`
+		e(?X, ?Y) -> tc(?X, ?Y).
+		e(?X, ?Y), tc(?Y, ?Z) -> tc(?X, ?Z).
+	`)
+	if err := CheckNearlyFrontierGuarded(p); err != nil {
+		t.Errorf("transitive closure should be nearly frontier-guarded: %v", err)
+	}
+	// A non-frontier-guarded rule over affected positions breaks it.
+	q := MustParse(`
+		a(?X) -> exists ?Z e(?X, ?Z).
+		e(?X, ?Y), e(?Y, ?Z) -> e(?X, ?Z).
+	`)
+	if err := CheckNearlyFrontierGuarded(q); err == nil {
+		t.Error("existential transitive closure should not be nearly frontier-guarded")
+	}
+	// But it IS warded — the canonical separating example: the dangerous ?Z
+	// sits in the ward e(?Y,?Z), which shares only the harmless ?Y.
+	if err := CheckWarded(q); err != nil {
+		t.Errorf("existential transitive closure should be warded: %v", err)
+	}
+}
+
+func TestWardednessSharingCondition(t *testing.T) {
+	// The ward may share only harmless variables with the rest of the body.
+	// The swap rule makes both s-positions affected, so in the last rule ?X
+	// is dangerous (its ward is s(?X,?Y)) and ?Y is harmful and shared —
+	// which violates wardedness condition (2).
+	p := MustParse(`
+		a(?X) -> exists ?Z s(?X, ?Z).
+		s(?X, ?Y) -> s(?Y, ?X).
+		s(?X, ?Y), s(?Y, ?W) -> h(?X).
+	`)
+	if err := CheckWarded(p); err == nil {
+		t.Error("harmful-variable sharing should break wardedness")
+	}
+	// …while the program is still weakly-frontier-guarded (TriQ 1.0): the
+	// dangerous {?X} is covered by s(?X,?Y).
+	if err := CheckWeaklyFrontierGuarded(p); err != nil {
+		t.Errorf("sharing program should still be TriQ 1.0: %v", err)
+	}
+	// Anchoring ?Y with a ground atom makes it harmless and restores
+	// wardedness.
+	q := MustParse(`
+		a(?X) -> exists ?Z s(?X, ?Z).
+		s(?X, ?Y) -> s(?Y, ?X).
+		s(?X, ?Y), s(?Y, ?W), a(?Y) -> h(?X).
+	`)
+	if err := CheckWarded(q); err != nil {
+		t.Errorf("anchored variant should be warded: %v", err)
+	}
+}
+
+func TestMinimalInteraction(t *testing.T) {
+	// A warded program is trivially minimal-interaction when wards share
+	// nothing harmful.
+	p := MustParse(example610Src)
+	if err := CheckWardedMinimalInteraction(p); err != nil {
+		t.Errorf("Example 6.10 should satisfy minimal interaction: %v", err)
+	}
+	// One escaped harmful variable occurring once, in an atom whose other
+	// variables are harmless, is allowed — this is the shape the ATM
+	// reduction of Theorem 6.15 relies on (succ/state-cursor-symbol join).
+	ok := MustParse(`
+		d(?X) -> exists ?V cfg(?V).
+		cfg(?V) -> exists ?V1 succ(?V, ?V1).
+		succ(?V, ?V1), st(?S, ?V), lab(?S) -> st(?S, ?V1).
+		lab(?S), cfg(?V) -> st(?S, ?V).
+		d(?S) -> lab(?S).
+	`)
+	if err := CheckWardedMinimalInteraction(ok); err != nil {
+		t.Errorf("single-escape program should satisfy minimal interaction: %v", err)
+	}
+	// It strictly extends wardedness: the same program is not warded…
+	if err := CheckWarded(ok); err == nil {
+		t.Error("single-escape program should NOT be warded (that is the separation)")
+	}
+	// …two escaped occurrences are not allowed. Ward s(?X,?Y) leaks the
+	// harmful ?Y into both t(?Y) and u(?Y).
+	bad := MustParse(`
+		a(?X) -> exists ?Z s(?X, ?Z).
+		s(?X, ?Y), t(?Y), u(?Y) -> keep(?X, ?Y).
+		keep(?X, ?Y) -> s(?X, ?Y).
+		s(?X, ?Y) -> t(?Y).
+		s(?X, ?Y) -> u(?Y).
+	`)
+	if err := CheckWardedMinimalInteraction(bad); err == nil {
+		t.Error("two escaped occurrences must violate minimal interaction")
+	}
+	// An escaped occurrence sitting next to another harmful variable also
+	// violates condition (3).
+	bad2 := MustParse(`
+		a(?X) -> exists ?Z s(?X, ?Z).
+		s(?X, ?Y) -> s(?Y, ?X).
+		s(?X, ?Y), s(?Y, ?W) -> h(?X).
+	`)
+	if err := CheckWardedMinimalInteraction(bad2); err == nil {
+		t.Error("escape into an atom with another harmful variable must be rejected")
+	}
+}
+
+func TestGroundedNegation(t *testing.T) {
+	// Negation over constants and harmless variables is grounded.
+	p := MustParse(`
+		a(?X), not b(?X, c0) -> d(?X).
+	`)
+	if err := CheckGroundedNegation(p); err != nil {
+		t.Errorf("should be grounded: %v", err)
+	}
+	// Negation over a harmful variable is not.
+	q := MustParse(`
+		a(?X) -> exists ?Z s(?X, ?Z).
+		s(?X, ?Y), not b(?Y) -> d(?X).
+	`)
+	if err := CheckGroundedNegation(q); err == nil {
+		t.Error("negation over harmful ?Y should be rejected")
+	}
+}
+
+func TestDialectStrings(t *testing.T) {
+	ds := []Dialect{AnyDialect, Guarded, WeaklyGuarded, FrontierGuarded,
+		WeaklyFrontierGuarded, NearlyFrontierGuarded, Warded, TriQLite,
+		WardedMinimalInteraction, Dialect(99)}
+	for _, d := range ds {
+		if d.String() == "" {
+			t.Errorf("Dialect(%d).String() empty", int(d))
+		}
+	}
+}
+
+func TestCheckDialectAll(t *testing.T) {
+	p := MustParse(`p(?X, ?Y) -> q(?X).`)
+	for _, d := range []Dialect{AnyDialect, Guarded, WeaklyGuarded, FrontierGuarded,
+		WeaklyFrontierGuarded, NearlyFrontierGuarded, Warded, TriQLite,
+		WardedMinimalInteraction} {
+		if err := CheckDialect(p, d); err != nil {
+			t.Errorf("trivial program should satisfy %v: %v", d, err)
+		}
+	}
+	if err := CheckDialect(p, Dialect(99)); err == nil {
+		t.Error("unknown dialect should error")
+	}
+	// Unstratified program fails every dialect.
+	bad := MustParse(`p(?X), not q(?X) -> q(?X).`)
+	if err := CheckDialect(bad, AnyDialect); err == nil {
+		t.Error("unstratified program must be rejected")
+	}
+}
+
+func TestFindWard(t *testing.T) {
+	p := MustParse(example610Src)
+	an := Analyze(p)
+	// Rule ρ4 = p(?X,?Y), q(?X,?Z) → r(?X,?Y,?Z): dangerous {?X,?Y}
+	// (p[1],p[2] affected via ρ3/ρ5; ?X… check ward is the p-atom).
+	ward, ok := FindWard(an, p.Rules[3])
+	if !ok {
+		t.Fatal("ρ4 should have a ward")
+	}
+	if ward.Pred != "p" {
+		t.Errorf("ward = %v, want the p-atom", ward)
+	}
+	// A rule with no dangerous variables needs no ward.
+	dl := MustParse(`e(?X, ?Y) -> tc(?X, ?Y).`)
+	if _, ok := FindWard(Analyze(dl), dl.Rules[0]); !ok {
+		t.Error("Datalog rule should trivially pass FindWard")
+	}
+}

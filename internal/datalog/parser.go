@@ -1,0 +1,529 @@
+package datalog
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Parse reads a program in the surface syntax used throughout this
+// repository, which mirrors the paper's notation:
+//
+//	% comment                                   (also //)
+//	triple(?Y, is_author_of, ?Z), triple(?Y, name, ?X) -> query(?X).
+//	triple(?X, is_coauthor_of, ?Y) ->
+//	    exists ?Z triple(?X, is_author_of, ?Z), triple(?Y, is_author_of, ?Z).
+//	less0(?X, ?Y), not not_min(?X) -> zero0(?X).
+//	type(?X,?Y), type(?X,?Z), disj(?Y,?Z) -> false.
+//
+// Variables start with '?'. Constants are bare names (rdf:type, dbUllman,
+// ∃eats) or double-quoted strings. Negation is written not/!/¬, implication
+// ->/→, existential quantification exists/∃ followed by variables, and ⊥ may
+// be written false/bottom/⊥. Every statement ends with a dot. Existential
+// variables may be declared explicitly; any head variable absent from the
+// body is treated as existentially quantified either way.
+func Parse(input string) (*Program, error) {
+	p := &parser{lex: newLexer(input)}
+	prog := &Program{}
+	for {
+		tok, err := p.lex.peek()
+		if err != nil {
+			return nil, err
+		}
+		if tok.kind == tokEOF {
+			break
+		}
+		if err := p.statement(prog); err != nil {
+			return nil, err
+		}
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse parses the program and panics on error; for tests and fixed
+// embedded programs.
+func MustParse(input string) *Program {
+	p, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParseQuery parses a program and pairs it with an output predicate.
+func ParseQuery(input, output string) (Query, error) {
+	prog, err := Parse(input)
+	if err != nil {
+		return Query{}, err
+	}
+	q := NewQuery(prog, output)
+	if err := q.Validate(); err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+// MustParseQuery is ParseQuery, panicking on error.
+func MustParseQuery(input, output string) Query {
+	q, err := ParseQuery(input, output)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// ParseAtom parses a single atom such as "triple(?X, rdf:type, owl:Class)".
+func ParseAtom(input string) (Atom, error) {
+	p := &parser{lex: newLexer(input)}
+	a, err := p.atom()
+	if err != nil {
+		return Atom{}, err
+	}
+	tok, err := p.lex.peek()
+	if err != nil {
+		return Atom{}, err
+	}
+	if tok.kind != tokEOF {
+		return Atom{}, fmt.Errorf("datalog: trailing input %q after atom", tok.text)
+	}
+	return a, nil
+}
+
+// MustParseAtom is ParseAtom, panicking on error.
+func MustParseAtom(input string) Atom {
+	a, err := ParseAtom(input)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokVar
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokArrow
+	tokNot
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type lexer struct {
+	in     string
+	pos    int
+	line   int
+	peeked *token
+}
+
+func newLexer(in string) *lexer { return &lexer{in: in, line: 1} }
+
+func (l *lexer) peek() (token, error) {
+	if l.peeked == nil {
+		t, err := l.lexOne()
+		if err != nil {
+			return token{}, err
+		}
+		l.peeked = &t
+	}
+	return *l.peeked, nil
+}
+
+func (l *lexer) next() (token, error) {
+	if l.peeked != nil {
+		t := *l.peeked
+		l.peeked = nil
+		return t, nil
+	}
+	return l.lexOne()
+}
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("datalog: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) lexOne() (token, error) {
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '%':
+			l.skipLine()
+		case c == '/' && l.pos+1 < len(l.in) && l.in[l.pos+1] == '/':
+			l.skipLine()
+		default:
+			goto lex
+		}
+	}
+	return token{kind: tokEOF, pos: l.pos, line: l.line}, nil
+lex:
+	start, line := l.pos, l.line
+	c := l.in[l.pos]
+	switch c {
+	case '(':
+		l.pos++
+		return token{tokLParen, "(", start, line}, nil
+	case ')':
+		l.pos++
+		return token{tokRParen, ")", start, line}, nil
+	case ',':
+		l.pos++
+		return token{tokComma, ",", start, line}, nil
+	case '.':
+		l.pos++
+		return token{tokDot, ".", start, line}, nil
+	case '!':
+		l.pos++
+		return token{tokNot, "!", start, line}, nil
+	case '-':
+		if l.pos+1 < len(l.in) && l.in[l.pos+1] == '>' {
+			l.pos += 2
+			return token{tokArrow, "->", start, line}, nil
+		}
+		return token{}, l.errorf("unexpected '-' (did you mean '->'?)")
+	case '?':
+		l.pos++
+		name := l.bareName()
+		if name == "" {
+			return token{}, l.errorf("empty variable name after '?'")
+		}
+		return token{tokVar, "?" + name, start, line}, nil
+	case '"':
+		s, err := l.quoted()
+		if err != nil {
+			return token{}, err
+		}
+		return token{tokString, s, start, line}, nil
+	}
+	// Multi-byte operators and bare names.
+	r, sz := utf8.DecodeRuneInString(l.in[l.pos:])
+	switch r {
+	case '→':
+		l.pos += sz
+		return token{tokArrow, "→", start, line}, nil
+	case '¬':
+		l.pos += sz
+		return token{tokNot, "¬", start, line}, nil
+	}
+	name := l.bareName()
+	if name == "" {
+		return token{}, l.errorf("unexpected character %q", r)
+	}
+	return token{tokIdent, name, start, line}, nil
+}
+
+func (l *lexer) skipLine() {
+	for l.pos < len(l.in) && l.in[l.pos] != '\n' {
+		l.pos++
+	}
+}
+
+func (l *lexer) bareName() string {
+	start := l.pos
+	for l.pos < len(l.in) {
+		r, sz := utf8.DecodeRuneInString(l.in[l.pos:])
+		if !isBareRune(r) {
+			break
+		}
+		// '∃' begins a quantifier token, never continues a name, but is
+		// allowed mid-name (e.g. the paper's class names ∃p, ∃eats start
+		// with it: there it *is* the first rune of the name).
+		l.pos += sz
+	}
+	return l.in[start:l.pos]
+}
+
+func isBareRune(r rune) bool {
+	switch r {
+	case '_', ':', '-', '\'', '/', '#', '*', '⋆', '⊥':
+		return true
+	}
+	if r == '∃' || r == '⁻' {
+		return true
+	}
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) quoted() (string, error) {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			return b.String(), nil
+		case '\\':
+			l.pos++
+			if l.pos >= len(l.in) {
+				return "", l.errorf("dangling escape in string")
+			}
+			switch l.in[l.pos] {
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				return "", l.errorf("unknown escape \\%c", l.in[l.pos])
+			}
+			l.pos++
+		case '\n':
+			return "", l.errorf("newline in string")
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return "", l.errorf("unterminated string")
+}
+
+type parser struct {
+	lex *lexer
+}
+
+func (p *parser) statement(prog *Program) error {
+	var bodyPos, bodyNeg []Atom
+	for {
+		tok, err := p.lex.peek()
+		if err != nil {
+			return err
+		}
+		neg := false
+		if tok.kind == tokNot || (tok.kind == tokIdent && tok.text == "not") {
+			// "not" can also be a predicate name; only treat it as negation
+			// when not followed by '('.
+			if tok.kind == tokIdent {
+				save := *p.lex
+				if _, err := p.lex.next(); err != nil {
+					return err
+				}
+				nxt, err := p.lex.peek()
+				if err != nil {
+					return err
+				}
+				if nxt.kind == tokLParen {
+					*p.lex = save
+				} else {
+					neg = true
+				}
+			} else {
+				if _, err := p.lex.next(); err != nil {
+					return err
+				}
+				neg = true
+			}
+		}
+		a, err := p.atom()
+		if err != nil {
+			return err
+		}
+		if neg {
+			bodyNeg = append(bodyNeg, a)
+		} else {
+			bodyPos = append(bodyPos, a)
+		}
+		tok, err = p.lex.next()
+		if err != nil {
+			return err
+		}
+		switch tok.kind {
+		case tokComma:
+			continue
+		case tokArrow:
+			goto head
+		default:
+			return fmt.Errorf("datalog: line %d: expected ',' or '->' after body atom, got %v", tok.line, tok)
+		}
+	}
+head:
+	tok, err := p.lex.peek()
+	if err != nil {
+		return err
+	}
+	// Constraint head: false / bottom / ⊥.
+	if tok.kind == tokIdent && (tok.text == "false" || tok.text == "bottom" || tok.text == "⊥") {
+		if _, err := p.lex.next(); err != nil {
+			return err
+		}
+		if err := p.expect(tokDot); err != nil {
+			return err
+		}
+		if len(bodyNeg) > 0 {
+			return fmt.Errorf("datalog: line %d: constraints may not contain negated atoms", tok.line)
+		}
+		prog.AddConstraint(Constraint{Body: bodyPos})
+		return nil
+	}
+	// Optional explicit existential quantifier prefix.
+	declared := make(map[Term]bool)
+	if tok.kind == tokIdent && (tok.text == "exists" || tok.text == "∃") {
+		if _, err := p.lex.next(); err != nil {
+			return err
+		}
+		for {
+			tok, err := p.lex.peek()
+			if err != nil {
+				return err
+			}
+			// Accept both "exists ?Y1 ?Y2" and the paper's repeated form
+			// "∃?Y1 ∃?Y2".
+			if tok.kind == tokIdent && (tok.text == "exists" || tok.text == "∃") {
+				if _, err := p.lex.next(); err != nil {
+					return err
+				}
+				continue
+			}
+			if tok.kind != tokVar {
+				break
+			}
+			if _, err := p.lex.next(); err != nil {
+				return err
+			}
+			declared[Term{Kind: Var, Name: tok.text}] = true
+		}
+		if len(declared) == 0 {
+			return fmt.Errorf("datalog: line %d: 'exists' requires at least one variable", tok.line)
+		}
+	}
+	var head []Atom
+	for {
+		a, err := p.atom()
+		if err != nil {
+			return err
+		}
+		head = append(head, a)
+		tok, err := p.lex.next()
+		if err != nil {
+			return err
+		}
+		if tok.kind == tokComma {
+			continue
+		}
+		if tok.kind == tokDot {
+			break
+		}
+		return fmt.Errorf("datalog: line %d: expected ',' or '.' after head atom, got %v", tok.line, tok)
+	}
+	r := Rule{BodyPos: bodyPos, BodyNeg: bodyNeg, Head: head}
+	// Sanity: declared existential variables must not occur in the body, and
+	// every declared variable must be used in the head.
+	bodyVars := make(map[Term]bool)
+	for _, v := range r.BodyVars() {
+		bodyVars[v] = true
+	}
+	for v := range declared {
+		if bodyVars[v] {
+			return fmt.Errorf("datalog: existential variable %v also occurs in the body of rule %v", v, r)
+		}
+	}
+	headVars := make(map[Term]bool)
+	for _, v := range r.HeadVars() {
+		headVars[v] = true
+	}
+	for v := range declared {
+		if !headVars[v] {
+			return fmt.Errorf("datalog: declared existential variable %v is unused in the head of rule %v", v, r)
+		}
+	}
+	prog.Add(r)
+	return nil
+}
+
+func (p *parser) atom() (Atom, error) {
+	tok, err := p.lex.next()
+	if err != nil {
+		return Atom{}, err
+	}
+	if tok.kind != tokIdent && tok.kind != tokString {
+		return Atom{}, fmt.Errorf("datalog: line %d: expected predicate name, got %v", tok.line, tok)
+	}
+	pred := tok.text
+	if err := p.expect(tokLParen); err != nil {
+		return Atom{}, fmt.Errorf("datalog: line %d: after predicate %s: %w", tok.line, pred, err)
+	}
+	var args []Term
+	nxt, err := p.lex.peek()
+	if err != nil {
+		return Atom{}, err
+	}
+	if nxt.kind == tokRParen {
+		_, _ = p.lex.next()
+		return Atom{Pred: pred, Args: args}, nil
+	}
+	for {
+		t, err := p.term()
+		if err != nil {
+			return Atom{}, err
+		}
+		args = append(args, t)
+		tok, err := p.lex.next()
+		if err != nil {
+			return Atom{}, err
+		}
+		if tok.kind == tokComma {
+			continue
+		}
+		if tok.kind == tokRParen {
+			return Atom{Pred: pred, Args: args}, nil
+		}
+		return Atom{}, fmt.Errorf("datalog: line %d: expected ',' or ')' in argument list, got %v", tok.line, tok)
+	}
+}
+
+func (p *parser) term() (Term, error) {
+	tok, err := p.lex.next()
+	if err != nil {
+		return Term{}, err
+	}
+	switch tok.kind {
+	case tokVar:
+		return Term{Kind: Var, Name: tok.text}, nil
+	case tokIdent, tokString:
+		return C(tok.text), nil
+	default:
+		return Term{}, fmt.Errorf("datalog: line %d: expected term, got %v", tok.line, tok)
+	}
+}
+
+func (p *parser) expect(k tokKind) error {
+	tok, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	if tok.kind != k {
+		return fmt.Errorf("datalog: line %d: unexpected token %v", tok.line, tok)
+	}
+	return nil
+}

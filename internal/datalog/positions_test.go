@@ -1,0 +1,123 @@
+package datalog
+
+import "testing"
+
+// example41 is the program of Example 4.1 in the paper.
+func example41() *Program {
+	return MustParse(`
+		p(?X, ?Y), s(?Y, ?Z) -> exists ?W t(?Y, ?X, ?W).
+		t(?X, ?Y, ?Z) -> exists ?W p(?W, ?Z).
+		t(?X, ?Y, ?Z) -> s(?X, ?Y).
+	`)
+}
+
+func TestAffectedPositionsExample41(t *testing.T) {
+	an := Analyze(example41())
+	wantAffected := []Position{{"p", 1}, {"p", 2}, {"s", 2}, {"t", 2}, {"t", 3}}
+	wantNon := []Position{{"s", 1}, {"t", 1}}
+	for _, pos := range wantAffected {
+		if !an.IsAffected(pos) {
+			t.Errorf("%v should be affected (Example 4.1)", pos)
+		}
+	}
+	for _, pos := range wantNon {
+		if an.IsAffected(pos) {
+			t.Errorf("%v should not be affected (Example 4.1)", pos)
+		}
+	}
+	if got := len(an.AffectedPositions()); got != len(wantAffected) {
+		t.Errorf("affected count = %d, want %d: %v", got, len(wantAffected), an.AffectedPositions())
+	}
+	if got := len(an.NonAffectedPositions()); got != len(wantNon) {
+		t.Errorf("non-affected count = %d, want %d: %v", got, len(wantNon), an.NonAffectedPositions())
+	}
+}
+
+func TestClassifyExample41(t *testing.T) {
+	p := example41()
+	an := Analyze(p)
+	// ρ1 = p(?X,?Y), s(?Y,?Z) → ∃?W t(?Y,?X,?W):
+	// ?X occurs only at affected p[1] → harmful, and in the head → dangerous;
+	// ?Y occurs at non-affected s[1] → harmless; ?Z occurs at affected s[2]
+	// → harmful but not in the head.
+	vc := an.Classify(p.Rules[0])
+	if !vc.Dangerous[V("X")] || len(vc.Dangerous) != 1 {
+		t.Errorf("ρ1 dangerous = %v, want {?X}", sortedVars(vc.Dangerous))
+	}
+	if !vc.Harmless[V("Y")] {
+		t.Error("?Y should be harmless in ρ1")
+	}
+	if !vc.Harmful[V("Z")] || vc.Dangerous[V("Z")] {
+		t.Error("?Z should be harmful but not dangerous in ρ1")
+	}
+	// ρ2 = t(?X,?Y,?Z) → ∃?W p(?W,?Z): ?X harmless (t[1]); ?Y harmful (t[2]);
+	// ?Z harmful+dangerous (t[3], appears in head).
+	vc = an.Classify(p.Rules[1])
+	if !vc.Harmless[V("X")] || !vc.Harmful[V("Y")] || !vc.Dangerous[V("Z")] {
+		t.Errorf("ρ2 classification wrong: %+v", vc)
+	}
+}
+
+func TestAffectedEmptyForDatalog(t *testing.T) {
+	// Plain Datalog programs have no affected positions (Section 6.3:
+	// "given a Datalog program Π, affected(Π) = ∅").
+	p := MustParse(`
+		e(?X, ?Y) -> tc(?X, ?Y).
+		e(?X, ?Y), tc(?Y, ?Z) -> tc(?X, ?Z).
+	`)
+	an := Analyze(p)
+	if n := len(an.AffectedPositions()); n != 0 {
+		t.Errorf("Datalog program has %d affected positions, want 0", n)
+	}
+	for _, r := range p.Rules {
+		vc := an.Classify(r)
+		if len(vc.Harmful) != 0 || len(vc.Dangerous) != 0 {
+			t.Errorf("Datalog rule %v has harmful variables", r)
+		}
+	}
+}
+
+func TestAffectedPropagationChain(t *testing.T) {
+	// Affectedness must propagate through rule chains.
+	p := MustParse(`
+		a(?X) -> exists ?Z b(?Z).
+		b(?X) -> c(?X).
+		c(?X) -> d(?X).
+	`)
+	an := Analyze(p)
+	for _, pos := range []Position{{"b", 1}, {"c", 1}, {"d", 1}} {
+		if !an.IsAffected(pos) {
+			t.Errorf("%v should be affected via propagation", pos)
+		}
+	}
+	if an.IsAffected(Position{"a", 1}) {
+		t.Error("a[1] must not be affected")
+	}
+}
+
+func TestAffectedBlockedByNonAffectedOccurrence(t *testing.T) {
+	// A variable with one non-affected occurrence is harmless and does not
+	// propagate affectedness (the ?Y/t[1] case of Example 4.1).
+	p := MustParse(`
+		a(?X) -> exists ?Z b(?Z).
+		b(?X), ground(?X) -> c(?X).
+	`)
+	an := Analyze(p)
+	if an.IsAffected(Position{"c", 1}) {
+		t.Error("c[1] must not be affected: ?X is anchored by ground(?X)")
+	}
+}
+
+func TestClassifyIgnoresNegativeOccurrences(t *testing.T) {
+	// Negative atoms never make a variable harmless: classification is over
+	// ex(Π)+.
+	p := MustParse(`
+		a(?X) -> exists ?Z b(?Z).
+		b(?X), not ground(?X) -> c(?X).
+	`)
+	an := Analyze(p.Positive())
+	vc := an.Classify(p.Rules[1])
+	if !vc.Dangerous[V("X")] {
+		t.Error("?X must stay dangerous; its only positive occurrence is affected")
+	}
+}

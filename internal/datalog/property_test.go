@@ -1,0 +1,125 @@
+package datalog
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomNegProgram builds random safe Datalog programs with negation over a
+// small schema; some are stratifiable, some are not.
+func randomNegProgram(rng *rand.Rand) *Program {
+	x, y := V("X"), V("Y")
+	atoms := []Atom{
+		NewAtom("base", x),
+		NewAtom("e", x, y),
+		NewAtom("p", x),
+		NewAtom("q", x),
+		NewAtom("r", x),
+	}
+	heads := []Atom{NewAtom("p", x), NewAtom("q", x), NewAtom("r", x)}
+	prog := &Program{}
+	n := 1 + rng.Intn(5)
+	for i := 0; i < n; i++ {
+		body := []Atom{atoms[rng.Intn(2)]} // base(x) or e(x,y): safe anchor
+		var neg []Atom
+		if rng.Intn(2) == 0 {
+			extra := atoms[2+rng.Intn(3)]
+			if rng.Intn(2) == 0 {
+				neg = append(neg, extra)
+			} else {
+				body = append(body, extra)
+			}
+		}
+		prog.Add(Rule{BodyPos: body, BodyNeg: neg, Head: []Atom{heads[rng.Intn(len(heads))]}})
+	}
+	return prog
+}
+
+// Property: when Stratify succeeds, the returned level function satisfies
+// the defining conditions of a stratification.
+func TestPropertyStratificationValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := randomNegProgram(rng)
+		strat, err := Stratify(prog)
+		if err != nil {
+			return true // rejection is fine; validity is only claimed on success
+		}
+		for _, r := range prog.Rules {
+			for _, h := range r.Head {
+				for _, a := range r.BodyPos {
+					if strat.Level[h.Pred] < strat.Level[a.Pred] {
+						t.Logf("positive condition violated in\n%s", prog)
+						return false
+					}
+				}
+				for _, a := range r.BodyNeg {
+					if strat.Level[h.Pred] <= strat.Level[a.Pred] {
+						t.Logf("negative condition violated in\n%s", prog)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: self-negation and 2-cycles through negation are always rejected.
+func TestPropertyNegativeCyclesRejected(t *testing.T) {
+	x := V("X")
+	progs := []*Program{
+		{Rules: []Rule{{
+			BodyPos: []Atom{NewAtom("b", x)}, BodyNeg: []Atom{NewAtom("p", x)},
+			Head: []Atom{NewAtom("p", x)},
+		}}},
+		{Rules: []Rule{
+			{BodyPos: []Atom{NewAtom("b", x)}, BodyNeg: []Atom{NewAtom("p", x)}, Head: []Atom{NewAtom("q", x)}},
+			{BodyPos: []Atom{NewAtom("q", x)}, Head: []Atom{NewAtom("r", x)}},
+			{BodyPos: []Atom{NewAtom("r", x)}, Head: []Atom{NewAtom("p", x)}},
+		}},
+	}
+	for i, p := range progs {
+		if _, err := Stratify(p); err == nil {
+			t.Errorf("program %d with a negative cycle accepted", i)
+		}
+	}
+}
+
+// Property: the positive part of any program is trivially stratified, and
+// Analyze+Classify never panic and never classify a variable as both
+// harmless and harmful.
+func TestPropertyClassificationPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := randomNegProgram(rng)
+		an := Analyze(prog.Positive())
+		for _, r := range prog.Rules {
+			vc := an.Classify(r)
+			for v := range vc.Harmless {
+				if vc.Harmful[v] {
+					return false
+				}
+			}
+			for v := range vc.Dangerous {
+				if !vc.Harmful[v] {
+					return false
+				}
+			}
+			// Every positive-body variable is classified.
+			for _, v := range VarsOf(r.BodyPos) {
+				if !vc.Harmless[v] && !vc.Harmful[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

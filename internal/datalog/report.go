@@ -1,0 +1,177 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report renders a human-readable analysis of a program: its schema, the
+// stratification, the affected positions (Section 4.1), the per-rule
+// variable classification with wards, and which of the paper's dialects the
+// program belongs to. Intended for the CLI's -analyze mode and for debugging
+// wardedness violations.
+func Report(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program: %d rules, %d constraints\n", len(p.Rules), len(p.Constraints))
+
+	sch, err := p.Schema()
+	if err != nil {
+		fmt.Fprintf(&b, "schema error: %v\n", err)
+		return b.String()
+	}
+	preds := make([]string, 0, len(sch))
+	for pred := range sch {
+		preds = append(preds, pred)
+	}
+	sort.Strings(preds)
+	idb := p.IDBPredicates()
+
+	strat, stratErr := Stratify(p)
+	b.WriteString("\nschema:\n")
+	for _, pred := range preds {
+		kind := "edb"
+		if idb[pred] {
+			kind = "idb"
+		}
+		if stratErr == nil {
+			fmt.Fprintf(&b, "  %s/%d  %s  stratum %d\n", pred, sch[pred], kind, strat.Level[pred])
+		} else {
+			fmt.Fprintf(&b, "  %s/%d  %s\n", pred, sch[pred], kind)
+		}
+	}
+	if stratErr != nil {
+		fmt.Fprintf(&b, "stratification: %v\n", stratErr)
+	} else {
+		fmt.Fprintf(&b, "stratification: %d strata\n", strat.Max+1)
+	}
+
+	pos := p.Positive()
+	an := Analyze(pos)
+	b.WriteString("\naffected positions: ")
+	aff := an.AffectedPositions()
+	if len(aff) == 0 {
+		b.WriteString("none (plain Datalog behaviour)\n")
+	} else {
+		parts := make([]string, len(aff))
+		for i, pp := range aff {
+			parts[i] = pp.String()
+		}
+		b.WriteString(strings.Join(parts, ", ") + "\n")
+	}
+
+	b.WriteString("\nrules:\n")
+	for i, r := range pos.Rules {
+		vc := an.Classify(r)
+		fmt.Fprintf(&b, "  ρ%d: %s\n", i+1, p.Rules[i])
+		if len(vc.Harmful) == 0 {
+			b.WriteString("      all variables harmless\n")
+			continue
+		}
+		fmt.Fprintf(&b, "      harmless %v  harmful %v  dangerous %v\n",
+			termNames(sortedVars(vc.Harmless)), termNames(sortedVars(vc.Harmful)),
+			termNames(sortedVars(vc.Dangerous)))
+		if len(vc.Dangerous) > 0 {
+			if ward, ok := FindWard(an, r); ok {
+				fmt.Fprintf(&b, "      ward: %s\n", ward)
+			} else {
+				b.WriteString("      NO WARD (rule breaks wardedness)\n")
+			}
+		}
+	}
+
+	b.WriteString("\ndialects:\n")
+	for _, d := range []Dialect{Guarded, WeaklyGuarded, FrontierGuarded,
+		WeaklyFrontierGuarded, NearlyFrontierGuarded, Warded, TriQLite,
+		WardedMinimalInteraction} {
+		if err := CheckDialect(p, d); err == nil {
+			fmt.Fprintf(&b, "  ✓ %s\n", d)
+		} else {
+			fmt.Fprintf(&b, "  ✗ %s\n", d)
+		}
+	}
+	return b.String()
+}
+
+func termNames(ts []Term) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Name
+	}
+	return out
+}
+
+// DependencyDOT renders the predicate dependency graph of the program in
+// Graphviz DOT: solid edges for positive dependencies, dashed for negative,
+// bold for rules that invent nulls, double circles for predicates with
+// affected positions.
+func DependencyDOT(p *Program) string {
+	var b strings.Builder
+	b.WriteString("digraph dependencies {\n  rankdir=BT;\n  node [shape=ellipse];\n")
+	an := Analyze(p.Positive())
+	sch, _ := p.Schema()
+	preds := make([]string, 0, len(sch))
+	for pred := range sch {
+		preds = append(preds, pred)
+	}
+	sort.Strings(preds)
+	for _, pred := range preds {
+		affected := false
+		for i := 1; i <= sch[pred]; i++ {
+			if an.IsAffected(Position{pred, i}) {
+				affected = true
+				break
+			}
+		}
+		shape := ""
+		if affected {
+			shape = " [peripheries=2]"
+		}
+		fmt.Fprintf(&b, "  %q%s;\n", pred, shape)
+	}
+	type edge struct {
+		from, to string
+		neg, ex  bool
+	}
+	seen := make(map[edge]bool)
+	for _, r := range p.Rules {
+		ex := r.HasExistential()
+		for _, h := range r.Head {
+			for _, a := range r.BodyPos {
+				seen[edge{a.Pred, h.Pred, false, ex}] = true
+			}
+			for _, a := range r.BodyNeg {
+				seen[edge{a.Pred, h.Pred, true, ex}] = true
+			}
+		}
+	}
+	edges := make([]edge, 0, len(seen))
+	for e := range seen {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		if edges[i].to != edges[j].to {
+			return edges[i].to < edges[j].to
+		}
+		return !edges[i].neg && edges[j].neg
+	})
+	for _, e := range edges {
+		var attrs []string
+		if e.neg {
+			attrs = append(attrs, "style=dashed", `label="¬"`)
+		}
+		if e.ex {
+			attrs = append(attrs, "penwidth=2")
+		}
+		if len(attrs) > 0 {
+			fmt.Fprintf(&b, "  %q -> %q [%s];\n", e.from, e.to, strings.Join(attrs, ", "))
+		} else {
+			fmt.Fprintf(&b, "  %q -> %q;\n", e.from, e.to)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

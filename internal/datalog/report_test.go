@@ -1,0 +1,61 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportContents(t *testing.T) {
+	p := MustParse(`
+		a(?X) -> exists ?Z e(?X, ?Z).
+		e(?X, ?Y), e(?Y, ?Z) -> e(?X, ?Z).
+		e(?X, ?Y), not bad(?X, c0) -> good(?X).
+	`)
+	out := Report(p)
+	for _, want := range []string{
+		"3 rules", "e/2", "idb", "edb", "affected positions: e[2]",
+		"ward:", "✓ warded", "✗ guarded", "strata",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Report missing %q:\n%s", want, out)
+		}
+	}
+	// An unwarded program must say so.
+	bad := MustParse(`
+		a(?X) -> exists ?Z s(?X, ?Z).
+		s(?X, ?Y) -> s(?Y, ?X).
+		s(?X, ?Y), s(?Y, ?W) -> h(?X).
+	`)
+	if !strings.Contains(Report(bad), "NO WARD") {
+		t.Error("Report should flag the missing ward")
+	}
+	// Plain Datalog reports no affected positions.
+	dl := MustParse(`e(?X, ?Y) -> tc(?X, ?Y).`)
+	if !strings.Contains(Report(dl), "none (plain Datalog behaviour)") {
+		t.Error("Report should note the Datalog case")
+	}
+	// Unstratified programs degrade gracefully.
+	uns := MustParse(`b(?X), not p(?X) -> q(?X). b(?X), not q(?X) -> p(?X).`)
+	if !strings.Contains(Report(uns), "not stratified") {
+		t.Errorf("Report should surface the stratification error:\n%s", Report(uns))
+	}
+}
+
+func TestDependencyDOT(t *testing.T) {
+	p := MustParse(`
+		a(?X) -> exists ?Z e(?X, ?Z).
+		e(?X, ?Y), not bad(?X) -> good(?X).
+	`)
+	dot := DependencyDOT(p)
+	for _, want := range []string{
+		"digraph dependencies",
+		`"a" -> "e" [penwidth=2];`,
+		`"bad" -> "good" [style=dashed`,
+		`"e" [peripheries=2];`,
+		`"e" -> "good";`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package datalog
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Parsers must return errors, never panic, on arbitrary input.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse(%q) panicked: %v", s, r)
+			}
+		}()
+		_, _ = Parse(s)
+		_, _ = ParseAtom(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Mutations of a valid program must parse or error cleanly, and whatever
+// parses must re-parse from its own rendering.
+func TestParseMutationsRoundTrip(t *testing.T) {
+	base := `p(?X), not n(?X) -> exists ?Z q(?X, ?Z). q(?X, ?Y), r(?Y) -> false.`
+	rng := rand.New(rand.NewSource(11))
+	chars := []byte(`pqnrxyz?,.()->! `)
+	for i := 0; i < 400; i++ {
+		b := []byte(base)
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			b[rng.Intn(len(b))] = chars[rng.Intn(len(chars))]
+		}
+		prog, err := Parse(string(b))
+		if err != nil {
+			continue
+		}
+		again, err := Parse(prog.String())
+		if err != nil {
+			t.Fatalf("rendering of parsed mutation does not re-parse:\nsrc: %s\nrendered: %s\nerr: %v",
+				string(b), prog, err)
+		}
+		if prog.String() != again.String() {
+			t.Fatalf("round trip unstable:\n%s\nvs\n%s", prog, again)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stratification is a function μ : sch(Π) → [0, ℓ] assigning a stratum to
+// every predicate, such that for each rule ρ with head predicate p:
+// μ(p) ≥ μ(p') for every p' in sch(body+(ρ)), and μ(p) > μ(p') for every
+// p' in sch(body−(ρ)).
+type Stratification struct {
+	// Level maps each predicate of sch(Π) to its stratum.
+	Level map[string]int
+	// Max is ℓ, the highest stratum in use.
+	Max int
+}
+
+// Stratify computes a stratification of ex(Π) (constraints are ignored, as in
+// the paper: a Datalog^{∃,¬,⊥} program is stratified iff ex(Π) is). It
+// returns an error when the program is not stratifiable, i.e. when there is a
+// cycle through negation.
+//
+// The computed stratification is the minimal one: each predicate gets the
+// least stratum consistent with the conditions.
+func Stratify(p *Program) (*Stratification, error) {
+	sch, err := p.Schema()
+	if err != nil {
+		return nil, fmt.Errorf("datalog: stratify: %w", err)
+	}
+	level := make(map[string]int, len(sch))
+	for pred := range sch {
+		level[pred] = 0
+	}
+	// Fixpoint iteration; a correct stratification needs at most |sch|
+	// rounds, so exceeding |sch| levels proves a negative cycle.
+	maxLevel := len(sch)
+	for changed := true; changed; {
+		changed = false
+		for _, r := range p.Rules {
+			for _, h := range r.Head {
+				hl := level[h.Pred]
+				for _, a := range r.BodyPos {
+					if level[a.Pred] > hl {
+						hl = level[a.Pred]
+					}
+				}
+				for _, a := range r.BodyNeg {
+					if level[a.Pred]+1 > hl {
+						hl = level[a.Pred] + 1
+					}
+				}
+				if hl > level[h.Pred] {
+					if hl > maxLevel {
+						return nil, fmt.Errorf("datalog: program is not stratified: predicate %s participates in a cycle through negation", h.Pred)
+					}
+					level[h.Pred] = hl
+					changed = true
+				}
+			}
+		}
+	}
+	max := 0
+	for _, l := range level {
+		if l > max {
+			max = l
+		}
+	}
+	return &Stratification{Level: level, Max: max}, nil
+}
+
+// IsStratified reports whether the program admits a stratification.
+func IsStratified(p *Program) bool {
+	_, err := Stratify(p)
+	return err == nil
+}
+
+// RuleStratum returns the stratum a rule must be evaluated at: the maximum
+// stratum of its head predicates. For single-head rules this is μ(pred(head)).
+func (s *Stratification) RuleStratum(r Rule) int {
+	max := 0
+	for _, h := range r.Head {
+		if l := s.Level[h.Pred]; l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// Strata partitions the rules of Π into Π_0, …, Π_ℓ by the stratum of their
+// head predicates. Multi-head rules whose heads fall into different strata
+// are rejected; normalize with SingleHead first.
+func (s *Stratification) Strata(p *Program) ([][]Rule, error) {
+	out := make([][]Rule, s.Max+1)
+	for _, r := range p.Rules {
+		lv := -1
+		for _, h := range r.Head {
+			l := s.Level[h.Pred]
+			if lv == -1 {
+				lv = l
+			} else if l != lv {
+				return nil, fmt.Errorf("datalog: rule %v has head predicates in different strata; normalize with SingleHead first", r)
+			}
+		}
+		out[lv] = append(out[lv], r)
+	}
+	return out, nil
+}
+
+// Ordered returns the predicates sorted by (stratum, name); useful for
+// deterministic reporting.
+func (s *Stratification) Ordered() []string {
+	preds := make([]string, 0, len(s.Level))
+	for p := range s.Level {
+		preds = append(preds, p)
+	}
+	sort.Slice(preds, func(i, j int) bool {
+		if s.Level[preds[i]] != s.Level[preds[j]] {
+			return s.Level[preds[i]] < s.Level[preds[j]]
+		}
+		return preds[i] < preds[j]
+	})
+	return preds
+}

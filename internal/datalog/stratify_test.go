@@ -1,0 +1,140 @@
+package datalog
+
+import "testing"
+
+func TestStratifyPositiveProgram(t *testing.T) {
+	p := MustParse(`
+		e(?X, ?Y) -> tc(?X, ?Y).
+		e(?X, ?Y), tc(?Y, ?Z) -> tc(?X, ?Z).
+	`)
+	s, err := Stratify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Max != 0 {
+		t.Errorf("positive program should be a single stratum, got max %d", s.Max)
+	}
+}
+
+func TestStratifyNegation(t *testing.T) {
+	p := MustParse(`
+		e(?X, ?Y) -> tc(?X, ?Y).
+		e(?X, ?Y), tc(?Y, ?Z) -> tc(?X, ?Z).
+		v(?X), v(?Y), not tc(?X, ?Y) -> unreachable(?X, ?Y).
+		v(?X), v(?Y), not unreachable(?X, ?Y) -> report(?X, ?Y).
+	`)
+	s, err := Stratify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Level["tc"] != 0 {
+		t.Errorf("tc level = %d, want 0", s.Level["tc"])
+	}
+	if s.Level["unreachable"] != 1 {
+		t.Errorf("unreachable level = %d, want 1", s.Level["unreachable"])
+	}
+	if s.Level["report"] != 2 {
+		t.Errorf("report level = %d, want 2", s.Level["report"])
+	}
+	if s.Max != 2 {
+		t.Errorf("max = %d, want 2", s.Max)
+	}
+}
+
+func TestStratifyRejectsNegativeCycle(t *testing.T) {
+	p := MustParse(`
+		base(?X), not q(?X) -> p(?X).
+		base(?X), not p(?X) -> q(?X).
+	`)
+	if _, err := Stratify(p); err == nil {
+		t.Error("mutual negation must be rejected")
+	}
+	// Positive recursion through a negative edge elsewhere is fine.
+	q := MustParse(`
+		base(?X), not excl(?X) -> p(?X).
+		p(?X), e(?X, ?Y) -> p(?Y).
+	`)
+	if _, err := Stratify(q); err != nil {
+		t.Errorf("stratifiable program rejected: %v", err)
+	}
+	// Self-negation is the smallest negative cycle.
+	r := MustParse(`p(?X), not p(?X) -> p(?X).`)
+	if _, err := Stratify(r); err == nil {
+		t.Error("self-negation must be rejected")
+	}
+}
+
+func TestStratifyCliqueProgram(t *testing.T) {
+	p := MustParse(cliqueProgramSrc)
+	s, err := Stratify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// noclique must be strictly below yes (negated), and not_min strictly
+	// below zero0.
+	if !(s.Level["yes"] > s.Level["noclique"]) {
+		t.Errorf("yes (%d) must be above noclique (%d)", s.Level["yes"], s.Level["noclique"])
+	}
+	if !(s.Level["zero0"] > s.Level["not_min"]) {
+		t.Errorf("zero0 (%d) must be above not_min (%d)", s.Level["zero0"], s.Level["not_min"])
+	}
+}
+
+func TestStrataPartition(t *testing.T) {
+	p := MustParse(`
+		e(?X, ?Y) -> tc(?X, ?Y).
+		v(?X), v(?Y), not tc(?X, ?Y) -> un(?X, ?Y).
+	`)
+	s, err := Stratify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strata, err := s.Strata(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strata) != 2 || len(strata[0]) != 1 || len(strata[1]) != 1 {
+		t.Errorf("strata shape wrong: %v", strata)
+	}
+	if s.RuleStratum(p.Rules[1]) != 1 {
+		t.Errorf("RuleStratum(un rule) = %d", s.RuleStratum(p.Rules[1]))
+	}
+}
+
+func TestStrataRejectsMixedHeads(t *testing.T) {
+	p := MustParse(`
+		base(?X), not neg(?X) -> hi(?X).
+		base(?X) -> neg(?X).
+	`)
+	// Force a multi-head rule with heads in different strata.
+	p.Add(Rule{
+		BodyPos: []Atom{NewAtom("base", V("X"))},
+		Head:    []Atom{NewAtom("hi", V("X")), NewAtom("lo", V("X"))},
+	})
+	s, err := Stratify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Strata(p); err == nil {
+		t.Error("multi-head rule across strata should be rejected by Strata")
+	}
+}
+
+func TestStratificationOrdered(t *testing.T) {
+	p := MustParse(`
+		b(?X), not a(?X) -> c(?X).
+		b(?X) -> a(?X).
+	`)
+	s, err := Stratify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ord := s.Ordered()
+	if len(ord) != 3 {
+		t.Fatalf("Ordered = %v", ord)
+	}
+	// c is in the top stratum, so it must come last.
+	if ord[len(ord)-1] != "c" {
+		t.Errorf("Ordered = %v, want c last", ord)
+	}
+}

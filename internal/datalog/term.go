@@ -1,0 +1,303 @@
+// Package datalog implements the rule language Datalog^{∃,¬s,⊥} of Section 3.2
+// of "Expressive Languages for Querying the Semantic Web" (Arenas, Gottlob,
+// Pieris; TODS 2018): terms, atoms, rules with existential quantification in
+// rule heads, stratified negation, and ⊥ constraints, together with the
+// syntactic machinery the paper builds on top of it — stratification,
+// affected positions, the harmless/harmful/dangerous variable classification
+// (Section 4.1), the guardedness lattice (guarded, weakly-guarded,
+// frontier-guarded, weakly-frontier-guarded, nearly-frontier-guarded, warded,
+// warded with minimal interaction), and the rule normalizations of
+// Section 6.3.
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TermKind discriminates constants (U), labeled nulls (B), and variables (V).
+type TermKind uint8
+
+const (
+	// Const is a constant from U (a URI in the RDF reading).
+	Const TermKind = iota
+	// Null is a labeled null from B (a blank node in the RDF reading).
+	Null
+	// Var is a variable from V; variable names conventionally start with '?'.
+	Var
+)
+
+func (k TermKind) String() string {
+	switch k {
+	case Const:
+		return "Const"
+	case Null:
+		return "Null"
+	case Var:
+		return "Var"
+	default:
+		return fmt.Sprintf("TermKind(%d)", uint8(k))
+	}
+}
+
+// Term is a constant, labeled null, or variable. Terms are value types and
+// compare with ==.
+type Term struct {
+	Kind TermKind
+	Name string
+}
+
+// C returns a constant term.
+func C(name string) Term { return Term{Kind: Const, Name: name} }
+
+// N returns a labeled-null term.
+func N(name string) Term { return Term{Kind: Null, Name: name} }
+
+// V returns a variable term; the conventional "?" prefix is added if absent
+// so that V("X") and V("?X") denote the same variable.
+func V(name string) Term {
+	if !strings.HasPrefix(name, "?") {
+		name = "?" + name
+	}
+	return Term{Kind: Var, Name: name}
+}
+
+// IsConst reports whether the term is a constant.
+func (t Term) IsConst() bool { return t.Kind == Const }
+
+// IsNull reports whether the term is a labeled null.
+func (t Term) IsNull() bool { return t.Kind == Null }
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.Kind == Var }
+
+// String renders the term: variables as ?X, nulls as _:n, constants bare or
+// quoted when they contain characters outside the bare-name alphabet.
+func (t Term) String() string {
+	switch t.Kind {
+	case Var:
+		return t.Name
+	case Null:
+		return "_:" + t.Name
+	default:
+		if needsQuoting(t.Name) {
+			return `"` + strings.ReplaceAll(t.Name, `"`, `\"`) + `"`
+		}
+		return t.Name
+	}
+}
+
+// Compare orders terms by (kind, name).
+func (t Term) Compare(u Term) int {
+	if t.Kind != u.Kind {
+		if t.Kind < u.Kind {
+			return -1
+		}
+		return 1
+	}
+	return strings.Compare(t.Name, u.Name)
+}
+
+func needsQuoting(s string) bool {
+	if s == "" {
+		return true
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9':
+		case c == '_', c == ':', c == '-', c == '.', c == '\'', c == '/',
+			c == '#', c == '*':
+		default:
+			// Allow multi-byte runes (e.g. ∃, ⋆) unquoted.
+			if c < 0x80 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Atom is a predicate applied to terms: p(t1, …, tn).
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+// NewAtom builds an atom.
+func NewAtom(pred string, args ...Term) Atom { return Atom{Pred: pred, Args: args} }
+
+// Arity returns the number of arguments.
+func (a Atom) Arity() int { return len(a.Args) }
+
+// Vars returns the set of variables occurring in the atom, in first-occurrence
+// order.
+func (a Atom) Vars() []Term {
+	var out []Term
+	seen := make(map[Term]struct{})
+	for _, t := range a.Args {
+		if t.IsVar() {
+			if _, ok := seen[t]; !ok {
+				seen[t] = struct{}{}
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// HasVar reports whether the variable v occurs in the atom.
+func (a Atom) HasVar(v Term) bool {
+	for _, t := range a.Args {
+		if t == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Terms returns dom(a): the set of all terms of the atom, in first-occurrence
+// order.
+func (a Atom) Terms() []Term {
+	var out []Term
+	seen := make(map[Term]struct{})
+	for _, t := range a.Args {
+		if _, ok := seen[t]; !ok {
+			seen[t] = struct{}{}
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// IsGround reports whether the atom contains no variables (nulls allowed).
+func (a Atom) IsGround() bool {
+	for _, t := range a.Args {
+		if t.IsVar() {
+			return false
+		}
+	}
+	return true
+}
+
+// IsConstantGround reports whether every argument is a constant (no nulls,
+// no variables); this is the dom(a) ⊂ U condition of Π(D)↓.
+func (a Atom) IsConstantGround() bool {
+	for _, t := range a.Args {
+		if !t.IsConst() {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two atoms are identical.
+func (a Atom) Equal(b Atom) bool {
+	if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if a.Args[i] != b.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string encoding usable as a map key.
+func (a Atom) Key() string {
+	var b strings.Builder
+	b.WriteString(a.Pred)
+	b.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteByte(byte('0' + t.Kind))
+		b.WriteString(t.Name)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// String renders the atom in the surface syntax.
+func (a Atom) String() string {
+	var b strings.Builder
+	b.WriteString(a.Pred)
+	b.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Compare orders atoms by predicate, arity, then argument terms.
+func (a Atom) Compare(b Atom) int {
+	if c := strings.Compare(a.Pred, b.Pred); c != 0 {
+		return c
+	}
+	if len(a.Args) != len(b.Args) {
+		if len(a.Args) < len(b.Args) {
+			return -1
+		}
+		return 1
+	}
+	for i := range a.Args {
+		if c := a.Args[i].Compare(b.Args[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// Substitute applies the substitution to the atom's arguments, leaving
+// unmapped terms unchanged.
+func (a Atom) Substitute(sub map[Term]Term) Atom {
+	out := Atom{Pred: a.Pred, Args: make([]Term, len(a.Args))}
+	for i, t := range a.Args {
+		if u, ok := sub[t]; ok {
+			out.Args[i] = u
+		} else {
+			out.Args[i] = t
+		}
+	}
+	return out
+}
+
+// VarsOf returns the set of variables occurring in a list of atoms, in
+// first-occurrence order (the paper's var(X) for sets of atoms).
+func VarsOf(atoms []Atom) []Term {
+	var out []Term
+	seen := make(map[Term]struct{})
+	for _, a := range atoms {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				if _, ok := seen[t]; !ok {
+					seen[t] = struct{}{}
+					out = append(out, t)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SortAtoms sorts atoms in place into the canonical order.
+func SortAtoms(atoms []Atom) {
+	sort.Slice(atoms, func(i, j int) bool { return atoms[i].Compare(atoms[j]) < 0 })
+}
+
+// Position identifies the i-th attribute p[i] of a predicate p. Positions are
+// 1-based as in the paper.
+type Position struct {
+	Pred string
+	Idx  int
+}
+
+// String renders the position as p[i].
+func (p Position) String() string { return fmt.Sprintf("%s[%d]", p.Pred, p.Idx) }

@@ -1,0 +1,176 @@
+package datalog
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTermConstructors(t *testing.T) {
+	if C("a").Kind != Const || N("z").Kind != Null || V("X").Kind != Var {
+		t.Fatal("constructor kinds wrong")
+	}
+	if V("X") != V("?X") {
+		t.Error("V should normalize the ? prefix")
+	}
+	if !C("a").IsConst() || !N("z").IsNull() || !V("X").IsVar() {
+		t.Error("kind predicates wrong")
+	}
+}
+
+func TestTermString(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{V("X"), "?X"},
+		{N("z1"), "_:z1"},
+		{C("rdf:type"), "rdf:type"},
+		{C("∃eats"), "∃eats"},
+		{C("has space"), `"has space"`},
+		{C(`has"quote`), `"has\"quote"`},
+		{C(""), `""`},
+		{C("⋆"), "⋆"},
+	}
+	for _, tc := range cases {
+		if got := tc.term.String(); got != tc.want {
+			t.Errorf("String(%v) = %q, want %q", tc.term, got, tc.want)
+		}
+	}
+}
+
+func TestTermKindString(t *testing.T) {
+	if Const.String() != "Const" || Null.String() != "Null" || Var.String() != "Var" {
+		t.Error("TermKind.String wrong")
+	}
+	if TermKind(9).String() == "" {
+		t.Error("unknown TermKind should render")
+	}
+}
+
+func TestAtomBasics(t *testing.T) {
+	a := NewAtom("triple", V("X"), C("rdf:type"), V("X"))
+	if a.Arity() != 3 {
+		t.Errorf("Arity = %d", a.Arity())
+	}
+	if vs := a.Vars(); len(vs) != 1 || vs[0] != V("X") {
+		t.Errorf("Vars = %v", vs)
+	}
+	if !a.HasVar(V("X")) || a.HasVar(V("Y")) {
+		t.Error("HasVar wrong")
+	}
+	if got := a.String(); got != "triple(?X, rdf:type, ?X)" {
+		t.Errorf("String = %q", got)
+	}
+	if a.IsGround() {
+		t.Error("atom with variables is not ground")
+	}
+	g := NewAtom("p", C("a"), N("z"))
+	if !g.IsGround() {
+		t.Error("constant/null atom is ground")
+	}
+	if g.IsConstantGround() {
+		t.Error("atom with null is not constant-ground")
+	}
+	if !NewAtom("p", C("a")).IsConstantGround() {
+		t.Error("constant atom is constant-ground")
+	}
+}
+
+func TestAtomTerms(t *testing.T) {
+	a := NewAtom("p", V("X"), C("c"), V("X"), N("z"))
+	if got := a.Terms(); len(got) != 3 {
+		t.Errorf("Terms = %v, want 3 distinct", got)
+	}
+}
+
+func TestAtomEqualAndKey(t *testing.T) {
+	a := NewAtom("p", C("a"), V("X"))
+	b := NewAtom("p", C("a"), V("X"))
+	c := NewAtom("p", C("a"), N("X"))
+	if !a.Equal(b) {
+		t.Error("identical atoms should be equal")
+	}
+	if a.Equal(c) {
+		t.Error("var vs null should differ")
+	}
+	if a.Key() == c.Key() {
+		t.Error("keys must distinguish term kinds")
+	}
+	if a.Key() != b.Key() {
+		t.Error("equal atoms must share keys")
+	}
+	if a.Equal(NewAtom("p", C("a"))) || a.Equal(NewAtom("q", C("a"), V("X"))) {
+		t.Error("arity/pred mismatch should differ")
+	}
+}
+
+func TestAtomSubstitute(t *testing.T) {
+	a := NewAtom("p", V("X"), V("Y"), C("c"))
+	sub := map[Term]Term{V("X"): C("a"), V("Y"): N("z")}
+	got := a.Substitute(sub)
+	want := NewAtom("p", C("a"), N("z"), C("c"))
+	if !got.Equal(want) {
+		t.Errorf("Substitute = %v, want %v", got, want)
+	}
+	// Original must be unchanged.
+	if !a.Equal(NewAtom("p", V("X"), V("Y"), C("c"))) {
+		t.Error("Substitute mutated the receiver")
+	}
+}
+
+func TestVarsOfOrder(t *testing.T) {
+	atoms := []Atom{
+		NewAtom("p", V("B"), V("A")),
+		NewAtom("q", V("A"), V("C")),
+	}
+	got := VarsOf(atoms)
+	want := []Term{V("B"), V("A"), V("C")}
+	if len(got) != len(want) {
+		t.Fatalf("VarsOf = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("VarsOf[%d] = %v, want %v (first-occurrence order)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAtomCompare(t *testing.T) {
+	if NewAtom("p", C("a")).Compare(NewAtom("q", C("a"))) >= 0 {
+		t.Error("pred order wrong")
+	}
+	if NewAtom("p", C("a")).Compare(NewAtom("p", C("a"), C("b"))) >= 0 {
+		t.Error("arity order wrong")
+	}
+	if NewAtom("p", C("a")).Compare(NewAtom("p", C("b"))) >= 0 {
+		t.Error("arg order wrong")
+	}
+	if NewAtom("p", C("a")).Compare(NewAtom("p", C("a"))) != 0 {
+		t.Error("equal atoms should compare 0")
+	}
+}
+
+func TestTermCompareQuick(t *testing.T) {
+	mk := func(k uint8, n string) Term { return Term{Kind: TermKind(k % 3), Name: n} }
+	antisym := func(k1 uint8, n1 string, k2 uint8, n2 string) bool {
+		a, b := mk(k1, n1), mk(k2, n2)
+		return a.Compare(b) == -b.Compare(a)
+	}
+	if err := quick.Check(antisym, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortAtoms(t *testing.T) {
+	atoms := []Atom{NewAtom("q", C("a")), NewAtom("p", C("b")), NewAtom("p", C("a"))}
+	SortAtoms(atoms)
+	if atoms[0].Pred != "p" || atoms[0].Args[0] != C("a") || atoms[2].Pred != "q" {
+		t.Errorf("SortAtoms = %v", atoms)
+	}
+}
+
+func TestPositionString(t *testing.T) {
+	if got := (Position{"t", 3}).String(); got != "t[3]" {
+		t.Errorf("Position.String = %q", got)
+	}
+}

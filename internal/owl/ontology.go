@@ -1,0 +1,287 @@
+// Package owl implements the OWL 2 QL core ontology language of Section 5.2
+// of the paper — the fragment corresponding to the description logic
+// DL-LiteR: basic properties (p, p⁻), basic classes (a, ∃r), the six axiom
+// forms of Table 1, the ontology ⇄ RDF graph mapping (including the
+// vocabulary triples of Section 5.2), a direct DL-LiteR saturation reasoner
+// used as an independent entailment oracle, and the paper's fixed
+// Datalog^{∃,⊥} program τ_owl2ql_core that encodes the OWL 2 QL core direct
+// semantics entailment regime.
+package owl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Property is a basic property over the vocabulary: a property name p or its
+// inverse p⁻.
+type Property struct {
+	Name    string
+	Inverse bool
+}
+
+// Prop returns the basic property p.
+func Prop(name string) Property { return Property{Name: name} }
+
+// Inv returns the basic property p⁻.
+func Inv(name string) Property { return Property{Name: name, Inverse: true} }
+
+// Inverted returns the inverse of the property.
+func (p Property) Inverted() Property { return Property{Name: p.Name, Inverse: !p.Inverse} }
+
+// URI renders the basic property as a URI: p or p⁻ (the paper treats both as
+// plain URIs, pairwise distinct).
+func (p Property) URI() string {
+	if p.Inverse {
+		return p.Name + "⁻"
+	}
+	return p.Name
+}
+
+// String renders the property.
+func (p Property) String() string { return p.URI() }
+
+// Class is a basic class over the vocabulary: an atomic class a, or an
+// existential restriction ∃r over a basic property r.
+type Class struct {
+	// Atomic holds the class name when the class is atomic.
+	Atomic string
+	// Exists is set for ∃r classes.
+	Exists *Property
+}
+
+// Atom returns the atomic class a.
+func Atom(name string) Class { return Class{Atomic: name} }
+
+// Some returns the basic class ∃r.
+func Some(r Property) Class { return Class{Exists: &r} }
+
+// IsRestriction reports whether the class is of the form ∃r.
+func (c Class) IsRestriction() bool { return c.Exists != nil }
+
+// URI renders the basic class as a URI: a, ∃p, or ∃p⁻.
+func (c Class) URI() string {
+	if c.Exists != nil {
+		return "∃" + c.Exists.URI()
+	}
+	return c.Atomic
+}
+
+// String renders the class.
+func (c Class) String() string { return c.URI() }
+
+// AxiomKind enumerates the six OWL 2 QL core axiom forms of Table 1.
+type AxiomKind int
+
+const (
+	// SubClassOfKind is SubClassOf(b1, b2).
+	SubClassOfKind AxiomKind = iota
+	// SubPropertyOfKind is SubObjectPropertyOf(r1, r2).
+	SubPropertyOfKind
+	// DisjointClassesKind is DisjointClasses(b1, b2).
+	DisjointClassesKind
+	// DisjointPropertiesKind is DisjointObjectProperties(r1, r2).
+	DisjointPropertiesKind
+	// ClassAssertionKind is ClassAssertion(b, a).
+	ClassAssertionKind
+	// PropertyAssertionKind is ObjectPropertyAssertion(p, a1, a2).
+	PropertyAssertionKind
+)
+
+// Axiom is one OWL 2 QL core axiom. Only the fields relevant to its kind are
+// set.
+type Axiom struct {
+	Kind AxiomKind
+	// C1, C2 are the classes of SubClassOf / DisjointClasses, and C1 is the
+	// class of ClassAssertion.
+	C1, C2 Class
+	// P1, P2 are the properties of SubObjectPropertyOf /
+	// DisjointObjectProperties; P1.Name is the property of
+	// ObjectPropertyAssertion (assertions use property names, per Table 1).
+	P1, P2 Property
+	// A1, A2 are the individuals of assertions.
+	A1, A2 string
+}
+
+// SubClassOf builds SubClassOf(b1, b2).
+func SubClassOf(b1, b2 Class) Axiom { return Axiom{Kind: SubClassOfKind, C1: b1, C2: b2} }
+
+// SubPropertyOf builds SubObjectPropertyOf(r1, r2).
+func SubPropertyOf(r1, r2 Property) Axiom {
+	return Axiom{Kind: SubPropertyOfKind, P1: r1, P2: r2}
+}
+
+// DisjointClasses builds DisjointClasses(b1, b2).
+func DisjointClasses(b1, b2 Class) Axiom {
+	return Axiom{Kind: DisjointClassesKind, C1: b1, C2: b2}
+}
+
+// DisjointProperties builds DisjointObjectProperties(r1, r2).
+func DisjointProperties(r1, r2 Property) Axiom {
+	return Axiom{Kind: DisjointPropertiesKind, P1: r1, P2: r2}
+}
+
+// ClassAssertion builds ClassAssertion(b, a).
+func ClassAssertion(b Class, a string) Axiom {
+	return Axiom{Kind: ClassAssertionKind, C1: b, A1: a}
+}
+
+// PropertyAssertion builds ObjectPropertyAssertion(p, a1, a2).
+func PropertyAssertion(p string, a1, a2 string) Axiom {
+	return Axiom{Kind: PropertyAssertionKind, P1: Prop(p), A1: a1, A2: a2}
+}
+
+// String renders the axiom in the functional-style syntax of Section 5.2.
+func (ax Axiom) String() string {
+	switch ax.Kind {
+	case SubClassOfKind:
+		return fmt.Sprintf("SubClassOf(%s, %s)", ax.C1, ax.C2)
+	case SubPropertyOfKind:
+		return fmt.Sprintf("SubObjectPropertyOf(%s, %s)", ax.P1, ax.P2)
+	case DisjointClassesKind:
+		return fmt.Sprintf("DisjointClasses(%s, %s)", ax.C1, ax.C2)
+	case DisjointPropertiesKind:
+		return fmt.Sprintf("DisjointObjectProperties(%s, %s)", ax.P1, ax.P2)
+	case ClassAssertionKind:
+		return fmt.Sprintf("ClassAssertion(%s, %s)", ax.C1, ax.A1)
+	case PropertyAssertionKind:
+		return fmt.Sprintf("ObjectPropertyAssertion(%s, %s, %s)", ax.P1.Name, ax.A1, ax.A2)
+	default:
+		return fmt.Sprintf("Axiom(kind=%d)", int(ax.Kind))
+	}
+}
+
+// Ontology is an OWL 2 QL core ontology: a vocabulary Σ of classes and
+// properties plus a set of axioms over Σ.
+type Ontology struct {
+	Classes    []string
+	Properties []string
+	Axioms     []Axiom
+}
+
+// NewOntology builds an empty ontology.
+func NewOntology() *Ontology { return &Ontology{} }
+
+// AddClass declares atomic classes.
+func (o *Ontology) AddClass(names ...string) *Ontology {
+	for _, n := range names {
+		if !contains(o.Classes, n) {
+			o.Classes = append(o.Classes, n)
+		}
+	}
+	return o
+}
+
+// AddProperty declares properties.
+func (o *Ontology) AddProperty(names ...string) *Ontology {
+	for _, n := range names {
+		if !contains(o.Properties, n) {
+			o.Properties = append(o.Properties, n)
+		}
+	}
+	return o
+}
+
+// Add appends axioms, implicitly declaring any mentioned classes and
+// properties.
+func (o *Ontology) Add(axioms ...Axiom) *Ontology {
+	for _, ax := range axioms {
+		o.declareAxiom(ax)
+		o.Axioms = append(o.Axioms, ax)
+	}
+	return o
+}
+
+func (o *Ontology) declareAxiom(ax Axiom) {
+	declClass := func(c Class) {
+		if c.IsRestriction() {
+			o.AddProperty(c.Exists.Name)
+		} else if c.Atomic != "" {
+			o.AddClass(c.Atomic)
+		}
+	}
+	switch ax.Kind {
+	case SubClassOfKind, DisjointClassesKind:
+		declClass(ax.C1)
+		declClass(ax.C2)
+	case SubPropertyOfKind, DisjointPropertiesKind:
+		o.AddProperty(ax.P1.Name, ax.P2.Name)
+	case ClassAssertionKind:
+		declClass(ax.C1)
+	case PropertyAssertionKind:
+		o.AddProperty(ax.P1.Name)
+	}
+}
+
+// IsPositive reports whether the ontology contains no disjointness axioms
+// (the "positive" ontologies of Definition 6.3).
+func (o *Ontology) IsPositive() bool {
+	for _, ax := range o.Axioms {
+		if ax.Kind == DisjointClassesKind || ax.Kind == DisjointPropertiesKind {
+			return false
+		}
+	}
+	return true
+}
+
+// Individuals returns the sorted individuals mentioned in assertions.
+func (o *Ontology) Individuals() []string {
+	seen := make(map[string]bool)
+	for _, ax := range o.Axioms {
+		switch ax.Kind {
+		case ClassAssertionKind:
+			seen[ax.A1] = true
+		case PropertyAssertionKind:
+			seen[ax.A1] = true
+			seen[ax.A2] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BasicClasses returns every basic class over the vocabulary: the atomic
+// classes plus ∃p and ∃p⁻ for every property.
+func (o *Ontology) BasicClasses() []Class {
+	var out []Class
+	for _, c := range o.Classes {
+		out = append(out, Atom(c))
+	}
+	for _, p := range o.Properties {
+		out = append(out, Some(Prop(p)), Some(Inv(p)))
+	}
+	return out
+}
+
+// BasicProperties returns every basic property: p and p⁻ per property.
+func (o *Ontology) BasicProperties() []Property {
+	var out []Property
+	for _, p := range o.Properties {
+		out = append(out, Prop(p), Inv(p))
+	}
+	return out
+}
+
+// String renders the ontology in functional-style syntax, sorted.
+func (o *Ontology) String() string {
+	lines := make([]string, 0, len(o.Axioms))
+	for _, ax := range o.Axioms {
+		lines = append(lines, ax.String())
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+func contains(xs []string, x string) bool {
+	for _, y := range xs {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}

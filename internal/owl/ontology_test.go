@@ -1,0 +1,209 @@
+package owl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func TestPropertyAndClassURIs(t *testing.T) {
+	p := Prop("eats")
+	if p.URI() != "eats" || p.Inverted().URI() != "eats⁻" {
+		t.Errorf("property URIs: %s / %s", p.URI(), p.Inverted().URI())
+	}
+	if p.Inverted().Inverted() != p {
+		t.Error("double inversion should be identity")
+	}
+	if Atom("animal").URI() != "animal" {
+		t.Error("atomic class URI wrong")
+	}
+	if Some(Prop("eats")).URI() != "∃eats" || Some(Inv("eats")).URI() != "∃eats⁻" {
+		t.Errorf("restriction URIs wrong: %s %s", Some(Prop("eats")).URI(), Some(Inv("eats")).URI())
+	}
+	if !Some(Prop("p")).IsRestriction() || Atom("a").IsRestriction() {
+		t.Error("IsRestriction wrong")
+	}
+}
+
+// TestTable1AxiomTriples is experiment T1: the exact RDF triples of Table 1.
+func TestTable1AxiomTriples(t *testing.T) {
+	cases := []struct {
+		ax   Axiom
+		want rdf.Triple
+	}{
+		{SubClassOf(Atom("b1"), Atom("b2")), rdf.T("b1", "rdfs:subClassOf", "b2")},
+		{SubClassOf(Some(Prop("p")), Some(Inv("q"))), rdf.T("∃p", "rdfs:subClassOf", "∃q⁻")},
+		{SubPropertyOf(Prop("r1"), Prop("r2")), rdf.T("r1", "rdfs:subPropertyOf", "r2")},
+		{SubPropertyOf(Inv("r1"), Prop("r2")), rdf.T("r1⁻", "rdfs:subPropertyOf", "r2")},
+		{DisjointClasses(Atom("b1"), Atom("b2")), rdf.T("b1", "owl:disjointWith", "b2")},
+		{DisjointProperties(Prop("r1"), Prop("r2")), rdf.T("r1", "owl:propertyDisjointWith", "r2")},
+		{ClassAssertion(Atom("b"), "a"), rdf.T("a", "rdf:type", "b")},
+		{PropertyAssertion("p", "a1", "a2"), rdf.T("a1", "p", "a2")},
+	}
+	for _, tc := range cases {
+		if got := tc.ax.Triple(); got != tc.want {
+			t.Errorf("%v → %v, want %v", tc.ax, got, tc.want)
+		}
+	}
+}
+
+func TestOntologyImplicitDeclarations(t *testing.T) {
+	o := NewOntology().Add(
+		SubClassOf(Atom("animal"), Some(Prop("eats"))),
+		PropertyAssertion("name", "dbAho", "aho"),
+	)
+	if !contains(o.Classes, "animal") {
+		t.Error("animal not declared")
+	}
+	if !contains(o.Properties, "eats") || !contains(o.Properties, "name") {
+		t.Errorf("properties = %v", o.Properties)
+	}
+	inds := o.Individuals()
+	if len(inds) != 2 || inds[0] != "aho" || inds[1] != "dbAho" {
+		t.Errorf("Individuals = %v", inds)
+	}
+}
+
+func TestBasicClassesAndProperties(t *testing.T) {
+	o := NewOntology().AddClass("a").AddProperty("p")
+	bc := o.BasicClasses()
+	if len(bc) != 3 { // a, ∃p, ∃p⁻
+		t.Errorf("BasicClasses = %v", bc)
+	}
+	bp := o.BasicProperties()
+	if len(bp) != 2 { // p, p⁻
+		t.Errorf("BasicProperties = %v", bp)
+	}
+}
+
+func TestVocabularyTriples(t *testing.T) {
+	// Section 5.2: every property contributes the ten vocabulary triples.
+	o := NewOntology().AddProperty("p")
+	g := o.ToGraph()
+	want := []rdf.Triple{
+		rdf.T("p", "rdf:type", "owl:ObjectProperty"),
+		rdf.T("p⁻", "rdf:type", "owl:ObjectProperty"),
+		rdf.T("p", "owl:inverseOf", "p⁻"),
+		rdf.T("p⁻", "owl:inverseOf", "p"),
+		rdf.T("∃p", "rdf:type", "owl:Restriction"),
+		rdf.T("∃p⁻", "rdf:type", "owl:Restriction"),
+		rdf.T("∃p", "owl:onProperty", "p"),
+		rdf.T("∃p⁻", "owl:onProperty", "p⁻"),
+		rdf.T("∃p", "owl:someValuesFrom", "owl:Thing"),
+		rdf.T("∃p⁻", "owl:someValuesFrom", "owl:Thing"),
+		rdf.T("∃p", "rdf:type", "owl:Class"),
+		rdf.T("∃p⁻", "rdf:type", "owl:Class"),
+	}
+	for _, tr := range want {
+		if !g.Has(tr) {
+			t.Errorf("vocabulary triple missing: %v", tr)
+		}
+	}
+	if g.Len() != len(want) {
+		t.Errorf("graph has %d triples, want %d:\n%s", g.Len(), len(want), g)
+	}
+	// A class contributes its typing triple.
+	o2 := NewOntology().AddClass("animal")
+	if !o2.ToGraph().Has(rdf.T("animal", "rdf:type", "owl:Class")) {
+		t.Error("class typing triple missing")
+	}
+}
+
+func TestOntologyGraphRoundTrip(t *testing.T) {
+	o := NewOntology().Add(
+		SubClassOf(Atom("dog"), Atom("animal")),
+		SubClassOf(Atom("animal"), Some(Prop("eats"))),
+		SubClassOf(Some(Inv("eats")), Atom("plant_material")),
+		SubPropertyOf(Prop("is_coauthor_of"), Prop("knows")),
+		DisjointClasses(Atom("animal"), Atom("plant_material")),
+		DisjointProperties(Prop("eats"), Prop("knows")),
+		ClassAssertion(Atom("dog"), "rex"),
+		PropertyAssertion("eats", "rex", "grass"),
+	)
+	g := o.ToGraph()
+	back, err := FromGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.String() != back.String() {
+		t.Errorf("round trip changed axioms:\n%s\nvs\n%s", o, back)
+	}
+	if !back.ToGraph().Equal(g) {
+		t.Error("re-serialized graph differs")
+	}
+}
+
+func TestFromGraphPaperG3Style(t *testing.T) {
+	// The restriction encoding of graph G3 (Section 2), with arbitrary
+	// restriction node names r1/r2.
+	g := rdf.NewGraph(
+		rdf.T("r1", "rdf:type", "owl:Restriction"),
+		rdf.T("r2", "rdf:type", "owl:Restriction"),
+		rdf.T("r1", "owl:onProperty", "is_coauthor_of"),
+		rdf.T("r2", "owl:onProperty", "is_author_of"),
+		rdf.T("r1", "owl:someValuesFrom", "owl:Thing"),
+		rdf.T("r2", "owl:someValuesFrom", "owl:Thing"),
+		rdf.T("r1", "rdfs:subClassOf", "r2"),
+		rdf.T("dbAho", "is_coauthor_of", "dbUllman"),
+	)
+	o, err := FromGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReasoner(o)
+	// dbAho is a coauthor, hence an author of something.
+	if !r.Member("dbAho", Some(Prop("is_author_of"))) {
+		t.Error("dbAho should be entailed to belong to ∃is_author_of")
+	}
+}
+
+func TestFromGraphErrors(t *testing.T) {
+	lit := rdf.NewGraph(rdf.Triple{
+		S: rdf.NewIRI("a"), P: rdf.NewIRI("p"), O: rdf.NewLiteral("v"),
+	})
+	if _, err := FromGraph(lit); err == nil {
+		t.Error("literal triple should be rejected")
+	}
+	orphan := rdf.NewGraph(
+		rdf.T("r1", "rdf:type", "owl:Restriction"),
+		rdf.T("r1", "rdfs:subClassOf", "b"),
+	)
+	if _, err := FromGraph(orphan); err == nil {
+		t.Error("restriction without owl:onProperty should be rejected")
+	}
+	stray := rdf.NewGraph(rdf.T("x", "owl:onProperty", "p"))
+	if _, err := FromGraph(stray); err == nil {
+		t.Error("owl:onProperty on a non-restriction should be rejected")
+	}
+}
+
+func TestAxiomStrings(t *testing.T) {
+	axs := []Axiom{
+		SubClassOf(Atom("a"), Atom("b")),
+		SubPropertyOf(Prop("p"), Inv("q")),
+		DisjointClasses(Atom("a"), Some(Prop("p"))),
+		DisjointProperties(Prop("p"), Prop("q")),
+		ClassAssertion(Atom("a"), "x"),
+		PropertyAssertion("p", "x", "y"),
+	}
+	for _, ax := range axs {
+		if ax.String() == "" {
+			t.Errorf("empty String for %+v", ax)
+		}
+	}
+	if !strings.Contains(axs[1].String(), "q⁻") {
+		t.Errorf("inverse not rendered: %s", axs[1])
+	}
+}
+
+func TestIsPositive(t *testing.T) {
+	pos := NewOntology().Add(SubClassOf(Atom("a"), Atom("b")))
+	if !pos.IsPositive() {
+		t.Error("should be positive")
+	}
+	neg := NewOntology().Add(DisjointClasses(Atom("a"), Atom("b")))
+	if neg.IsPositive() {
+		t.Error("should not be positive")
+	}
+}

@@ -1,0 +1,202 @@
+package owl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// ParseOntology reads an ontology in the functional-style syntax of
+// Section 5.2:
+//
+//	% herbivores
+//	SubClassOf(dog, animal)
+//	SubClassOf(animal, ∃eats)
+//	SubClassOf(∃eats⁻, plant_material)
+//	SubObjectPropertyOf(feeds_on, eats)
+//	DisjointClasses(animal, plant_material)
+//	DisjointObjectProperties(eats, knows)
+//	ClassAssertion(dog, rex)
+//	ObjectPropertyAssertion(eats, rex, grass)
+//
+// Basic classes are atomic names or ∃r restrictions; basic properties are p
+// or p⁻ (inverse). Comments start with % or #. Statement order is free.
+func ParseOntology(src string) (*Ontology, error) {
+	o := NewOntology()
+	p := &owlParser{in: src, line: 1}
+	for {
+		p.skip()
+		if p.eof() {
+			return o, nil
+		}
+		kw := p.word()
+		if kw == "" {
+			return nil, p.errf("expected axiom keyword at %q", p.rest())
+		}
+		args, err := p.args()
+		if err != nil {
+			return nil, err
+		}
+		ax, err := buildAxiom(kw, args)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		o.Add(ax)
+	}
+}
+
+// MustParseOntology is ParseOntology, panicking on error.
+func MustParseOntology(src string) *Ontology {
+	o, err := ParseOntology(src)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+func buildAxiom(kw string, args []string) (Axiom, error) {
+	class := func(s string) Class {
+		if strings.HasPrefix(s, "∃") {
+			return Some(parseProperty(strings.TrimPrefix(s, "∃")))
+		}
+		return Atom(s)
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s expects %d arguments, got %d", kw, n, len(args))
+		}
+		return nil
+	}
+	switch kw {
+	case "SubClassOf":
+		if err := need(2); err != nil {
+			return Axiom{}, err
+		}
+		return SubClassOf(class(args[0]), class(args[1])), nil
+	case "SubObjectPropertyOf", "SubPropertyOf":
+		if err := need(2); err != nil {
+			return Axiom{}, err
+		}
+		return SubPropertyOf(parseProperty(args[0]), parseProperty(args[1])), nil
+	case "DisjointClasses":
+		if err := need(2); err != nil {
+			return Axiom{}, err
+		}
+		return DisjointClasses(class(args[0]), class(args[1])), nil
+	case "DisjointObjectProperties", "DisjointProperties":
+		if err := need(2); err != nil {
+			return Axiom{}, err
+		}
+		return DisjointProperties(parseProperty(args[0]), parseProperty(args[1])), nil
+	case "ClassAssertion":
+		if err := need(2); err != nil {
+			return Axiom{}, err
+		}
+		if strings.HasPrefix(args[0], "∃") {
+			// Assertions over restrictions are legal basic classes.
+			return ClassAssertion(class(args[0]), args[1]), nil
+		}
+		return ClassAssertion(Atom(args[0]), args[1]), nil
+	case "ObjectPropertyAssertion", "PropertyAssertion":
+		if err := need(3); err != nil {
+			return Axiom{}, err
+		}
+		p := parseProperty(args[0])
+		if p.Inverse {
+			return PropertyAssertion(p.Name, args[2], args[1]), nil
+		}
+		return PropertyAssertion(p.Name, args[1], args[2]), nil
+	default:
+		return Axiom{}, fmt.Errorf("unknown axiom keyword %q", kw)
+	}
+}
+
+type owlParser struct {
+	in   string
+	pos  int
+	line int
+}
+
+func (p *owlParser) eof() bool { return p.pos >= len(p.in) }
+
+func (p *owlParser) rest() string {
+	r := p.in[p.pos:]
+	if len(r) > 25 {
+		r = r[:25] + "…"
+	}
+	return r
+}
+
+func (p *owlParser) errf(format string, args ...any) error {
+	return fmt.Errorf("owl: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *owlParser) skip() {
+	for !p.eof() {
+		c := p.in[p.pos]
+		switch {
+		case c == '\n':
+			p.line++
+			p.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			p.pos++
+		case c == '%' || c == '#':
+			for !p.eof() && p.in[p.pos] != '\n' {
+				p.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *owlParser) word() string {
+	start := p.pos
+	for !p.eof() {
+		r, sz := utf8.DecodeRuneInString(p.in[p.pos:])
+		if !isOntoNameRune(r) {
+			break
+		}
+		p.pos += sz
+	}
+	return p.in[start:p.pos]
+}
+
+func isOntoNameRune(r rune) bool {
+	switch r {
+	case '_', ':', '-', '.', '/', '∃', '⁻':
+		return true
+	}
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (p *owlParser) args() ([]string, error) {
+	p.skip()
+	if p.eof() || p.in[p.pos] != '(' {
+		return nil, p.errf("expected '(' at %q", p.rest())
+	}
+	p.pos++
+	var out []string
+	for {
+		p.skip()
+		w := p.word()
+		if w == "" {
+			return nil, p.errf("expected argument at %q", p.rest())
+		}
+		out = append(out, w)
+		p.skip()
+		if p.eof() {
+			return nil, p.errf("unterminated axiom")
+		}
+		switch p.in[p.pos] {
+		case ',':
+			p.pos++
+		case ')':
+			p.pos++
+			return out, nil
+		default:
+			return nil, p.errf("expected ',' or ')' at %q", p.rest())
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package owl
+
+import "testing"
+
+func TestParseOntologyRoundTrip(t *testing.T) {
+	o := NewOntology().Add(
+		SubClassOf(Atom("dog"), Atom("animal")),
+		SubClassOf(Atom("animal"), Some(Prop("eats"))),
+		SubClassOf(Some(Inv("eats")), Atom("plant_material")),
+		SubPropertyOf(Prop("feeds_on"), Prop("eats")),
+		SubPropertyOf(Inv("child_of"), Prop("parent_of")),
+		DisjointClasses(Atom("animal"), Atom("plant_material")),
+		DisjointProperties(Prop("eats"), Prop("knows")),
+		ClassAssertion(Atom("dog"), "rex"),
+		ClassAssertion(Some(Prop("eats")), "bess"),
+		PropertyAssertion("eats", "rex", "grass"),
+	)
+	// The ontology renders in functional-style syntax; parse it back.
+	back, err := ParseOntology(o.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != o.String() {
+		t.Errorf("round trip changed axioms:\n%s\nvs\n%s", o, back)
+	}
+}
+
+func TestParseOntologyFeatures(t *testing.T) {
+	o := MustParseOntology(`
+		% herbivores example
+		SubClassOf(animal, ∃eats)   # inline comment
+		ObjectPropertyAssertion(eats⁻, grass, rex)
+		SubPropertyOf(p, q)
+		DisjointProperties(p, q)
+	`)
+	if len(o.Axioms) != 4 {
+		t.Fatalf("axioms = %d:\n%s", len(o.Axioms), o)
+	}
+	// The inverse assertion is normalized: eats(rex, grass).
+	found := false
+	for _, ax := range o.Axioms {
+		if ax.Kind == PropertyAssertionKind && ax.P1.Name == "eats" &&
+			ax.A1 == "rex" && ax.A2 == "grass" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("inverse assertion not normalized:\n%s", o)
+	}
+}
+
+func TestParseOntologyErrors(t *testing.T) {
+	bad := []string{
+		`Nonsense(a, b)`,
+		`SubClassOf(a)`,
+		`SubClassOf(a, b, c)`,
+		`SubClassOf(a, b`,
+		`SubClassOf a, b)`,
+		`SubClassOf(, b)`,
+		`SubClassOf(a; b)`,
+		`ObjectPropertyAssertion(p, a)`,
+	}
+	for _, src := range bad {
+		if _, err := ParseOntology(src); err == nil {
+			t.Errorf("ParseOntology(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestMustParseOntologyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseOntology should panic")
+		}
+	}()
+	MustParseOntology(`Broken(`)
+}

@@ -1,0 +1,236 @@
+package owl
+
+import (
+	"sort"
+
+	"repro/internal/rdf"
+)
+
+// Reasoner is a direct DL-LiteR saturation reasoner for OWL 2 QL core
+// ontologies. It computes the reflexive-transitive subsumption closures of
+// basic classes and properties, the entailed role assertions and class
+// memberships of named individuals, and checks consistency. The paper's
+// entailment relation G ⊨ t (Section 5.2, after [19, 28, 13]) is exposed as
+// Entails. The reasoner is used as an independent oracle against the
+// Datalog-based encoding τ_owl2ql_core in the test-suite.
+type Reasoner struct {
+	o *Ontology
+	// subClass[c] = the set of (URIs of) superclasses of basic class c,
+	// reflexive-transitively closed.
+	subClass map[string]map[string]bool
+	// subProp[r] = superproperties of basic property r, closed.
+	subProp map[string]map[string]bool
+	// roles[r] = entailed role pairs of basic property r.
+	roles map[string]map[[2]string]bool
+	// memb[a] = entailed basic classes of individual a (up-closed).
+	memb map[string]map[string]bool
+
+	consistent bool
+}
+
+// NewReasoner saturates the ontology.
+func NewReasoner(o *Ontology) *Reasoner {
+	r := &Reasoner{
+		o:        o,
+		subClass: make(map[string]map[string]bool),
+		subProp:  make(map[string]map[string]bool),
+		roles:    make(map[string]map[[2]string]bool),
+		memb:     make(map[string]map[string]bool),
+	}
+	r.closeProperties()
+	r.closeClasses()
+	r.materializeRoles()
+	r.materializeMemberships()
+	r.consistent = r.checkConsistency()
+	return r
+}
+
+func addEdge(m map[string]map[string]bool, from, to string) {
+	if m[from] == nil {
+		m[from] = make(map[string]bool)
+	}
+	m[from][to] = true
+}
+
+func transitiveClose(m map[string]map[string]bool) {
+	for changed := true; changed; {
+		changed = false
+		for x, sup := range m {
+			for y := range sup {
+				for z := range m[y] {
+					if !m[x][z] {
+						m[x][z] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+func (r *Reasoner) closeProperties() {
+	for _, p := range r.o.BasicProperties() {
+		addEdge(r.subProp, p.URI(), p.URI())
+	}
+	for _, ax := range r.o.Axioms {
+		if ax.Kind == SubPropertyOfKind {
+			addEdge(r.subProp, ax.P1.URI(), ax.P2.URI())
+			// r1 ⊑ r2 entails r1⁻ ⊑ r2⁻.
+			addEdge(r.subProp, ax.P1.Inverted().URI(), ax.P2.Inverted().URI())
+		}
+	}
+	transitiveClose(r.subProp)
+}
+
+func (r *Reasoner) closeClasses() {
+	for _, c := range r.o.BasicClasses() {
+		addEdge(r.subClass, c.URI(), c.URI())
+	}
+	for _, ax := range r.o.Axioms {
+		if ax.Kind == SubClassOfKind {
+			addEdge(r.subClass, ax.C1.URI(), ax.C2.URI())
+		}
+	}
+	// r1 ⊑ r2 entails ∃r1 ⊑ ∃r2.
+	for p, sups := range r.subProp {
+		for q := range sups {
+			addEdge(r.subClass, "∃"+p, "∃"+q)
+		}
+	}
+	transitiveClose(r.subClass)
+}
+
+func (r *Reasoner) materializeRoles() {
+	for _, ax := range r.o.Axioms {
+		if ax.Kind != PropertyAssertionKind {
+			continue
+		}
+		p := ax.P1
+		for q := range r.subProp[p.URI()] {
+			r.addRole(q, ax.A1, ax.A2)
+		}
+		for q := range r.subProp[p.Inverted().URI()] {
+			r.addRole(q, ax.A2, ax.A1)
+		}
+	}
+}
+
+func (r *Reasoner) addRole(propURI, a, b string) {
+	if r.roles[propURI] == nil {
+		r.roles[propURI] = make(map[[2]string]bool)
+	}
+	r.roles[propURI][[2]string{a, b}] = true
+}
+
+func (r *Reasoner) materializeMemberships() {
+	add := func(ind string, classURI string) {
+		if r.memb[ind] == nil {
+			r.memb[ind] = make(map[string]bool)
+		}
+		for sup := range r.subClass[classURI] {
+			r.memb[ind][sup] = true
+		}
+		r.memb[ind][classURI] = true
+	}
+	for _, ax := range r.o.Axioms {
+		if ax.Kind == ClassAssertionKind {
+			add(ax.A1, ax.C1.URI())
+		}
+	}
+	for propURI, pairs := range r.roles {
+		for pair := range pairs {
+			add(pair[0], "∃"+propURI)
+		}
+	}
+}
+
+func (r *Reasoner) checkConsistency() bool {
+	for _, ax := range r.o.Axioms {
+		switch ax.Kind {
+		case DisjointClassesKind:
+			for _, classes := range r.memb {
+				if classes[ax.C1.URI()] && classes[ax.C2.URI()] {
+					return false
+				}
+			}
+		case DisjointPropertiesKind:
+			for pair := range r.roles[ax.P1.URI()] {
+				if r.roles[ax.P2.URI()][pair] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Consistent reports whether the ontology is satisfiable.
+func (r *Reasoner) Consistent() bool { return r.consistent }
+
+// SubClassOf reports whether b1 ⊑ b2 is entailed.
+func (r *Reasoner) SubClassOf(b1, b2 Class) bool {
+	return r.subClass[b1.URI()][b2.URI()]
+}
+
+// SubPropertyOf reports whether r1 ⊑ r2 is entailed.
+func (r *Reasoner) SubPropertyOf(r1, r2 Property) bool {
+	return r.subProp[r1.URI()][r2.URI()]
+}
+
+// Member reports whether individual a is entailed to belong to basic class b.
+func (r *Reasoner) Member(a string, b Class) bool {
+	if !r.consistent {
+		return true
+	}
+	return r.memb[a][b.URI()]
+}
+
+// Role reports whether the role assertion r0(a, b) is entailed.
+func (r *Reasoner) Role(r0 Property, a, b string) bool {
+	if !r.consistent {
+		return true
+	}
+	return r.roles[r0.URI()][[2]string{a, b}]
+}
+
+// Members returns the sorted individuals entailed to belong to the class.
+func (r *Reasoner) Members(b Class) []string {
+	var out []string
+	for a, classes := range r.memb {
+		if classes[b.URI()] {
+			out = append(out, a)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Entails implements the triple entailment G ⊨ t of Section 5.2 for the
+// graph representing this ontology. An inconsistent ontology entails every
+// triple.
+func (r *Reasoner) Entails(t rdf.Triple) bool {
+	if !r.consistent {
+		return true
+	}
+	if !t.S.IsIRI() || !t.P.IsIRI() || !t.O.IsIRI() {
+		return false
+	}
+	s, p, o := t.S.Value, t.P.Value, t.O.Value
+	switch p {
+	case rdf.RDFSSubClassOf:
+		return r.subClass[s][o]
+	case rdf.RDFSSubPropertyOf:
+		return r.subProp[s][o]
+	case rdf.RDFType:
+		switch o {
+		case rdf.OWLClass, rdf.OWLObjectProperty, rdf.OWLRestriction:
+			return r.o.ToGraph().Has(t)
+		}
+		return r.memb[s][o]
+	case rdf.OWLInverseOf, rdf.OWLOnProperty, rdf.OWLSomeValuesFrom,
+		rdf.OWLDisjointWith, rdf.OWLPropertyDisjointWith:
+		return r.o.ToGraph().Has(t)
+	default:
+		return r.roles[p][[2]string{s, o}]
+	}
+}

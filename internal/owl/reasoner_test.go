@@ -1,0 +1,164 @@
+package owl
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+// animalsOntology is the eats/plant_material scenario of Sections 5.2–5.3.
+func animalsOntology() *Ontology {
+	return NewOntology().Add(
+		SubClassOf(Atom("dog"), Atom("animal")),
+		SubClassOf(Atom("animal"), Some(Prop("eats"))),
+		SubClassOf(Some(Inv("eats")), Atom("plant_material")),
+		ClassAssertion(Atom("dog"), "rex"),
+	)
+}
+
+func TestReasonerSubClassClosure(t *testing.T) {
+	r := NewReasoner(animalsOntology())
+	cases := []struct {
+		b1, b2 Class
+		want   bool
+	}{
+		{Atom("dog"), Atom("animal"), true},
+		{Atom("dog"), Some(Prop("eats")), true}, // transitivity
+		{Atom("dog"), Atom("dog"), true},        // reflexivity
+		{Atom("animal"), Atom("dog"), false},
+		{Some(Inv("eats")), Atom("plant_material"), true},
+		{Atom("plant_material"), Some(Inv("eats")), false},
+	}
+	for _, tc := range cases {
+		if got := r.SubClassOf(tc.b1, tc.b2); got != tc.want {
+			t.Errorf("%v ⊑ %v = %v, want %v", tc.b1, tc.b2, got, tc.want)
+		}
+	}
+}
+
+func TestReasonerPropertyClosure(t *testing.T) {
+	o := NewOntology().Add(
+		SubPropertyOf(Prop("p"), Prop("q")),
+		SubPropertyOf(Prop("q"), Prop("r")),
+	)
+	r := NewReasoner(o)
+	if !r.SubPropertyOf(Prop("p"), Prop("r")) {
+		t.Error("p ⊑ r via transitivity")
+	}
+	// r1 ⊑ r2 entails r1⁻ ⊑ r2⁻ (the sp/inv rule of τ_owl2ql_core).
+	if !r.SubPropertyOf(Inv("p"), Inv("r")) {
+		t.Error("p⁻ ⊑ r⁻ via the inverse rule")
+	}
+	// …and ∃r1 ⊑ ∃r2.
+	if !r.SubClassOf(Some(Prop("p")), Some(Prop("r"))) {
+		t.Error("∃p ⊑ ∃r via the restriction rule")
+	}
+	if r.SubPropertyOf(Prop("r"), Prop("p")) {
+		t.Error("subsumption must not be symmetric")
+	}
+}
+
+func TestReasonerMembership(t *testing.T) {
+	r := NewReasoner(animalsOntology())
+	// The paper's running example: rex the dog is an animal, hence eats
+	// something.
+	if !r.Member("rex", Atom("animal")) {
+		t.Error("rex should be an animal")
+	}
+	if !r.Member("rex", Some(Prop("eats"))) {
+		t.Error("rex should belong to ∃eats")
+	}
+	if r.Member("rex", Atom("plant_material")) {
+		t.Error("rex should not be plant material")
+	}
+	if got := r.Members(Some(Prop("eats"))); len(got) != 1 || got[0] != "rex" {
+		t.Errorf("Members(∃eats) = %v", got)
+	}
+}
+
+func TestReasonerRoleEntailment(t *testing.T) {
+	o := NewOntology().Add(
+		SubPropertyOf(Prop("is_coauthor_of"), Prop("knows")),
+		PropertyAssertion("is_coauthor_of", "aho", "ullman"),
+	)
+	r := NewReasoner(o)
+	if !r.Role(Prop("is_coauthor_of"), "aho", "ullman") {
+		t.Error("asserted role missing")
+	}
+	if !r.Role(Prop("knows"), "aho", "ullman") {
+		t.Error("role via subproperty missing")
+	}
+	if !r.Role(Inv("knows"), "ullman", "aho") {
+		t.Error("inverse role missing")
+	}
+	if r.Role(Prop("knows"), "ullman", "aho") {
+		t.Error("role direction must matter")
+	}
+	// Membership via role assertions.
+	if !r.Member("aho", Some(Prop("knows"))) {
+		t.Error("aho ∈ ∃knows")
+	}
+	if r.Member("ullman", Some(Prop("knows"))) {
+		t.Error("ullman ∉ ∃knows (only ∃knows⁻)")
+	}
+	if !r.Member("ullman", Some(Inv("knows"))) {
+		t.Error("ullman ∈ ∃knows⁻")
+	}
+}
+
+func TestReasonerConsistency(t *testing.T) {
+	ok := NewReasoner(animalsOntology())
+	if !ok.Consistent() {
+		t.Error("animals ontology should be consistent")
+	}
+	// rex both dog and plant_material with disjointness: inconsistent —
+	// note the violation is via the *derived* membership animal.
+	bad := animalsOntology().Add(
+		DisjointClasses(Atom("animal"), Atom("plant_material")),
+		ClassAssertion(Atom("plant_material"), "rex"),
+	)
+	r := NewReasoner(bad)
+	if r.Consistent() {
+		t.Error("disjointness violation not detected")
+	}
+	// An inconsistent ontology entails everything.
+	if !r.Member("whatever", Atom("anything")) || !r.Entails(rdf.T("a", "b", "c")) {
+		t.Error("inconsistent ontology must entail everything")
+	}
+	// Property disjointness.
+	badP := NewOntology().Add(
+		DisjointProperties(Prop("p"), Prop("q")),
+		SubPropertyOf(Prop("p"), Prop("q")),
+		PropertyAssertion("p", "x", "y"),
+	)
+	if NewReasoner(badP).Consistent() {
+		t.Error("property disjointness violation not detected")
+	}
+}
+
+func TestReasonerEntailsTriples(t *testing.T) {
+	r := NewReasoner(animalsOntology())
+	cases := []struct {
+		t    rdf.Triple
+		want bool
+	}{
+		{rdf.T("rex", "rdf:type", "dog"), true},
+		{rdf.T("rex", "rdf:type", "animal"), true},
+		{rdf.T("rex", "rdf:type", "∃eats"), true},
+		{rdf.T("dog", "rdfs:subClassOf", "∃eats"), true},
+		{rdf.T("dog", "rdfs:subClassOf", "plant_material"), false},
+		{rdf.T("eats", "rdf:type", "owl:ObjectProperty"), true},
+		{rdf.T("∃eats", "owl:onProperty", "eats"), true},
+		{rdf.T("rex", "eats", "grass"), false},
+		{rdf.T("eats", "rdfs:subPropertyOf", "eats"), true},
+	}
+	for _, tc := range cases {
+		if got := r.Entails(tc.t); got != tc.want {
+			t.Errorf("Entails(%v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+	// Non-URI triples are never entailed (consistent case).
+	if r.Entails(rdf.Triple{S: rdf.NewLiteral("x"), P: rdf.NewIRI("p"), O: rdf.NewIRI("y")}) {
+		t.Error("literal-subject triple entailed")
+	}
+}

@@ -1,0 +1,25 @@
+package owl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOntologyParserNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ParseOntology(%q) panicked: %v", s, r)
+			}
+		}()
+		_, _ = ParseOntology(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	full := `SubClassOf(∃eats⁻, plant_material) % c` + "\nObjectPropertyAssertion(eats, rex, grass)"
+	for i := 0; i <= len(full); i++ {
+		_, _ = ParseOntology(full[:i])
+	}
+}

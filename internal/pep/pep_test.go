@@ -1,0 +1,129 @@
+package pep
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/triq"
+)
+
+func TestTheorem71Witness(t *testing.T) {
+	w := Theorem71()
+	// Π is warded (indeed a single guarded existential rule).
+	if err := datalog.CheckWarded(w.Pi); err != nil {
+		t.Fatalf("Π should be warded: %v", err)
+	}
+	// Both assembled queries are warded Datalog^∃ queries.
+	for _, lam := range []*datalog.Program{w.Lambda1, w.Lambda2} {
+		if err := triq.Validate(w.Query(lam), triq.TriQLite10); err != nil {
+			t.Errorf("assembled query should be TriQ-Lite 1.0: %v", err)
+		}
+	}
+	// () ∈ Q1(D): the invented null makes s(c, z) true.
+	got1, err := w.Holds(w.Lambda1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got1 {
+		t.Error("(D, Λ1, ()) should be in Pep[Π]")
+	}
+	// () ∉ Q2(D): the null is not a p.
+	got2, err := w.Holds(w.Lambda2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 {
+		t.Error("(D, Λ2, ()) should NOT be in Pep[Π]")
+	}
+}
+
+func TestTheorem72Witness(t *testing.T) {
+	w := Theorem72()
+	if err := triq.Validate(w.Query(w.Lambda1), triq.TriQLite10); err != nil {
+		t.Fatalf("Π ∪ Λ1 should be TriQ-Lite 1.0: %v", err)
+	}
+	if !w.Pi.HasNegation() {
+		t.Error("the 7.2 witness should exercise negation")
+	}
+	got1, err := w.Holds(w.Lambda1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := w.Holds(w.Lambda2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got1 || got2 {
+		t.Errorf("separation failed: Λ1=%v Λ2=%v, want true/false", got1, got2)
+	}
+}
+
+// randomDatalog builds a small constant-free stratified Datalog program over
+// the witness schema.
+func randomDatalog(rng *rand.Rand) *datalog.Program {
+	prog := &datalog.Program{}
+	x, y := datalog.V("X"), datalog.V("Y")
+	bodies := [][]datalog.Atom{
+		{datalog.NewAtom("p", x)},
+		{datalog.NewAtom("p", x), datalog.NewAtom("p", y)},
+		{datalog.NewAtom("s", x, y)},
+		{datalog.NewAtom("r", x), datalog.NewAtom("p", y)},
+		{datalog.NewAtom("p", x), datalog.NewAtom("r", x)},
+	}
+	heads := []datalog.Atom{
+		datalog.NewAtom("s", x, x),
+		datalog.NewAtom("r", x),
+		datalog.NewAtom("p", x),
+	}
+	n := 1 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		body := bodies[rng.Intn(len(bodies))]
+		head := heads[rng.Intn(len(heads))]
+		// Safety: head vars must occur in the body.
+		bv := map[datalog.Term]bool{}
+		for _, v := range datalog.VarsOf(body) {
+			bv[v] = true
+		}
+		ok := true
+		for _, v := range head.Vars() {
+			if !bv[v] {
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		prog.Add(datalog.Rule{BodyPos: body, Head: []datalog.Atom{head}})
+	}
+	if len(prog.Rules) == 0 {
+		prog.Add(datalog.MustParse(`p(?X) -> r(?X).`).Rules[0])
+	}
+	return prog
+}
+
+// TestDatalogSideCoexistence samples constant-free Datalog programs and
+// checks the claim inside the proof of Theorem 7.1: over D = {p(c)},
+// () ∈ (Π' ∪ Λ1, q)(D) implies () ∈ (Π' ∪ Λ2, q)(D), so no Datalog program
+// can realize the separation.
+func TestDatalogSideCoexistence(t *testing.T) {
+	w := Theorem71()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		pi := randomDatalog(rng)
+		ok, err := w.DatalogCoexistence(pi)
+		if err != nil {
+			t.Fatalf("program %s: %v", pi, err)
+		}
+		if !ok {
+			t.Fatalf("coexistence violated by Datalog program:\n%s", pi)
+		}
+	}
+}
+
+func TestDatalogCoexistenceRejectsExistentials(t *testing.T) {
+	w := Theorem71()
+	if _, err := w.DatalogCoexistence(w.Pi); err == nil {
+		t.Error("existential program must be rejected on the Datalog side")
+	}
+}

@@ -1,0 +1,224 @@
+package rdf
+
+import (
+	"sort"
+	"strings"
+)
+
+// Triple is an RDF triple (s, p, o).
+type Triple struct {
+	S, P, O Term
+}
+
+// NewTriple builds a triple from three terms.
+func NewTriple(s, p, o Term) Triple { return Triple{S: s, P: p, O: o} }
+
+// T is a convenience constructor building a triple of three IRIs.
+func T(s, p, o string) Triple {
+	return Triple{S: NewIRI(s), P: NewIRI(p), O: NewIRI(o)}
+}
+
+// String renders the triple in N-Triples syntax (without the final newline).
+func (t Triple) String() string {
+	return t.S.String() + " " + t.P.String() + " " + t.O.String() + " ."
+}
+
+// Compare orders triples lexicographically by subject, predicate, object.
+func (t Triple) Compare(u Triple) int {
+	if c := t.S.Compare(u.S); c != 0 {
+		return c
+	}
+	if c := t.P.Compare(u.P); c != 0 {
+		return c
+	}
+	return t.O.Compare(u.O)
+}
+
+// Graph is a finite set of RDF triples with per-position hash indexes so
+// that triple patterns with any combination of bound positions can be
+// matched efficiently. The zero value is not usable; call NewGraph.
+type Graph struct {
+	set map[Triple]struct{}
+	byS map[Term][]Triple
+	byP map[Term][]Triple
+	byO map[Term][]Triple
+	// bySP indexes (subject, predicate) pairs, the most common access path
+	// for the evaluators in this repository.
+	bySP map[[2]Term][]Triple
+	byPO map[[2]Term][]Triple
+}
+
+// NewGraph returns an empty graph.
+func NewGraph(triples ...Triple) *Graph {
+	g := &Graph{
+		set:  make(map[Triple]struct{}),
+		byS:  make(map[Term][]Triple),
+		byP:  make(map[Term][]Triple),
+		byO:  make(map[Term][]Triple),
+		bySP: make(map[[2]Term][]Triple),
+		byPO: make(map[[2]Term][]Triple),
+	}
+	g.Add(triples...)
+	return g
+}
+
+// Add inserts the given triples, ignoring duplicates. It returns the number
+// of triples that were actually new.
+func (g *Graph) Add(triples ...Triple) int {
+	added := 0
+	for _, t := range triples {
+		if _, ok := g.set[t]; ok {
+			continue
+		}
+		g.set[t] = struct{}{}
+		g.byS[t.S] = append(g.byS[t.S], t)
+		g.byP[t.P] = append(g.byP[t.P], t)
+		g.byO[t.O] = append(g.byO[t.O], t)
+		g.bySP[[2]Term{t.S, t.P}] = append(g.bySP[[2]Term{t.S, t.P}], t)
+		g.byPO[[2]Term{t.P, t.O}] = append(g.byPO[[2]Term{t.P, t.O}], t)
+		added++
+	}
+	return added
+}
+
+// AddGraph inserts every triple of h into g and returns the number added.
+func (g *Graph) AddGraph(h *Graph) int {
+	added := 0
+	for t := range h.set {
+		added += g.Add(t)
+	}
+	return added
+}
+
+// Has reports whether the triple is in the graph.
+func (g *Graph) Has(t Triple) bool {
+	_, ok := g.set[t]
+	return ok
+}
+
+// Len returns the number of triples in the graph.
+func (g *Graph) Len() int { return len(g.set) }
+
+// Triples returns all triples in an unspecified order.
+func (g *Graph) Triples() []Triple {
+	out := make([]Triple, 0, len(g.set))
+	for t := range g.set {
+		out = append(out, t)
+	}
+	return out
+}
+
+// SortedTriples returns all triples sorted lexicographically; useful for
+// deterministic output and golden tests.
+func (g *Graph) SortedTriples() []Triple {
+	out := g.Triples()
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Match returns the triples matching the pattern; a nil position matches
+// anything. The returned slice must not be modified.
+func (g *Graph) Match(s, p, o *Term) []Triple {
+	filter := func(cands []Triple) []Triple {
+		out := cands[:0:0]
+		for _, t := range cands {
+			if s != nil && t.S != *s {
+				continue
+			}
+			if p != nil && t.P != *p {
+				continue
+			}
+			if o != nil && t.O != *o {
+				continue
+			}
+			out = append(out, t)
+		}
+		return out
+	}
+	switch {
+	case s != nil && p != nil && o != nil:
+		t := Triple{S: *s, P: *p, O: *o}
+		if g.Has(t) {
+			return []Triple{t}
+		}
+		return nil
+	case s != nil && p != nil:
+		return g.bySP[[2]Term{*s, *p}]
+	case p != nil && o != nil:
+		return g.byPO[[2]Term{*p, *o}]
+	case s != nil:
+		return filter(g.byS[*s])
+	case o != nil:
+		return filter(g.byO[*o])
+	case p != nil:
+		return g.byP[*p]
+	default:
+		return g.Triples()
+	}
+}
+
+// Subjects returns the set of distinct subject terms.
+func (g *Graph) Subjects() []Term { return keys(g.byS) }
+
+// Predicates returns the set of distinct predicate terms.
+func (g *Graph) Predicates() []Term { return keys(g.byP) }
+
+// Objects returns the set of distinct object terms.
+func (g *Graph) Objects() []Term { return keys(g.byO) }
+
+// Terms returns every distinct term occurring anywhere in the graph.
+func (g *Graph) Terms() []Term {
+	seen := make(map[Term]struct{})
+	for t := range g.set {
+		seen[t.S] = struct{}{}
+		seen[t.P] = struct{}{}
+		seen[t.O] = struct{}{}
+	}
+	out := make([]Term, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	h := NewGraph()
+	for t := range g.set {
+		h.Add(t)
+	}
+	return h
+}
+
+// Equal reports whether two graphs contain exactly the same triples.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.Len() != h.Len() {
+		return false
+	}
+	for t := range g.set {
+		if !h.Has(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the graph as sorted N-Triples lines.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for _, t := range g.SortedTriples() {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func keys(m map[Term][]Triple) []Term {
+	out := make([]Term, 0, len(m))
+	for t := range m {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}

@@ -1,0 +1,205 @@
+package rdf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGraphAddHasLen(t *testing.T) {
+	g := NewGraph()
+	t1 := T("a", "p", "b")
+	t2 := T("b", "p", "c")
+	if g.Len() != 0 {
+		t.Fatalf("empty graph Len = %d", g.Len())
+	}
+	if n := g.Add(t1, t2, t1); n != 2 {
+		t.Errorf("Add returned %d new, want 2", n)
+	}
+	if g.Len() != 2 {
+		t.Errorf("Len = %d, want 2", g.Len())
+	}
+	if !g.Has(t1) || !g.Has(t2) || g.Has(T("c", "p", "d")) {
+		t.Error("Has results wrong")
+	}
+}
+
+func TestGraphMatch(t *testing.T) {
+	g := NewGraph(
+		T("a", "p", "b"),
+		T("a", "p", "c"),
+		T("a", "q", "b"),
+		T("b", "p", "c"),
+	)
+	s, p, o := NewIRI("a"), NewIRI("p"), NewIRI("c")
+	cases := []struct {
+		name    string
+		s, p, o *Term
+		want    int
+	}{
+		{"all wild", nil, nil, nil, 4},
+		{"s bound", &s, nil, nil, 3},
+		{"p bound", nil, &p, nil, 3},
+		{"o bound", nil, nil, &o, 2},
+		{"sp bound", &s, &p, nil, 2},
+		{"po bound", nil, &p, &o, 2},
+		{"so bound", &s, nil, &o, 1},
+		{"spo present", &s, &p, &o, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := g.Match(tc.s, tc.p, tc.o)
+			if len(got) != tc.want {
+				t.Errorf("Match returned %d triples, want %d: %v", len(got), tc.want, got)
+			}
+			for _, tr := range got {
+				if tc.s != nil && tr.S != *tc.s {
+					t.Errorf("triple %v does not match bound subject", tr)
+				}
+				if tc.p != nil && tr.P != *tc.p {
+					t.Errorf("triple %v does not match bound predicate", tr)
+				}
+				if tc.o != nil && tr.O != *tc.o {
+					t.Errorf("triple %v does not match bound object", tr)
+				}
+			}
+		})
+	}
+	x := NewIRI("missing")
+	if got := g.Match(&x, &p, &o); got != nil {
+		t.Errorf("absent spo should return nil, got %v", got)
+	}
+}
+
+func TestGraphTermsAndProjections(t *testing.T) {
+	g := NewGraph(T("a", "p", "b"), T("b", "q", "a"))
+	if n := len(g.Subjects()); n != 2 {
+		t.Errorf("Subjects = %d, want 2", n)
+	}
+	if n := len(g.Predicates()); n != 2 {
+		t.Errorf("Predicates = %d, want 2", n)
+	}
+	if n := len(g.Objects()); n != 2 {
+		t.Errorf("Objects = %d, want 2", n)
+	}
+	if n := len(g.Terms()); n != 4 {
+		t.Errorf("Terms = %d, want 4 (a,b,p,q)", n)
+	}
+}
+
+func TestGraphCloneEqual(t *testing.T) {
+	g := NewGraph(T("a", "p", "b"), T("b", "p", "c"))
+	h := g.Clone()
+	if !g.Equal(h) || !h.Equal(g) {
+		t.Fatal("clone should be equal")
+	}
+	h.Add(T("c", "p", "d"))
+	if g.Equal(h) {
+		t.Error("graphs of different size should not be equal")
+	}
+	k := NewGraph(T("a", "p", "b"), T("x", "y", "z"))
+	if g.Equal(k) {
+		t.Error("same-size different graphs should not be equal")
+	}
+}
+
+func TestGraphAddGraph(t *testing.T) {
+	g := NewGraph(T("a", "p", "b"))
+	h := NewGraph(T("a", "p", "b"), T("b", "p", "c"))
+	if n := g.AddGraph(h); n != 1 {
+		t.Errorf("AddGraph added %d, want 1", n)
+	}
+	if g.Len() != 2 {
+		t.Errorf("Len after AddGraph = %d, want 2", g.Len())
+	}
+}
+
+func TestGraphSortedDeterministic(t *testing.T) {
+	g := NewGraph(T("b", "p", "c"), T("a", "p", "b"), T("a", "p", "a"))
+	got := g.SortedTriples()
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Compare(got[i]) >= 0 {
+			t.Fatalf("SortedTriples not strictly sorted: %v >= %v", got[i-1], got[i])
+		}
+	}
+	if g.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+// Property: Match(s,p,o) equals the brute-force filter for random graphs and
+// random patterns.
+func TestGraphMatchAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	names := []string{"a", "b", "c", "d", "e"}
+	randTerm := func() Term { return NewIRI(names[rng.Intn(len(names))]) }
+	for round := 0; round < 50; round++ {
+		g := NewGraph()
+		for i := 0; i < 30; i++ {
+			g.Add(Triple{S: randTerm(), P: randTerm(), O: randTerm()})
+		}
+		var s, p, o *Term
+		if rng.Intn(2) == 0 {
+			v := randTerm()
+			s = &v
+		}
+		if rng.Intn(2) == 0 {
+			v := randTerm()
+			p = &v
+		}
+		if rng.Intn(2) == 0 {
+			v := randTerm()
+			o = &v
+		}
+		want := 0
+		for _, tr := range g.Triples() {
+			if (s == nil || tr.S == *s) && (p == nil || tr.P == *p) && (o == nil || tr.O == *o) {
+				want++
+			}
+		}
+		if got := len(g.Match(s, p, o)); got != want {
+			t.Fatalf("round %d: Match = %d, brute force = %d", round, got, want)
+		}
+	}
+}
+
+func TestTripleStringAndCompare(t *testing.T) {
+	tr := T("a", "p", "b")
+	if got := tr.String(); got != "<a> <p> <b> ." {
+		t.Errorf("Triple.String = %q", got)
+	}
+	if tr.Compare(tr) != 0 {
+		t.Error("triple should equal itself")
+	}
+	if T("a", "p", "b").Compare(T("a", "p", "c")) >= 0 {
+		t.Error("object tie-break wrong")
+	}
+	if T("a", "p", "b").Compare(T("a", "q", "a")) >= 0 {
+		t.Error("predicate tie-break wrong")
+	}
+}
+
+// Property-based: adding a set of triples in any order yields equal graphs.
+func TestGraphOrderInsensitive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var ts []Triple
+		for i := 0; i < 20; i++ {
+			ts = append(ts, T(
+				fmt.Sprintf("s%d", rng.Intn(5)),
+				fmt.Sprintf("p%d", rng.Intn(3)),
+				fmt.Sprintf("o%d", rng.Intn(5))))
+		}
+		g := NewGraph(ts...)
+		perm := rng.Perm(len(ts))
+		h := NewGraph()
+		for _, i := range perm {
+			h.Add(ts[i])
+		}
+		return g.Equal(h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,73 @@
+package rdf
+
+import "testing"
+
+func TestIsomorphicGroundGraphs(t *testing.T) {
+	g := NewGraph(T("a", "p", "b"), T("b", "p", "c"))
+	h := NewGraph(T("b", "p", "c"), T("a", "p", "b"))
+	if !Isomorphic(g, h) {
+		t.Error("identical ground graphs should be isomorphic")
+	}
+	if Isomorphic(g, NewGraph(T("a", "p", "b"))) {
+		t.Error("different sizes")
+	}
+	if Isomorphic(g, NewGraph(T("a", "p", "b"), T("b", "p", "d"))) {
+		t.Error("different ground triples")
+	}
+}
+
+func TestIsomorphicBlankRenaming(t *testing.T) {
+	g := NewGraph(
+		Triple{S: NewIRI("a"), P: NewIRI("p"), O: NewBlank("x")},
+		Triple{S: NewBlank("x"), P: NewIRI("q"), O: NewIRI("b")},
+	)
+	h := NewGraph(
+		Triple{S: NewIRI("a"), P: NewIRI("p"), O: NewBlank("y")},
+		Triple{S: NewBlank("y"), P: NewIRI("q"), O: NewIRI("b")},
+	)
+	if !Isomorphic(g, h) {
+		t.Error("blank renaming should be isomorphic")
+	}
+	// Splitting the blank breaks isomorphism.
+	k := NewGraph(
+		Triple{S: NewIRI("a"), P: NewIRI("p"), O: NewBlank("y")},
+		Triple{S: NewBlank("z"), P: NewIRI("q"), O: NewIRI("b")},
+	)
+	if Isomorphic(g, k) {
+		t.Error("shared vs split blanks must differ")
+	}
+	if Isomorphic(k, g) {
+		t.Error("isomorphism must be symmetric on the negative case")
+	}
+}
+
+func TestIsomorphicPermutation(t *testing.T) {
+	// Two blanks forming a 2-cycle vs two self-loops: same degrees per
+	// position, different structure.
+	g := NewGraph(
+		Triple{S: NewBlank("x"), P: NewIRI("p"), O: NewBlank("y")},
+		Triple{S: NewBlank("y"), P: NewIRI("p"), O: NewBlank("x")},
+	)
+	h := NewGraph(
+		Triple{S: NewBlank("u"), P: NewIRI("p"), O: NewBlank("u")},
+		Triple{S: NewBlank("v"), P: NewIRI("p"), O: NewBlank("v")},
+	)
+	if Isomorphic(g, h) {
+		t.Error("cycle vs self-loops must not be isomorphic")
+	}
+	h2 := NewGraph(
+		Triple{S: NewBlank("v"), P: NewIRI("p"), O: NewBlank("u")},
+		Triple{S: NewBlank("u"), P: NewIRI("p"), O: NewBlank("v")},
+	)
+	if !Isomorphic(g, h2) {
+		t.Error("renamed cycle should be isomorphic")
+	}
+}
+
+func TestIsomorphicBlankCountMismatch(t *testing.T) {
+	g := NewGraph(Triple{S: NewBlank("x"), P: NewIRI("p"), O: NewBlank("x")})
+	h := NewGraph(Triple{S: NewBlank("u"), P: NewIRI("p"), O: NewBlank("v")})
+	if Isomorphic(g, h) {
+		t.Error("one blank vs two blanks must differ")
+	}
+}

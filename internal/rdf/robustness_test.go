@@ -1,0 +1,25 @@
+package rdf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNTriplesParserNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ParseNTriplesString(%q) panicked: %v", s, r)
+			}
+		}()
+		_, _ = ParseNTriplesString(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	full := `<http://a> <b> "lit\n"^^<t> . # c` + "\n_:b p o ."
+	for i := 0; i <= len(full); i++ {
+		_, _ = ParseNTriplesString(full[:i])
+	}
+}

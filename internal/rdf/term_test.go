@@ -1,0 +1,106 @@
+package rdf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTermConstructors(t *testing.T) {
+	tests := []struct {
+		name string
+		term Term
+		kind TermKind
+		str  string
+	}{
+		{"iri", NewIRI("http://example.org/a"), IRI, "<http://example.org/a>"},
+		{"bare iri", NewIRI("rdf:type"), IRI, "<rdf:type>"},
+		{"blank", NewBlank("b0"), Blank, "_:b0"},
+		{"plain literal", NewLiteral("Jeffrey Ullman"), Literal, `"Jeffrey Ullman"`},
+		{"typed literal", NewTypedLiteral("1", "xsd:integer"), Literal, `"1"^^<xsd:integer>`},
+		{"lang literal", NewLangLiteral("hola", "es"), Literal, `"hola"@es`},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.term.Kind != tc.kind {
+				t.Errorf("kind = %v, want %v", tc.term.Kind, tc.kind)
+			}
+			if got := tc.term.String(); got != tc.str {
+				t.Errorf("String() = %q, want %q", got, tc.str)
+			}
+		})
+	}
+}
+
+func TestTermKindPredicates(t *testing.T) {
+	if !NewIRI("a").IsIRI() || NewIRI("a").IsBlank() || NewIRI("a").IsLiteral() {
+		t.Error("IRI predicates wrong")
+	}
+	if !NewBlank("b").IsBlank() || NewBlank("b").IsIRI() {
+		t.Error("Blank predicates wrong")
+	}
+	if !NewLiteral("l").IsLiteral() || NewLiteral("l").IsIRI() {
+		t.Error("Literal predicates wrong")
+	}
+}
+
+func TestTermKindString(t *testing.T) {
+	if IRI.String() != "IRI" || Blank.String() != "Blank" || Literal.String() != "Literal" {
+		t.Error("TermKind.String wrong")
+	}
+	if TermKind(42).String() == "" {
+		t.Error("unknown kind should render something")
+	}
+}
+
+func TestLiteralEscaping(t *testing.T) {
+	lit := NewLiteral("a\"b\\c\nd\re\tf")
+	want := `"a\"b\\c\nd\re\tf"`
+	if got := lit.String(); got != want {
+		t.Errorf("escaped literal = %q, want %q", got, want)
+	}
+}
+
+func TestTermCompare(t *testing.T) {
+	a := NewIRI("a")
+	b := NewIRI("b")
+	bl := NewBlank("a")
+	if a.Compare(b) >= 0 || b.Compare(a) <= 0 || a.Compare(a) != 0 {
+		t.Error("IRI ordering wrong")
+	}
+	if a.Compare(bl) >= 0 {
+		t.Error("IRIs must sort before blanks")
+	}
+	if NewTypedLiteral("x", "d1").Compare(NewTypedLiteral("x", "d2")) >= 0 {
+		t.Error("datatype tie-break wrong")
+	}
+	if NewLangLiteral("x", "en").Compare(NewLangLiteral("x", "es")) >= 0 {
+		t.Error("lang tie-break wrong")
+	}
+}
+
+func TestTermCompareProperties(t *testing.T) {
+	mk := func(kind uint8, v string) Term {
+		switch kind % 3 {
+		case 0:
+			return NewIRI(v)
+		case 1:
+			return NewBlank(v)
+		default:
+			return NewLiteral(v)
+		}
+	}
+	antisym := func(k1 uint8, v1 string, k2 uint8, v2 string) bool {
+		a, b := mk(k1, v1), mk(k2, v2)
+		return a.Compare(b) == -b.Compare(a)
+	}
+	if err := quick.Check(antisym, nil); err != nil {
+		t.Errorf("Compare not antisymmetric: %v", err)
+	}
+	reflexive := func(k uint8, v string) bool {
+		a := mk(k, v)
+		return a.Compare(a) == 0
+	}
+	if err := quick.Check(reflexive, nil); err != nil {
+		t.Errorf("Compare not reflexive: %v", err)
+	}
+}

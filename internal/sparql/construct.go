@@ -1,0 +1,51 @@
+package sparql
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/rdf"
+)
+
+// Construct evaluates a CONSTRUCT query over a graph: the WHERE pattern is
+// evaluated to a set of mappings, and for each mapping the template is
+// instantiated. As the paper discusses in Section 2, the semantics of blank
+// nodes in CONSTRUCT is local: a fresh blank node is created per template
+// blank node *per mapping*.
+func (q *Query) Construct(g *rdf.Graph) (*rdf.Graph, error) {
+	if q.Kind != ConstructQuery {
+		return nil, fmt.Errorf("sparql: not a CONSTRUCT query")
+	}
+	out := rdf.NewGraph()
+	fresh := 0
+	for _, m := range Eval(q.Where, g).Mappings() {
+		blanks := make(map[string]rdf.Term)
+		inst := func(t PTerm) (rdf.Term, bool) {
+			if t.IsVar {
+				v, ok := m[t.Var]
+				return v, ok
+			}
+			if t.Term.IsBlank() {
+				b, ok := blanks[t.Term.Value]
+				if !ok {
+					b = rdf.NewBlank("c" + strconv.Itoa(fresh))
+					fresh++
+					blanks[t.Term.Value] = b
+				}
+				return b, true
+			}
+			return t.Term, true
+		}
+		for _, tp := range q.Template {
+			s, ok1 := inst(tp.S)
+			p, ok2 := inst(tp.P)
+			o, ok3 := inst(tp.O)
+			// Template triples with unbound variables are skipped, as in
+			// the SPARQL specification.
+			if ok1 && ok2 && ok3 {
+				out.Add(rdf.NewTriple(s, p, o))
+			}
+		}
+	}
+	return out, nil
+}

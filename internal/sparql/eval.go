@@ -1,0 +1,123 @@
+package sparql
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+)
+
+// Eval computes ⟦P⟧_G by the recursive definition of Section 3.1.
+func Eval(p Pattern, g *rdf.Graph) *MappingSet {
+	switch q := p.(type) {
+	case BGP:
+		return evalBGP(q, g)
+	case And:
+		return Join(Eval(q.L, g), Eval(q.R, g))
+	case Union:
+		return UnionSets(Eval(q.L, g), Eval(q.R, g))
+	case Opt:
+		return LeftOuterJoin(Eval(q.L, g), Eval(q.R, g))
+	case Filter:
+		out := NewMappingSet()
+		for _, m := range Eval(q.P, g).Mappings() {
+			if q.Cond.Satisfied(m) {
+				out.Add(m)
+			}
+		}
+		return out
+	case Select:
+		w := make(map[string]bool, len(q.Proj))
+		for _, v := range q.Proj {
+			w[v] = true
+		}
+		out := NewMappingSet()
+		for _, m := range Eval(q.P, g).Mappings() {
+			out.Add(m.Restrict(w))
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("sparql: unknown pattern type %T", p))
+	}
+}
+
+// evalBGP implements ⟦P⟧_G for a basic graph pattern: the mappings µ with
+// dom(µ) = var(P) such that some h : B → U satisfies µ(h(P)) ⊆ G. Variables
+// and blank nodes are both matched by backtracking; blank-node bindings are
+// projected away afterwards, which realizes the existential h.
+func evalBGP(p BGP, g *rdf.Graph) *MappingSet {
+	out := NewMappingSet()
+	if len(p.Triples) == 0 {
+		// The empty BGP yields the single empty mapping µ∅.
+		out.Add(Mapping{})
+		return out
+	}
+	vars := p.Vars()
+	// binding covers variables and blank labels; blanks are keyed with the
+	// "_:" prefix so they cannot collide with "?" variables.
+	binding := make(map[string]rdf.Term)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(p.Triples) {
+			m := make(Mapping)
+			for v := range vars {
+				m[v] = binding[v]
+			}
+			out.Add(m)
+			return
+		}
+		tp := p.Triples[k]
+		var s, pr, o *rdf.Term
+		keys := [3]string{}
+		terms := tp.Terms()
+		ptrs := [3]**rdf.Term{&s, &pr, &o}
+		for i, t := range terms {
+			switch {
+			case t.IsVar:
+				keys[i] = t.Var
+			case t.Term.IsBlank():
+				keys[i] = "_:" + t.Term.Value
+			default:
+				v := t.Term
+				*ptrs[i] = &v
+				continue
+			}
+			if bound, ok := binding[keys[i]]; ok {
+				v := bound
+				*ptrs[i] = &v
+				keys[i] = ""
+			}
+		}
+		for _, triple := range g.Match(s, pr, o) {
+			vals := [3]rdf.Term{triple.S, triple.P, triple.O}
+			var added []string
+			ok := true
+			for i := 0; i < 3; i++ {
+				if keys[i] == "" {
+					continue
+				}
+				if bound, has := binding[keys[i]]; has {
+					if bound != vals[i] {
+						ok = false
+						break
+					}
+					continue
+				}
+				binding[keys[i]] = vals[i]
+				added = append(added, keys[i])
+			}
+			if ok {
+				rec(k + 1)
+			}
+			for _, kk := range added {
+				delete(binding, kk)
+			}
+		}
+	}
+	rec(0)
+	return out
+}
+
+// A subtlety in the triple loop above: the same key may appear twice in one
+// triple pattern (e.g. (?X, p, ?X)); the "bound, has" check inside the value
+// loop handles the second occurrence because the first occurrence has already
+// extended the binding.

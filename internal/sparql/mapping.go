@@ -1,0 +1,224 @@
+package sparql
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Mapping is a partial function µ : V → terms. The paper ranges over U; this
+// implementation also admits literals so realistic data round-trips.
+type Mapping map[string]rdf.Term
+
+// Compatible reports µ1 ∼ µ2: agreement on the shared domain.
+func (m Mapping) Compatible(n Mapping) bool {
+	// Iterate over the smaller mapping.
+	if len(n) < len(m) {
+		m, n = n, m
+	}
+	for v, t := range m {
+		if u, ok := n[v]; ok && u != t {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge returns µ1 ∪ µ2; callers must have checked compatibility.
+func (m Mapping) Merge(n Mapping) Mapping {
+	out := make(Mapping, len(m)+len(n))
+	for v, t := range m {
+		out[v] = t
+	}
+	for v, t := range n {
+		out[v] = t
+	}
+	return out
+}
+
+// Restrict returns µ|W.
+func (m Mapping) Restrict(w map[string]bool) Mapping {
+	out := make(Mapping)
+	for v, t := range m {
+		if w[v] {
+			out[v] = t
+		}
+	}
+	return out
+}
+
+// Clone copies the mapping.
+func (m Mapping) Clone() Mapping {
+	out := make(Mapping, len(m))
+	for v, t := range m {
+		out[v] = t
+	}
+	return out
+}
+
+// Equal reports whether two mappings have the same domain and values.
+func (m Mapping) Equal(n Mapping) bool {
+	if len(m) != len(n) {
+		return false
+	}
+	for v, t := range m {
+		if u, ok := n[v]; !ok || u != t {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical encoding of the mapping, usable as a map key.
+func (m Mapping) Key() string {
+	vars := make([]string, 0, len(m))
+	for v := range m {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	var b strings.Builder
+	for _, v := range vars {
+		t := m[v]
+		b.WriteString(v)
+		b.WriteByte('=')
+		b.WriteByte(byte('0' + t.Kind))
+		b.WriteString(t.Value)
+		b.WriteByte(1)
+		b.WriteString(t.Datatype)
+		b.WriteByte(1)
+		b.WriteString(t.Lang)
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+// String renders the mapping deterministically: {?X→a, ?Y→b}.
+func (m Mapping) String() string {
+	vars := make([]string, 0, len(m))
+	for v := range m {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, v := range vars {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v)
+		b.WriteString("→")
+		b.WriteString(m[v].String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// MappingSet is a set of mappings with set semantics.
+type MappingSet struct {
+	list []Mapping
+	seen map[string]struct{}
+}
+
+// NewMappingSet builds a set from the given mappings, deduplicating.
+func NewMappingSet(ms ...Mapping) *MappingSet {
+	s := &MappingSet{seen: make(map[string]struct{})}
+	for _, m := range ms {
+		s.Add(m)
+	}
+	return s
+}
+
+// Add inserts a mapping, reporting whether it was new.
+func (s *MappingSet) Add(m Mapping) bool {
+	k := m.Key()
+	if _, ok := s.seen[k]; ok {
+		return false
+	}
+	s.seen[k] = struct{}{}
+	s.list = append(s.list, m)
+	return true
+}
+
+// Has reports membership.
+func (s *MappingSet) Has(m Mapping) bool {
+	_, ok := s.seen[m.Key()]
+	return ok
+}
+
+// Len returns the number of mappings.
+func (s *MappingSet) Len() int { return len(s.list) }
+
+// Mappings returns the mappings; the slice must not be modified.
+func (s *MappingSet) Mappings() []Mapping { return s.list }
+
+// Equal reports set equality.
+func (s *MappingSet) Equal(t *MappingSet) bool {
+	if s.Len() != t.Len() {
+		return false
+	}
+	for k := range s.seen {
+		if _, ok := t.seen[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set sorted, one mapping per line.
+func (s *MappingSet) String() string {
+	lines := make([]string, 0, len(s.list))
+	for _, m := range s.list {
+		lines = append(lines, m.String())
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// Join implements Ω1 ⋈ Ω2 = {µ1 ∪ µ2 | µ1 ∈ Ω1, µ2 ∈ Ω2, µ1 ∼ µ2}.
+func Join(a, b *MappingSet) *MappingSet {
+	out := NewMappingSet()
+	for _, m := range a.list {
+		for _, n := range b.list {
+			if m.Compatible(n) {
+				out.Add(m.Merge(n))
+			}
+		}
+	}
+	return out
+}
+
+// UnionSets implements Ω1 ∪ Ω2.
+func UnionSets(a, b *MappingSet) *MappingSet {
+	out := NewMappingSet()
+	for _, m := range a.list {
+		out.Add(m)
+	}
+	for _, m := range b.list {
+		out.Add(m)
+	}
+	return out
+}
+
+// Diff implements Ω1 ∖ Ω2 = {µ ∈ Ω1 | ∀µ' ∈ Ω2 : µ ≁ µ'}.
+func Diff(a, b *MappingSet) *MappingSet {
+	out := NewMappingSet()
+	for _, m := range a.list {
+		ok := true
+		for _, n := range b.list {
+			if m.Compatible(n) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out.Add(m)
+		}
+	}
+	return out
+}
+
+// LeftOuterJoin implements Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪ (Ω1 ∖ Ω2).
+func LeftOuterJoin(a, b *MappingSet) *MappingSet {
+	return UnionSets(Join(a, b), Diff(a, b))
+}

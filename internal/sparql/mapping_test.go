@@ -1,0 +1,179 @@
+package sparql
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdf"
+)
+
+func mp(pairs ...string) Mapping {
+	if len(pairs)%2 != 0 {
+		panic("mp: odd arguments")
+	}
+	m := make(Mapping)
+	for i := 0; i < len(pairs); i += 2 {
+		m["?"+pairs[i]] = rdf.NewIRI(pairs[i+1])
+	}
+	return m
+}
+
+func TestMappingCompatible(t *testing.T) {
+	m1 := mp("X", "a", "Y", "b")
+	m2 := mp("Y", "b", "Z", "c")
+	m3 := mp("Y", "z")
+	if !m1.Compatible(m2) || !m2.Compatible(m1) {
+		t.Error("overlapping agreeing mappings should be compatible")
+	}
+	if m1.Compatible(m3) || m3.Compatible(m1) {
+		t.Error("disagreeing mappings should be incompatible")
+	}
+	empty := Mapping{}
+	if !empty.Compatible(m1) || !m1.Compatible(empty) {
+		t.Error("µ∅ is compatible with everything")
+	}
+}
+
+func TestMappingMergeRestrict(t *testing.T) {
+	m := mp("X", "a").Merge(mp("Y", "b"))
+	if len(m) != 2 || m["?X"] != rdf.NewIRI("a") || m["?Y"] != rdf.NewIRI("b") {
+		t.Errorf("Merge = %v", m)
+	}
+	r := m.Restrict(map[string]bool{"?X": true})
+	if len(r) != 1 || r["?X"] != rdf.NewIRI("a") {
+		t.Errorf("Restrict = %v", r)
+	}
+}
+
+func TestMappingEqualKey(t *testing.T) {
+	m1 := mp("X", "a", "Y", "b")
+	m2 := mp("Y", "b", "X", "a")
+	if !m1.Equal(m2) || m1.Key() != m2.Key() {
+		t.Error("insertion order must not matter")
+	}
+	if m1.Equal(mp("X", "a")) || m1.Key() == mp("X", "a").Key() {
+		t.Error("different domains must differ")
+	}
+	if mp("X", "a").Equal(mp("X", "b")) {
+		t.Error("different values must differ")
+	}
+}
+
+func TestMappingSetBasics(t *testing.T) {
+	s := NewMappingSet(mp("X", "a"), mp("X", "a"), mp("X", "b"))
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2 (dedup)", s.Len())
+	}
+	if !s.Has(mp("X", "a")) || s.Has(mp("X", "c")) {
+		t.Error("Has wrong")
+	}
+	other := NewMappingSet(mp("X", "b"), mp("X", "a"))
+	if !s.Equal(other) {
+		t.Error("order-insensitive equality failed")
+	}
+}
+
+func TestJoinSemantics(t *testing.T) {
+	// Ω1 ⋈ Ω2 per the paper's definition.
+	o1 := NewMappingSet(mp("X", "a", "Y", "b"), mp("X", "a", "Y", "z"))
+	o2 := NewMappingSet(mp("Y", "b", "Z", "c"))
+	j := Join(o1, o2)
+	if j.Len() != 1 {
+		t.Fatalf("Join = %v", j)
+	}
+	want := mp("X", "a", "Y", "b", "Z", "c")
+	if !j.Has(want) {
+		t.Errorf("Join missing %v", want)
+	}
+}
+
+func TestDiffSemantics(t *testing.T) {
+	o1 := NewMappingSet(mp("X", "a"), mp("X", "b"))
+	o2 := NewMappingSet(mp("X", "a", "Y", "c"))
+	d := Diff(o1, o2)
+	// mp(X,a) is compatible with mp(X,a,Y,c) → removed; mp(X,b) survives.
+	if d.Len() != 1 || !d.Has(mp("X", "b")) {
+		t.Errorf("Diff = %v", d)
+	}
+}
+
+func TestLeftOuterJoinSemantics(t *testing.T) {
+	// The canonical OPT example: everyone keeps their name; phones attach
+	// where available.
+	names := NewMappingSet(mp("X", "u1", "N", "alice"), mp("X", "u2", "N", "bob"))
+	phones := NewMappingSet(mp("X", "u1", "P", "123"))
+	j := LeftOuterJoin(names, phones)
+	if j.Len() != 2 {
+		t.Fatalf("LeftOuterJoin = %v", j)
+	}
+	if !j.Has(mp("X", "u1", "N", "alice", "P", "123")) {
+		t.Error("joined mapping missing")
+	}
+	if !j.Has(mp("X", "u2", "N", "bob")) {
+		t.Error("unextended mapping missing")
+	}
+}
+
+func randomMappingSet(rng *rand.Rand) *MappingSet {
+	vars := []string{"X", "Y", "Z"}
+	vals := []string{"a", "b", "c"}
+	s := NewMappingSet()
+	n := rng.Intn(5)
+	for i := 0; i < n; i++ {
+		m := make(Mapping)
+		for _, v := range vars {
+			if rng.Intn(2) == 0 {
+				m["?"+v] = rdf.NewIRI(vals[rng.Intn(len(vals))])
+			}
+		}
+		s.Add(m)
+	}
+	return s
+}
+
+// Algebraic properties from the SPARQL algebra: commutativity of ⋈ and ∪,
+// and the left-outer-join identity Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪ (Ω1 ∖ Ω2).
+func TestAlgebraProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomMappingSet(rng), randomMappingSet(rng)
+		if !Join(a, b).Equal(Join(b, a)) {
+			t.Logf("join not commutative for\n%s\n--\n%s", a, b)
+			return false
+		}
+		if !UnionSets(a, b).Equal(UnionSets(b, a)) {
+			return false
+		}
+		lo := LeftOuterJoin(a, b)
+		alt := UnionSets(Join(a, b), Diff(a, b))
+		return lo.Equal(alt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Join with the singleton {µ∅} is the identity.
+func TestJoinIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomMappingSet(rng)
+		id := NewMappingSet(Mapping{})
+		return Join(a, id).Equal(a) && Join(id, a).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMappingString(t *testing.T) {
+	m := mp("Y", "b", "X", "a")
+	if got := m.String(); got != "{?X→<a>, ?Y→<b>}" {
+		t.Errorf("String = %q", got)
+	}
+	s := NewMappingSet(mp("X", "b"), mp("X", "a"))
+	if s.String() == "" {
+		t.Error("set String empty")
+	}
+}

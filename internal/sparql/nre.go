@@ -1,0 +1,453 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// This file implements the nested regular expressions (NREs) of nSPARQL
+// (Pérez, Arenas, Gutierrez — reference [32] of the paper), the strongest of
+// the navigational languages the paper compares against in Corollary 7.3.
+// Unlike SPARQL 1.1 property paths, NREs can navigate *through* predicates
+// with nested tests, so they express the Section 2 transport query:
+//
+//	(next::[ (next::partOf)+ / self::transportService ])+
+//
+// Corollary 7.3's separation from TriQ-Lite 1.0 is therefore not about this
+// query but about program expressive power: nSPARQL translates into
+// Datalog^{¬s,⊥}, which Theorem 7.2 separates from TriQ-Lite 1.0.
+//
+// Grammar (axes per the nSPARQL paper; ⁻¹ may be written -1):
+//
+//	nre   := alt
+//	alt   := seq ('|' seq)*
+//	seq   := unary ('/' unary)*
+//	unary := primary ('*' | '+' | '?')*
+//	primary := axis | axis '::' IRI | axis '::[' alt ']' | '(' alt ')'
+//	axis  := (self | next | edge | node) ['⁻¹' | '-1']
+
+// Axis is an nSPARQL navigation axis.
+type Axis int
+
+const (
+	// AxisSelf stays on the current node.
+	AxisSelf Axis = iota
+	// AxisNext moves subject → object (over the predicate).
+	AxisNext
+	// AxisEdge moves subject → predicate (over the object).
+	AxisEdge
+	// AxisNode moves predicate → object (over the subject).
+	AxisNode
+)
+
+func (a Axis) String() string {
+	switch a {
+	case AxisSelf:
+		return "self"
+	case AxisNext:
+		return "next"
+	case AxisEdge:
+		return "edge"
+	case AxisNode:
+		return "node"
+	default:
+		return fmt.Sprintf("Axis(%d)", int(a))
+	}
+}
+
+// NRE is a nested regular expression.
+type NRE interface {
+	isNRE()
+	String() string
+}
+
+// NREStep is one axis step, optionally labeled (axis::a) or tested
+// (axis::[exp]), optionally inverted.
+type NREStep struct {
+	Axis    Axis
+	Inverse bool
+	// Label restricts the element passed over to one IRI (axis::a).
+	Label *rdf.Term
+	// Test restricts the element passed over by a nested expression.
+	Test NRE
+}
+
+// NRESeq is exp1/exp2.
+type NRESeq struct{ L, R NRE }
+
+// NREAlt is exp1|exp2.
+type NREAlt struct{ L, R NRE }
+
+// NREStar is exp*.
+type NREStar struct{ P NRE }
+
+func (NREStep) isNRE() {}
+func (NRESeq) isNRE()  {}
+func (NREAlt) isNRE()  {}
+func (NREStar) isNRE() {}
+
+func (s NREStep) String() string {
+	out := s.Axis.String()
+	if s.Inverse {
+		out += "⁻¹"
+	}
+	if s.Label != nil {
+		out += "::" + s.Label.Value
+	} else if s.Test != nil {
+		out += "::[" + s.Test.String() + "]"
+	}
+	return out
+}
+
+func (s NRESeq) String() string  { return nreParen(s.L) + "/" + nreParen(s.R) }
+func (s NREAlt) String() string  { return nreParen(s.L) + "|" + nreParen(s.R) }
+func (s NREStar) String() string { return nreParen(s.P) + "*" }
+
+func nreParen(e NRE) string {
+	switch e.(type) {
+	case NREStep:
+		return e.String()
+	default:
+		return "(" + e.String() + ")"
+	}
+}
+
+// EvalNRE computes the pairs of graph terms related by the expression.
+func EvalNRE(g *rdf.Graph, e NRE) PairSet {
+	switch q := e.(type) {
+	case NREStep:
+		return evalStep(g, q)
+	case NRESeq:
+		l, r := EvalNRE(g, q.L), EvalNRE(g, q.R)
+		byFirst := make(map[rdf.Term][]rdf.Term)
+		for pr := range r {
+			byFirst[pr[0]] = append(byFirst[pr[0]], pr[1])
+		}
+		out := make(PairSet)
+		for pr := range l {
+			for _, z := range byFirst[pr[1]] {
+				out[TermPair{pr[0], z}] = true
+			}
+		}
+		return out
+	case NREAlt:
+		out := EvalNRE(g, q.L)
+		for pr := range EvalNRE(g, q.R) {
+			out[pr] = true
+		}
+		return out
+	case NREStar:
+		out := transitiveClosure(EvalNRE(g, q.P))
+		for _, t := range allTerms(g) {
+			out[TermPair{t, t}] = true
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("sparql: unknown NRE type %T", e))
+	}
+}
+
+func allTerms(g *rdf.Graph) []rdf.Term { return g.Terms() }
+
+// passes reports whether the middle element z satisfies the step's label or
+// nested test; testOK is the set of terms with an outgoing test pair.
+func stepFilter(g *rdf.Graph, s NREStep) func(z rdf.Term) bool {
+	if s.Label != nil {
+		want := *s.Label
+		return func(z rdf.Term) bool { return z == want }
+	}
+	if s.Test != nil {
+		ok := make(map[rdf.Term]bool)
+		for pr := range EvalNRE(g, s.Test) {
+			ok[pr[0]] = true
+		}
+		return func(z rdf.Term) bool { return ok[z] }
+	}
+	return func(rdf.Term) bool { return true }
+}
+
+func evalStep(g *rdf.Graph, s NREStep) PairSet {
+	out := make(PairSet)
+	add := func(x, y rdf.Term) {
+		if s.Inverse {
+			out[TermPair{y, x}] = true
+		} else {
+			out[TermPair{x, y}] = true
+		}
+	}
+	filter := stepFilter(g, s)
+	if s.Axis == AxisSelf {
+		if s.Label != nil {
+			// self::a = {(a,a)} (on nonempty graphs; the Datalog translation
+			// anchors the pair to the active domain the same way).
+			if g.Len() > 0 {
+				add(*s.Label, *s.Label)
+			}
+			return out
+		}
+		for _, t := range allTerms(g) {
+			if filter(t) {
+				add(t, t)
+			}
+		}
+		return out
+	}
+	for _, tr := range g.Triples() {
+		var from, over, to rdf.Term
+		switch s.Axis {
+		case AxisNext: // subject → object over the predicate
+			from, over, to = tr.S, tr.P, tr.O
+		case AxisEdge: // subject → predicate over the object
+			from, over, to = tr.S, tr.O, tr.P
+		case AxisNode: // predicate → object over the subject
+			from, over, to = tr.P, tr.S, tr.O
+		}
+		if filter(over) {
+			add(from, to)
+		}
+	}
+	return out
+}
+
+// ParseNRE parses a nested regular expression.
+func ParseNRE(src string) (NRE, error) {
+	p := &nreParser{in: src}
+	e, err := p.alt()
+	if err != nil {
+		return nil, err
+	}
+	p.skip()
+	if p.pos < len(p.in) {
+		return nil, fmt.Errorf("sparql: trailing NRE input %q", p.in[p.pos:])
+	}
+	return e, nil
+}
+
+// MustParseNRE is ParseNRE, panicking on error.
+func MustParseNRE(src string) NRE {
+	e, err := ParseNRE(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type nreParser struct {
+	in  string
+	pos int
+}
+
+func (p *nreParser) skip() {
+	for p.pos < len(p.in) {
+		switch p.in[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *nreParser) peek() byte {
+	if p.pos >= len(p.in) {
+		return 0
+	}
+	return p.in[p.pos]
+}
+
+func (p *nreParser) alt() (NRE, error) {
+	l, err := p.seq()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skip()
+		if p.peek() != '|' {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.seq()
+		if err != nil {
+			return nil, err
+		}
+		l = NREAlt{L: l, R: r}
+	}
+}
+
+func (p *nreParser) seq() (NRE, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skip()
+		if p.peek() != '/' {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = NRESeq{L: l, R: r}
+	}
+}
+
+func (p *nreParser) unary() (NRE, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skip()
+		switch p.peek() {
+		case '*':
+			p.pos++
+			e = NREStar{P: e}
+		case '+':
+			p.pos++
+			e = NRESeq{L: e, R: NREStar{P: e}}
+		case '?':
+			p.pos++
+			e = NREAlt{L: e, R: NREStep{Axis: AxisSelf}}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *nreParser) primary() (NRE, error) {
+	p.skip()
+	if p.peek() == '(' {
+		p.pos++
+		e, err := p.alt()
+		if err != nil {
+			return nil, err
+		}
+		p.skip()
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("sparql: expected ')' in NRE at %q", p.in[p.pos:])
+		}
+		p.pos++
+		return e, nil
+	}
+	var axis Axis
+	switch {
+	case strings.HasPrefix(p.in[p.pos:], "self"):
+		axis = AxisSelf
+	case strings.HasPrefix(p.in[p.pos:], "next"):
+		axis = AxisNext
+	case strings.HasPrefix(p.in[p.pos:], "edge"):
+		axis = AxisEdge
+	case strings.HasPrefix(p.in[p.pos:], "node"):
+		axis = AxisNode
+	default:
+		return nil, fmt.Errorf("sparql: expected an axis (self/next/edge/node) at %q", p.in[p.pos:])
+	}
+	p.pos += 4
+	step := NREStep{Axis: axis}
+	switch {
+	case strings.HasPrefix(p.in[p.pos:], "⁻¹"):
+		step.Inverse = true
+		p.pos += len("⁻¹")
+	case strings.HasPrefix(p.in[p.pos:], "-1"):
+		step.Inverse = true
+		p.pos += 2
+	}
+	p.skip()
+	if strings.HasPrefix(p.in[p.pos:], "::") {
+		p.pos += 2
+		p.skip()
+		if p.peek() == '[' {
+			p.pos++
+			test, err := p.alt()
+			if err != nil {
+				return nil, err
+			}
+			p.skip()
+			if p.peek() != ']' {
+				return nil, fmt.Errorf("sparql: expected ']' in NRE test")
+			}
+			p.pos++
+			step.Test = test
+			return step, nil
+		}
+		label := p.word()
+		if label == "" {
+			return nil, fmt.Errorf("sparql: expected label after '::'")
+		}
+		t := rdf.NewIRI(label)
+		step.Label = &t
+		return step, nil
+	}
+	return step, nil
+}
+
+func (p *nreParser) word() string {
+	start := p.pos
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		if isPathNameByte(c) {
+			p.pos++
+			continue
+		}
+		// allow the multi-byte ⁻¹ suffix
+		if strings.HasPrefix(p.in[p.pos:], "⁻¹") {
+			p.pos += len("⁻¹")
+			continue
+		}
+		break
+	}
+	return p.in[start:p.pos]
+}
+
+// PathToNRE embeds a SPARQL 1.1 property path into a nested regular
+// expression: p ↦ next::p, ^e ↦ inverse, and /, |, *, +, ? map to their NRE
+// counterparts. This is the inclusion "property paths ⊆ nSPARQL" that makes
+// the navigational baselines of the paper comparable. The two specifications
+// disagree on zero-length paths — SPARQL matches subjects and objects only,
+// nSPARQL's self ranges over all of voc(G) — so the embedding is exact after
+// restricting the NRE result to node terms:
+//
+//	EvalPath(g, p) = {(x,y) ∈ EvalNRE(g, PathToNRE(p)) : x, y node terms of g}
+func PathToNRE(p PathExpr) NRE {
+	switch q := p.(type) {
+	case PathIRI:
+		label := rdf.NewIRI(q.IRI)
+		return NREStep{Axis: AxisNext, Label: &label}
+	case PathInv:
+		return invertNRE(PathToNRE(q.P))
+	case PathSeq:
+		return NRESeq{L: PathToNRE(q.L), R: PathToNRE(q.R)}
+	case PathAlt:
+		return NREAlt{L: PathToNRE(q.L), R: PathToNRE(q.R)}
+	case PathStar:
+		return NREStar{P: PathToNRE(q.P)}
+	case PathPlus:
+		inner := PathToNRE(q.P)
+		return NRESeq{L: inner, R: NREStar{P: inner}}
+	case PathOpt:
+		return NREAlt{L: PathToNRE(q.P), R: NREStep{Axis: AxisSelf}}
+	default:
+		panic(fmt.Sprintf("sparql: unknown path type %T", p))
+	}
+}
+
+// invertNRE reverses the direction of an expression.
+func invertNRE(e NRE) NRE {
+	switch q := e.(type) {
+	case NREStep:
+		q.Inverse = !q.Inverse
+		return q
+	case NRESeq:
+		return NRESeq{L: invertNRE(q.R), R: invertNRE(q.L)}
+	case NREAlt:
+		return NREAlt{L: invertNRE(q.L), R: invertNRE(q.R)}
+	case NREStar:
+		return NREStar{P: invertNRE(q.P)}
+	default:
+		panic(fmt.Sprintf("sparql: unknown NRE type %T", e))
+	}
+}

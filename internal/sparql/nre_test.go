@@ -1,0 +1,254 @@
+package sparql
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func nreGraph() *rdf.Graph {
+	return rdf.NewGraph(
+		rdf.T("a", "p", "b"),
+		rdf.T("b", "q", "c"),
+		rdf.T("p", "subPropertyOf", "r"),
+	)
+}
+
+func TestNREAxes(t *testing.T) {
+	g := nreGraph()
+	cases := []struct {
+		nre  string
+		want []TermPair
+	}{
+		{"next::p", []TermPair{pair("a", "b")}},
+		{"next", []TermPair{pair("a", "b"), pair("b", "c"), pair("p", "r")}},
+		{"next⁻¹::p", []TermPair{pair("b", "a")}},
+		{"next-1::p", []TermPair{pair("b", "a")}},
+		{"edge::b", []TermPair{pair("a", "p")}}, // subject → predicate over object
+		{"node::a", []TermPair{pair("p", "b")}}, // predicate → object over subject
+		{"self::a", []TermPair{pair("a", "a")}},
+		{"next::p/next::q", []TermPair{pair("a", "c")}},
+		{"next::p|next::q", []TermPair{pair("a", "b"), pair("b", "c")}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.nre, func(t *testing.T) {
+			got := EvalNRE(g, MustParseNRE(tc.nre))
+			want := make(PairSet)
+			for _, p := range tc.want {
+				want[p] = true
+			}
+			if !got.Equal(want) {
+				t.Errorf("⟦%s⟧ = %v, want %v", tc.nre, got.Sorted(), want.Sorted())
+			}
+		})
+	}
+}
+
+func TestNRESelfIsIdentityOnTerms(t *testing.T) {
+	g := nreGraph()
+	self := EvalNRE(g, MustParseNRE("self"))
+	terms := g.Terms()
+	if len(self) != len(terms) {
+		t.Errorf("self = %d pairs, want %d", len(self), len(terms))
+	}
+	for _, x := range terms {
+		if !self[TermPair{x, x}] {
+			t.Errorf("self missing (%v,%v)", x, x)
+		}
+	}
+}
+
+func TestNRENestedTest(t *testing.T) {
+	// next::[ next::subPropertyOf / self::r ]: traverse an edge whose
+	// predicate is a (direct) subproperty of r.
+	g := nreGraph()
+	got := EvalNRE(g, MustParseNRE("next::[ next::subPropertyOf / self::r ]"))
+	want := PairSet{pair("a", "b"): true}
+	if !got.Equal(want) {
+		t.Errorf("nested test = %v", got.Sorted())
+	}
+}
+
+func TestNREClosures(t *testing.T) {
+	g := rdf.NewGraph(rdf.T("a", "p", "b"), rdf.T("b", "p", "c"))
+	plus := EvalNRE(g, MustParseNRE("next::p+"))
+	if len(plus) != 3 || !plus[pair("a", "c")] {
+		t.Errorf("plus = %v", plus.Sorted())
+	}
+	star := EvalNRE(g, MustParseNRE("next::p*"))
+	// 3 closure pairs + identity on all 4 terms (a, b, c, p).
+	if len(star) != 3+4 {
+		t.Errorf("star = %v", star.Sorted())
+	}
+	opt := EvalNRE(g, MustParseNRE("next::p?"))
+	if len(opt) != 2+4 {
+		t.Errorf("opt = %v", opt.Sorted())
+	}
+}
+
+// TestNREExpressesTransport is the flip side of experiment E9: nSPARQL's
+// nested regular expressions (unlike plain property paths) DO express the
+// Section 2 transport query, with a fixed expression that transfers across
+// renamed networks — matching the role reference [32] plays in the paper.
+func TestNREExpressesTransport(t *testing.T) {
+	nre := MustParseNRE("(next::[ (next::partOf)+ / self::transportService ])+")
+	for _, tag := range []string{"acme", "zeta"} {
+		g := transportGraphForNRE(tag)
+		got := EvalNRE(g, nre)
+		want := transportPairsDirect(g)
+		if !got.Equal(want) {
+			t.Errorf("tag %s: NRE = %v, want %v", tag, got.Sorted(), want.Sorted())
+		}
+		if len(want) == 0 {
+			t.Fatal("reference relation empty — vacuous test")
+		}
+	}
+}
+
+// transportGraphForNRE builds a small two-line network (mirrors
+// workload.TransportGraph, re-built here to avoid an import cycle).
+func transportGraphForNRE(tag string) *rdf.Graph {
+	g := rdf.NewGraph(
+		rdf.T(tag+"_hub", "partOf", "transportService"),
+		rdf.T(tag+"_line0", "partOf", tag+"_hub"),
+		rdf.T(tag+"_line1", "partOf", tag+"_hub"),
+		rdf.T("city_0", tag+"_line0", "city_1"),
+		rdf.T("city_1", tag+"_line0", "city_2"),
+		rdf.T("city_2", tag+"_line1", "city_3"),
+	)
+	return g
+}
+
+// transportPairsDirect computes the reference relation by brute force.
+func transportPairsDirect(g *rdf.Graph) PairSet {
+	// Transport services: partOf+ reaches transportService.
+	partOf := EvalPath(g, MustParsePath("partOf+"))
+	ts := make(map[rdf.Term]bool)
+	for pr := range partOf {
+		if pr[1] == rdf.NewIRI("transportService") {
+			ts[pr[0]] = true
+		}
+	}
+	edges := make(PairSet)
+	for _, tr := range g.Triples() {
+		if ts[tr.P] {
+			edges[TermPair{tr.S, tr.O}] = true
+		}
+	}
+	return transitiveClosure(edges)
+}
+
+func TestParseNREErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"bogus",
+		"next::",
+		"next::[",
+		"next::[self",
+		"(next",
+		"next/",
+		"next | ",
+		"next]]",
+	}
+	for _, src := range bad {
+		if _, err := ParseNRE(src); err == nil {
+			t.Errorf("ParseNRE(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestNREStrings(t *testing.T) {
+	for _, src := range []string{
+		"next::p", "next⁻¹", "self::a", "edge/node",
+		"(next|edge)*", "next::[ self::a ]",
+	} {
+		e := MustParseNRE(src)
+		back, err := ParseNRE(e.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q → %q: %v", src, e.String(), err)
+		}
+		g := nreGraph()
+		if !EvalNRE(g, e).Equal(EvalNRE(g, back)) {
+			t.Errorf("round trip changed semantics of %q", src)
+		}
+	}
+	if AxisSelf.String() != "self" || Axis(9).String() == "" {
+		t.Error("Axis.String wrong")
+	}
+}
+
+// Property paths embed into NREs: evaluation agrees on random expressions.
+func TestPathToNREAgrees(t *testing.T) {
+	g := rdf.NewGraph(
+		rdf.T("a", "p", "b"), rdf.T("b", "p", "c"), rdf.T("b", "q", "a"),
+		rdf.T("c", "q", "b"),
+	)
+	exprs := []string{
+		"p", "^p", "p/q", "p|q", "p*", "p+", "p?", "^(p/q)", "(p|^q)+", "p/^p",
+	}
+	for _, src := range exprs {
+		t.Run(src, func(t *testing.T) {
+			path := MustParsePath(src)
+			direct := EvalPath(g, path)
+			viaNRE := restrictToNodes(g, EvalNRE(g, PathToNRE(path)))
+			if !direct.Equal(viaNRE) {
+				t.Errorf("⟦%s⟧: path %v vs NRE %v", src, direct.Sorted(), viaNRE.Sorted())
+			}
+		})
+	}
+}
+
+// …and randomized over graphs.
+func TestPathToNRERandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	names := []string{"a", "b", "c"}
+	preds := []string{"p", "q"}
+	var build func(depth int) PathExpr
+	build = func(depth int) PathExpr {
+		if depth <= 0 {
+			return PathIRI{IRI: preds[rng.Intn(len(preds))]}
+		}
+		switch rng.Intn(6) {
+		case 0:
+			return PathInv{P: build(depth - 1)}
+		case 1:
+			return PathSeq{L: build(depth - 1), R: build(depth - 1)}
+		case 2:
+			return PathAlt{L: build(depth - 1), R: build(depth - 1)}
+		case 3:
+			return PathStar{P: build(depth - 1)}
+		case 4:
+			return PathPlus{P: build(depth - 1)}
+		default:
+			return PathOpt{P: build(depth - 1)}
+		}
+	}
+	for round := 0; round < 60; round++ {
+		g := rdf.NewGraph()
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			g.Add(rdf.T(names[rng.Intn(3)], preds[rng.Intn(2)], names[rng.Intn(3)]))
+		}
+		p := build(2)
+		if !EvalPath(g, p).Equal(restrictToNodes(g, EvalNRE(g, PathToNRE(p)))) {
+			t.Fatalf("round %d: path %s disagrees with its NRE embedding over\n%s", round, p, g)
+		}
+	}
+}
+
+// restrictToNodes drops pairs touching predicate-only terms: SPARQL paths
+// range over subjects and objects, nSPARQL over all of voc(G).
+func restrictToNodes(g *rdf.Graph, ps PairSet) PairSet {
+	nodes := make(map[rdf.Term]bool)
+	for _, t := range g.Triples() {
+		nodes[t.S] = true
+		nodes[t.O] = true
+	}
+	out := make(PairSet)
+	for pr := range ps {
+		if nodes[pr[0]] && nodes[pr[1]] {
+			out[pr] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,572 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/rdf"
+)
+
+// QueryKind discriminates SELECT and CONSTRUCT queries.
+type QueryKind int
+
+const (
+	// SelectQuery projects variable bindings.
+	SelectQuery QueryKind = iota
+	// ConstructQuery produces an RDF graph from a template.
+	ConstructQuery
+)
+
+// Query is a parsed SPARQL query.
+type Query struct {
+	Kind QueryKind
+	// Proj lists the SELECT variables; nil means SELECT *.
+	Proj []string
+	// Where is the graph pattern of the WHERE clause.
+	Where Pattern
+	// Template holds the CONSTRUCT template triples.
+	Template []TriplePattern
+}
+
+// Pattern returns the algebraic pattern of the query: for SELECT with an
+// explicit projection it wraps Where in (SELECT W ·).
+func (q *Query) Pattern() Pattern {
+	if q.Kind == SelectQuery && q.Proj != nil {
+		return Select{Proj: q.Proj, P: q.Where}
+	}
+	return q.Where
+}
+
+// Select evaluates a SELECT query over a graph.
+func (q *Query) Select(g *rdf.Graph) (*MappingSet, error) {
+	if q.Kind != SelectQuery {
+		return nil, fmt.Errorf("sparql: not a SELECT query")
+	}
+	return Eval(q.Pattern(), g), nil
+}
+
+// ParseQuery parses a SPARQL query in the subset covered by the paper:
+//
+//	SELECT ?X ?Y WHERE { ?Y name ?X . OPTIONAL { ?Y phone ?Z } }
+//	SELECT * WHERE { { ?X a t1 } UNION { ?X a t2 } FILTER(bound(?X)) }
+//	CONSTRUCT { ?X name_author ?Z } WHERE { ?Y is_author_of ?Z . ?Y name ?X }
+//
+// IRIs are written bare (rdf:type, dbUllman) or bracketed (<http://…>);
+// literals are double-quoted; blank nodes are _:b; keywords are
+// case-insensitive. FILTER conditions support bound(?X), ?X = ?Y, ?X = term,
+// !=, !, &&, || and parentheses; filters apply to their enclosing group.
+func ParseQuery(src string) (*Query, error) {
+	p := &qparser{in: src}
+	p.skipWS()
+	kw := strings.ToUpper(p.peekWord())
+	q := &Query{}
+	switch kw {
+	case "SELECT":
+		p.word()
+		p.skipWS()
+		if p.peekByte() == '*' {
+			p.pos++
+		} else {
+			for {
+				p.skipWS()
+				if p.peekByte() != '?' {
+					break
+				}
+				v, err := p.varName()
+				if err != nil {
+					return nil, err
+				}
+				q.Proj = append(q.Proj, v)
+			}
+			if q.Proj == nil {
+				return nil, p.errf("SELECT requires variables or *")
+			}
+		}
+	case "CONSTRUCT":
+		p.word()
+		q.Kind = ConstructQuery
+		tpl, err := p.templateBlock()
+		if err != nil {
+			return nil, err
+		}
+		q.Template = tpl
+	default:
+		return nil, p.errf("expected SELECT or CONSTRUCT, got %q", p.peekWord())
+	}
+	p.skipWS()
+	if strings.ToUpper(p.peekWord()) != "WHERE" {
+		return nil, p.errf("expected WHERE, got %q", p.peekWord())
+	}
+	p.word()
+	where, err := p.group()
+	if err != nil {
+		return nil, err
+	}
+	q.Where = where
+	p.skipWS()
+	if !p.eof() {
+		return nil, p.errf("trailing input %q", p.rest())
+	}
+	if err := Validate(q.Where); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParseQuery is ParseQuery, panicking on error.
+func MustParseQuery(src string) *Query {
+	q, err := ParseQuery(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type qparser struct {
+	in  string
+	pos int
+}
+
+func (p *qparser) eof() bool { return p.pos >= len(p.in) }
+
+func (p *qparser) rest() string {
+	r := p.in[p.pos:]
+	if len(r) > 30 {
+		r = r[:30] + "…"
+	}
+	return r
+}
+
+func (p *qparser) errf(format string, args ...any) error {
+	line := 1 + strings.Count(p.in[:p.pos], "\n")
+	return fmt.Errorf("sparql: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *qparser) peekByte() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.in[p.pos]
+}
+
+func (p *qparser) skipWS() {
+	for !p.eof() {
+		c := p.in[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		if c == '#' {
+			for !p.eof() && p.in[p.pos] != '\n' {
+				p.pos++
+			}
+			continue
+		}
+		break
+	}
+}
+
+// peekWord returns the next bare word without consuming it.
+func (p *qparser) peekWord() string {
+	save := p.pos
+	w := p.word()
+	p.pos = save
+	return w
+}
+
+func (p *qparser) word() string {
+	p.skipWS()
+	start := p.pos
+	for !p.eof() {
+		r, sz := utf8.DecodeRuneInString(p.in[p.pos:])
+		if !isNameRune(r) {
+			break
+		}
+		p.pos += sz
+	}
+	return p.in[start:p.pos]
+}
+
+func isNameRune(r rune) bool {
+	switch r {
+	case '_', ':', '-', '\'', '/', '∃', '⁻':
+		return true
+	}
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (p *qparser) varName() (string, error) {
+	p.skipWS()
+	if p.peekByte() != '?' {
+		return "", p.errf("expected variable at %q", p.rest())
+	}
+	p.pos++
+	w := p.word()
+	if w == "" {
+		return "", p.errf("empty variable name")
+	}
+	return "?" + w, nil
+}
+
+// term parses one pattern term.
+func (p *qparser) term() (PTerm, error) {
+	p.skipWS()
+	if p.eof() {
+		return PTerm{}, p.errf("unexpected end of query")
+	}
+	switch p.peekByte() {
+	case '?':
+		v, err := p.varName()
+		if err != nil {
+			return PTerm{}, err
+		}
+		return PTerm{IsVar: true, Var: v}, nil
+	case '<':
+		p.pos++
+		start := p.pos
+		for !p.eof() && p.in[p.pos] != '>' {
+			p.pos++
+		}
+		if p.eof() {
+			return PTerm{}, p.errf("unterminated IRI")
+		}
+		iri := p.in[start:p.pos]
+		p.pos++
+		return IRI(iri), nil
+	case '"':
+		return p.literal()
+	case '_':
+		if strings.HasPrefix(p.in[p.pos:], "_:") {
+			p.pos += 2
+			w := p.word()
+			if w == "" {
+				return PTerm{}, p.errf("empty blank node label")
+			}
+			return Blank(w), nil
+		}
+	}
+	w := p.word()
+	if w == "" {
+		return PTerm{}, p.errf("expected term at %q", p.rest())
+	}
+	return IRI(w), nil
+}
+
+func (p *qparser) literal() (PTerm, error) {
+	p.pos++ // opening quote
+	var b strings.Builder
+	for {
+		if p.eof() {
+			return PTerm{}, p.errf("unterminated literal")
+		}
+		c := p.in[p.pos]
+		if c == '"' {
+			p.pos++
+			break
+		}
+		if c == '\\' {
+			p.pos++
+			if p.eof() {
+				return PTerm{}, p.errf("dangling escape")
+			}
+			switch p.in[p.pos] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				return PTerm{}, p.errf("unknown escape \\%c", p.in[p.pos])
+			}
+			p.pos++
+			continue
+		}
+		b.WriteByte(c)
+		p.pos++
+	}
+	lex := b.String()
+	if strings.HasPrefix(p.in[p.pos:], "^^") {
+		p.pos += 2
+		dt, err := p.term()
+		if err != nil {
+			return PTerm{}, err
+		}
+		if dt.IsVar || !dt.Term.IsIRI() {
+			return PTerm{}, p.errf("literal datatype must be an IRI")
+		}
+		return FromTerm(rdf.NewTypedLiteral(lex, dt.Term.Value)), nil
+	}
+	if p.peekByte() == '@' {
+		p.pos++
+		w := p.word()
+		if w == "" {
+			return PTerm{}, p.errf("empty language tag")
+		}
+		return FromTerm(rdf.NewLangLiteral(lex, w)), nil
+	}
+	return FromTerm(rdf.NewLiteral(lex)), nil
+}
+
+// templateBlock parses "{ t1 . t2 . … }".
+func (p *qparser) templateBlock() ([]TriplePattern, error) {
+	p.skipWS()
+	if p.peekByte() != '{' {
+		return nil, p.errf("expected '{' after CONSTRUCT")
+	}
+	p.pos++
+	var out []TriplePattern
+	for {
+		p.skipWS()
+		if p.peekByte() == '}' {
+			p.pos++
+			return out, nil
+		}
+		tp, err := p.triple()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tp)
+		p.skipWS()
+		if p.peekByte() == '.' {
+			p.pos++
+		}
+	}
+}
+
+func (p *qparser) triple() (TriplePattern, error) {
+	s, err := p.term()
+	if err != nil {
+		return TriplePattern{}, err
+	}
+	pr, err := p.term()
+	if err != nil {
+		return TriplePattern{}, err
+	}
+	o, err := p.term()
+	if err != nil {
+		return TriplePattern{}, err
+	}
+	return TriplePattern{S: s, P: pr, O: o}, nil
+}
+
+// group parses a GroupGraphPattern '{ … }'. Elements are combined left to
+// right with AND; OPTIONAL extends the accumulated pattern; UNION combines
+// braced sub-groups; FILTERs collected in the group apply to its result.
+func (p *qparser) group() (Pattern, error) {
+	p.skipWS()
+	if p.peekByte() != '{' {
+		return nil, p.errf("expected '{'")
+	}
+	p.pos++
+	var acc Pattern
+	var pendingBGP []TriplePattern
+	var filters []Condition
+	flushBGP := func() {
+		if pendingBGP != nil {
+			bgp := BGP{Triples: pendingBGP}
+			pendingBGP = nil
+			if acc == nil {
+				acc = bgp
+			} else {
+				acc = And{L: acc, R: bgp}
+			}
+		}
+	}
+	for {
+		p.skipWS()
+		if p.eof() {
+			return nil, p.errf("unterminated group")
+		}
+		switch {
+		case p.peekByte() == '}':
+			p.pos++
+			flushBGP()
+			if acc == nil {
+				acc = BGP{}
+			}
+			for _, f := range filters {
+				acc = Filter{P: acc, Cond: f}
+			}
+			return acc, nil
+		case p.peekByte() == '.':
+			p.pos++
+		case p.peekByte() == '{':
+			// Sub-group, possibly a UNION chain.
+			flushBGP()
+			sub, err := p.group()
+			if err != nil {
+				return nil, err
+			}
+			for {
+				p.skipWS()
+				if strings.ToUpper(p.peekWord()) != "UNION" {
+					break
+				}
+				p.word()
+				rhs, err := p.group()
+				if err != nil {
+					return nil, err
+				}
+				sub = Union{L: sub, R: rhs}
+			}
+			if acc == nil {
+				acc = sub
+			} else {
+				acc = And{L: acc, R: sub}
+			}
+		default:
+			kw := strings.ToUpper(p.peekWord())
+			switch kw {
+			case "OPTIONAL":
+				p.word()
+				flushBGP()
+				inner, err := p.group()
+				if err != nil {
+					return nil, err
+				}
+				if acc == nil {
+					acc = BGP{}
+				}
+				acc = Opt{L: acc, R: inner}
+			case "FILTER":
+				p.word()
+				cond, err := p.filterCond()
+				if err != nil {
+					return nil, err
+				}
+				filters = append(filters, cond)
+			case "UNION":
+				return nil, p.errf("UNION must connect braced groups")
+			default:
+				tp, err := p.triple()
+				if err != nil {
+					return nil, err
+				}
+				pendingBGP = append(pendingBGP, tp)
+			}
+		}
+	}
+}
+
+// filterCond parses "( expr )" or a bare expr after FILTER.
+func (p *qparser) filterCond() (Condition, error) {
+	return p.orExpr()
+}
+
+func (p *qparser) orExpr() (Condition, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipWS()
+		if strings.HasPrefix(p.in[p.pos:], "||") {
+			p.pos += 2
+			r, err := p.andExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = Disj{L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *qparser) andExpr() (Condition, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipWS()
+		if strings.HasPrefix(p.in[p.pos:], "&&") {
+			p.pos += 2
+			r, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = Conj{L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *qparser) unaryExpr() (Condition, error) {
+	p.skipWS()
+	if p.peekByte() == '!' && !strings.HasPrefix(p.in[p.pos:], "!=") {
+		p.pos++
+		c, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Neg{C: c}, nil
+	}
+	if p.peekByte() == '(' {
+		p.pos++
+		c, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipWS()
+		if p.peekByte() != ')' {
+			return nil, p.errf("expected ')' in FILTER expression")
+		}
+		p.pos++
+		return c, nil
+	}
+	if strings.EqualFold(p.peekWord(), "BOUND") {
+		p.word()
+		p.skipWS()
+		if p.peekByte() != '(' {
+			return nil, p.errf("expected '(' after bound")
+		}
+		p.pos++
+		v, err := p.varName()
+		if err != nil {
+			return nil, err
+		}
+		p.skipWS()
+		if p.peekByte() != ')' {
+			return nil, p.errf("expected ')' after bound variable")
+		}
+		p.pos++
+		return Bound{Var: v}, nil
+	}
+	// Comparison: ?X = term | ?X != term.
+	v, err := p.varName()
+	if err != nil {
+		return nil, err
+	}
+	p.skipWS()
+	neg := false
+	switch {
+	case strings.HasPrefix(p.in[p.pos:], "!="):
+		neg = true
+		p.pos += 2
+	case p.peekByte() == '=':
+		p.pos++
+	default:
+		return nil, p.errf("expected '=' or '!=' after %s", v)
+	}
+	rhs, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	var cond Condition
+	if rhs.IsVar {
+		cond = EqVars{X: v, Y: rhs.Var}
+	} else {
+		cond = EqConst{Var: v, Val: rhs.Term}
+	}
+	if neg {
+		cond = Neg{C: cond}
+	}
+	return cond, nil
+}

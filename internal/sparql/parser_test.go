@@ -1,0 +1,297 @@
+package sparql
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func TestParseSelectBasic(t *testing.T) {
+	q := MustParseQuery(`
+		SELECT ?X
+		WHERE {
+			?Y is_author_of ?Z .
+			?Y name ?X }
+	`)
+	if q.Kind != SelectQuery || len(q.Proj) != 1 || q.Proj[0] != "?X" {
+		t.Fatalf("query = %+v", q)
+	}
+	got, err := q.Select(g1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || !got.Has(Mapping{"?X": rdf.NewLiteral("Jeffrey Ullman")}) {
+		t.Errorf("answers = %s", got)
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	q := MustParseQuery(`SELECT * WHERE { ?X name ?N }`)
+	if q.Proj != nil {
+		t.Error("SELECT * should leave Proj nil")
+	}
+	got, err := q.Select(g1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Errorf("answers = %s", got)
+	}
+	m := got.Mappings()[0]
+	if len(m) != 2 {
+		t.Errorf("SELECT * should keep all vars: %v", m)
+	}
+}
+
+func TestParseOptional(t *testing.T) {
+	q := MustParseQuery(`
+		SELECT * WHERE {
+			?X name ?Y .
+			OPTIONAL { ?X phone ?Z }
+		}
+	`)
+	opt, ok := q.Where.(Opt)
+	if !ok {
+		t.Fatalf("Where = %T, want Opt", q.Where)
+	}
+	if _, ok := opt.L.(BGP); !ok {
+		t.Errorf("left of OPT = %T", opt.L)
+	}
+	got := Eval(q.Where, optExampleGraph())
+	if got.Len() != 2 {
+		t.Errorf("answers = %s", got)
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	// Query (6) of Section 2 in concrete syntax.
+	q := MustParseQuery(`
+		SELECT ?X
+		WHERE {
+			{ ?Y is_author_of ?Z .
+			  ?Y name ?X }
+			UNION
+			{ ?Y is_author_of ?Z .
+			  ?Y owl:sameAs ?W .
+			  ?W name ?X }
+		}
+	`)
+	if _, ok := q.Where.(Union); !ok {
+		t.Fatalf("Where = %T, want Union", q.Where)
+	}
+	g := rdf.NewGraph(
+		rdf.Triple{S: rdf.NewIRI("dbUllman"), P: rdf.NewIRI("is_author_of"), O: rdf.NewLiteral("The Complete Book")},
+		rdf.T("dbUllman", "owl:sameAs", "yagoUllman"),
+		rdf.Triple{S: rdf.NewIRI("yagoUllman"), P: rdf.NewIRI("name"), O: rdf.NewLiteral("Jeffrey Ullman")},
+	)
+	got, err := q.Select(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || !got.Has(Mapping{"?X": rdf.NewLiteral("Jeffrey Ullman")}) {
+		t.Errorf("answers = %s", got)
+	}
+}
+
+func TestParseNestedUnionChain(t *testing.T) {
+	q := MustParseQuery(`SELECT * WHERE { { ?X a t1 } UNION { ?X a t2 } UNION { ?X a t3 } }`)
+	u, ok := q.Where.(Union)
+	if !ok {
+		t.Fatalf("Where = %T", q.Where)
+	}
+	if _, ok := u.L.(Union); !ok {
+		t.Error("UNION should chain left-associatively")
+	}
+}
+
+func TestParseFilter(t *testing.T) {
+	q := MustParseQuery(`
+		SELECT * WHERE {
+			?X name ?N
+			FILTER(?N = alice || !bound(?X) && ?N != bob)
+		}
+	`)
+	f, ok := q.Where.(Filter)
+	if !ok {
+		t.Fatalf("Where = %T", q.Where)
+	}
+	// || binds loosest: (?N = alice) ∨ ((¬bound) ∧ (¬(?N = bob)))
+	d, ok := f.Cond.(Disj)
+	if !ok {
+		t.Fatalf("Cond = %T, want Disj", f.Cond)
+	}
+	if _, ok := d.R.(Conj); !ok {
+		t.Errorf("right of || = %T, want Conj", d.R)
+	}
+	g := rdf.NewGraph(rdf.T("u1", "name", "alice"), rdf.T("u2", "name", "bob"))
+	got := Eval(q.Where, g)
+	if got.Len() != 1 {
+		t.Errorf("answers = %s", got)
+	}
+}
+
+func TestParseFilterAppliesToGroup(t *testing.T) {
+	// A filter written before the triples still scopes over the whole group.
+	q := MustParseQuery(`
+		SELECT * WHERE {
+			FILTER(bound(?N))
+			?X name ?N
+		}
+	`)
+	g := rdf.NewGraph(rdf.T("u1", "name", "alice"))
+	if got := Eval(q.Where, g); got.Len() != 1 {
+		t.Errorf("answers = %s", got)
+	}
+}
+
+func TestParseBlankAndLiteralTerms(t *testing.T) {
+	q := MustParseQuery(`SELECT ?X WHERE { ?X name "Jeffrey Ullman" . ?X wrote _:B }`)
+	bgp, ok := q.Where.(BGP)
+	if !ok {
+		t.Fatalf("Where = %T", q.Where)
+	}
+	if !bgp.Triples[0].O.Term.IsLiteral() {
+		t.Error("literal object not parsed")
+	}
+	if !bgp.Triples[1].O.IsBlank() {
+		t.Error("blank object not parsed")
+	}
+}
+
+func TestParseTypedAndTaggedLiterals(t *testing.T) {
+	q := MustParseQuery(`SELECT * WHERE { ?X age "3"^^<xsd:int> . ?X greet "hi"@en }`)
+	bgp := q.Where.(BGP)
+	if bgp.Triples[0].O.Term != rdf.NewTypedLiteral("3", "xsd:int") {
+		t.Errorf("typed literal = %v", bgp.Triples[0].O)
+	}
+	if bgp.Triples[1].O.Term != rdf.NewLangLiteral("hi", "en") {
+		t.Errorf("tagged literal = %v", bgp.Triples[1].O)
+	}
+}
+
+func TestParseBracketedIRI(t *testing.T) {
+	q := MustParseQuery(`SELECT * WHERE { ?X <http://ex.org/p> ?Y }`)
+	bgp := q.Where.(BGP)
+	if bgp.Triples[0].P.Term.Value != "http://ex.org/p" {
+		t.Errorf("IRI = %v", bgp.Triples[0].P)
+	}
+}
+
+func TestParseConstruct(t *testing.T) {
+	// The CONSTRUCT example of Section 2.
+	q := MustParseQuery(`
+		CONSTRUCT { ?X name_author ?Z }
+		WHERE {
+			?Y is_author_of ?Z .
+			?Y name ?X }
+	`)
+	if q.Kind != ConstructQuery || len(q.Template) != 1 {
+		t.Fatalf("query = %+v", q)
+	}
+	out, err := q.Construct(g1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rdf.Triple{
+		S: rdf.NewLiteral("Jeffrey Ullman"),
+		P: rdf.NewIRI("name_author"),
+		O: rdf.NewLiteral("The Complete Book"),
+	}
+	if out.Len() != 1 || !out.Has(want) {
+		t.Errorf("constructed graph:\n%s", out)
+	}
+}
+
+func TestConstructBlankNodesPerMapping(t *testing.T) {
+	// Query (4) of Section 2: a fresh blank node per match.
+	g := rdf.NewGraph(
+		rdf.T("dbAho", "is_coauthor_of", "dbUllman"),
+		rdf.T("dbX", "is_coauthor_of", "dbY"),
+	)
+	q := MustParseQuery(`
+		CONSTRUCT { ?X is_author_of _:B . ?Y is_author_of _:B }
+		WHERE { ?X is_coauthor_of ?Y }
+	`)
+	out, err := q.Construct(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 4 {
+		t.Fatalf("constructed graph:\n%s", out)
+	}
+	// Within one match the blank is shared; across matches it differs.
+	aho := out.Match(termPtr(rdf.NewIRI("dbAho")), nil, nil)
+	ull := out.Match(termPtr(rdf.NewIRI("dbUllman")), nil, nil)
+	if len(aho) != 1 || len(ull) != 1 || aho[0].O != ull[0].O {
+		t.Error("blank node should be shared within a match")
+	}
+	x := out.Match(termPtr(rdf.NewIRI("dbX")), nil, nil)
+	if len(x) != 1 || x[0].O == aho[0].O {
+		t.Error("blank node must be fresh per match")
+	}
+}
+
+func termPtr(t rdf.Term) *rdf.Term { return &t }
+
+func TestConstructSkipsUnboundTemplateVars(t *testing.T) {
+	g := rdf.NewGraph(rdf.T("u1", "name", "alice"))
+	q := MustParseQuery(`
+		CONSTRUCT { ?X hasPhone ?Z . ?X hasName ?N }
+		WHERE { ?X name ?N OPTIONAL { ?X phone ?Z } }
+	`)
+	out, err := q.Construct(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Errorf("constructed graph:\n%s", out)
+	}
+}
+
+func TestSelectOnConstructErrors(t *testing.T) {
+	q := MustParseQuery(`CONSTRUCT { ?X p ?Y } WHERE { ?X q ?Y }`)
+	if _, err := q.Select(rdf.NewGraph()); err == nil {
+		t.Error("Select on CONSTRUCT should error")
+	}
+	s := MustParseQuery(`SELECT * WHERE { ?X q ?Y }`)
+	if _, err := s.Construct(rdf.NewGraph()); err == nil {
+		t.Error("Construct on SELECT should error")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`ASK WHERE { ?X p ?Y }`,
+		`SELECT WHERE { ?X p ?Y }`,
+		`SELECT ?X { ?X p ?Y }`,
+		`SELECT ?X WHERE { ?X p }`,
+		`SELECT ?X WHERE { ?X p ?Y`,
+		`SELECT ?X WHERE { ?X p ?Y } trailing`,
+		`SELECT ?X WHERE { { ?X p ?Y } UNION ?Z }`,
+		`SELECT ?X WHERE { ?X p ?Y FILTER(?Z = a) }`, // out of scope
+		`SELECT ?X WHERE { ?X p ?Y FILTER(?X ~ a) }`,
+		`SELECT ?X WHERE { ?X p ?Y FILTER(bound ?X) }`,
+		`SELECT ?X WHERE { ?X p "unterminated }`,
+		`CONSTRUCT ?X p ?Y WHERE { ?X p ?Y }`,
+	}
+	for _, src := range bad {
+		if _, err := ParseQuery(src); err == nil {
+			t.Errorf("ParseQuery(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseCommentsAndCase(t *testing.T) {
+	q := MustParseQuery(`
+		# leading comment
+		select ?X where {
+			?X name ?N . # trailing comment
+			optional { ?X phone ?P }
+			filter(bound(?N))
+		}
+	`)
+	if q.Kind != SelectQuery {
+		t.Error("lower-case keywords should parse")
+	}
+}

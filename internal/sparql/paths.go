@@ -1,0 +1,391 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// This file implements the navigational baseline the paper's introduction
+// measures itself against: SPARQL 1.1 property paths (a regular-expression
+// mechanism over predicates). Section 2 argues — after [26, 36] — that the
+// transport-service query cannot be expressed with property paths because it
+// must recurse in two directions at once; experiment E9 demonstrates this
+// finitely by enumerating all small path expressions.
+//
+// Supported grammar (SPARQL 1.1 §9.1, negated property sets omitted):
+//
+//	path  := alt
+//	alt   := seq ('|' seq)*
+//	seq   := unary ('/' unary)*
+//	unary := '^' unary | primary postfix*
+//	postfix := '*' | '+' | '?'
+//	primary := IRI | '(' path ')'
+
+// PathExpr is a SPARQL 1.1 property-path expression.
+type PathExpr interface {
+	isPath()
+	String() string
+}
+
+// PathIRI is a single predicate step.
+type PathIRI struct{ IRI string }
+
+// PathInv is ^p: the inverse step.
+type PathInv struct{ P PathExpr }
+
+// PathSeq is p1/p2: composition.
+type PathSeq struct{ L, R PathExpr }
+
+// PathAlt is p1|p2: alternation.
+type PathAlt struct{ L, R PathExpr }
+
+// PathStar is p*: zero or more.
+type PathStar struct{ P PathExpr }
+
+// PathPlus is p+: one or more.
+type PathPlus struct{ P PathExpr }
+
+// PathOpt is p?: zero or one.
+type PathOpt struct{ P PathExpr }
+
+func (PathIRI) isPath()  {}
+func (PathInv) isPath()  {}
+func (PathSeq) isPath()  {}
+func (PathAlt) isPath()  {}
+func (PathStar) isPath() {}
+func (PathPlus) isPath() {}
+func (PathOpt) isPath()  {}
+
+func (p PathIRI) String() string  { return p.IRI }
+func (p PathInv) String() string  { return "^" + parenthesize(p.P) }
+func (p PathSeq) String() string  { return parenthesize(p.L) + "/" + parenthesize(p.R) }
+func (p PathAlt) String() string  { return parenthesize(p.L) + "|" + parenthesize(p.R) }
+func (p PathStar) String() string { return parenthesize(p.P) + "*" }
+func (p PathPlus) String() string { return parenthesize(p.P) + "+" }
+func (p PathOpt) String() string  { return parenthesize(p.P) + "?" }
+
+func parenthesize(p PathExpr) string {
+	switch p.(type) {
+	case PathIRI:
+		return p.String()
+	default:
+		return "(" + p.String() + ")"
+	}
+}
+
+// TermPair is an (subject, object) pair connected by a path.
+type TermPair [2]rdf.Term
+
+// PairSet is a set of term pairs.
+type PairSet map[TermPair]bool
+
+// Sorted returns the pairs in canonical order.
+func (s PairSet) Sorted() []TermPair {
+	out := make([]TermPair, 0, len(s))
+	for p := range s {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i][0].Compare(out[j][0]); c != 0 {
+			return c < 0
+		}
+		return out[i][1].Compare(out[j][1]) < 0
+	})
+	return out
+}
+
+// Equal reports set equality.
+func (s PairSet) Equal(t PairSet) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for p := range s {
+		if !t[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalPath computes the pairs of graph terms connected by the path
+// expression, per the SPARQL 1.1 path semantics (with the W3C "simple walk"
+// subtleties resolved to the standard existential reading: p* relates x to y
+// iff some p-walk of length ≥ 0 connects them; zero-length paths relate
+// every term occurring in the graph to itself).
+func EvalPath(g *rdf.Graph, p PathExpr) PairSet {
+	switch q := p.(type) {
+	case PathIRI:
+		out := make(PairSet)
+		pred := rdf.NewIRI(q.IRI)
+		for _, t := range g.Match(nil, &pred, nil) {
+			out[TermPair{t.S, t.O}] = true
+		}
+		return out
+	case PathInv:
+		inner := EvalPath(g, q.P)
+		out := make(PairSet, len(inner))
+		for pr := range inner {
+			out[TermPair{pr[1], pr[0]}] = true
+		}
+		return out
+	case PathSeq:
+		l, r := EvalPath(g, q.L), EvalPath(g, q.R)
+		byFirst := make(map[rdf.Term][]rdf.Term)
+		for pr := range r {
+			byFirst[pr[0]] = append(byFirst[pr[0]], pr[1])
+		}
+		out := make(PairSet)
+		for pr := range l {
+			for _, z := range byFirst[pr[1]] {
+				out[TermPair{pr[0], z}] = true
+			}
+		}
+		return out
+	case PathAlt:
+		out := EvalPath(g, q.L)
+		for pr := range EvalPath(g, q.R) {
+			out[pr] = true
+		}
+		return out
+	case PathStar:
+		out := transitiveClosure(EvalPath(g, q.P))
+		for _, t := range nodeTerms(g) {
+			out[TermPair{t, t}] = true
+		}
+		return out
+	case PathPlus:
+		return transitiveClosure(EvalPath(g, q.P))
+	case PathOpt:
+		out := EvalPath(g, q.P)
+		for _, t := range nodeTerms(g) {
+			out[TermPair{t, t}] = true
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("sparql: unknown path type %T", p))
+	}
+}
+
+func nodeTerms(g *rdf.Graph) []rdf.Term {
+	seen := make(map[rdf.Term]bool)
+	var out []rdf.Term
+	for _, t := range g.Triples() {
+		for _, x := range []rdf.Term{t.S, t.O} {
+			if !seen[x] {
+				seen[x] = true
+				out = append(out, x)
+			}
+		}
+	}
+	return out
+}
+
+func transitiveClosure(base PairSet) PairSet {
+	succ := make(map[rdf.Term][]rdf.Term)
+	for pr := range base {
+		succ[pr[0]] = append(succ[pr[0]], pr[1])
+	}
+	out := make(PairSet, len(base))
+	for start := range succ {
+		// BFS from each source.
+		queue := append([]rdf.Term(nil), succ[start]...)
+		seen := make(map[rdf.Term]bool)
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			if seen[x] {
+				continue
+			}
+			seen[x] = true
+			out[TermPair{start, x}] = true
+			queue = append(queue, succ[x]...)
+		}
+	}
+	return out
+}
+
+// ParsePath parses a property-path expression such as
+// "partOf+/^partOf | (knows/knows)*".
+func ParsePath(src string) (PathExpr, error) {
+	p := &pathParser{in: src}
+	expr, err := p.alt()
+	if err != nil {
+		return nil, err
+	}
+	p.skip()
+	if p.pos < len(p.in) {
+		return nil, fmt.Errorf("sparql: trailing path input %q", p.in[p.pos:])
+	}
+	return expr, nil
+}
+
+// MustParsePath is ParsePath, panicking on error.
+func MustParsePath(src string) PathExpr {
+	p, err := ParsePath(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type pathParser struct {
+	in  string
+	pos int
+}
+
+func (p *pathParser) skip() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t' || p.in[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *pathParser) peek() byte {
+	if p.pos >= len(p.in) {
+		return 0
+	}
+	return p.in[p.pos]
+}
+
+func (p *pathParser) alt() (PathExpr, error) {
+	l, err := p.seq()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skip()
+		if p.peek() != '|' {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.seq()
+		if err != nil {
+			return nil, err
+		}
+		l = PathAlt{L: l, R: r}
+	}
+}
+
+func (p *pathParser) seq() (PathExpr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skip()
+		if p.peek() != '/' {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = PathSeq{L: l, R: r}
+	}
+}
+
+func (p *pathParser) unary() (PathExpr, error) {
+	p.skip()
+	if p.peek() == '^' {
+		p.pos++
+		inner, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return PathInv{P: inner}, nil
+	}
+	expr, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skip()
+		switch p.peek() {
+		case '*':
+			p.pos++
+			expr = PathStar{P: expr}
+		case '+':
+			p.pos++
+			expr = PathPlus{P: expr}
+		case '?':
+			p.pos++
+			expr = PathOpt{P: expr}
+		default:
+			return expr, nil
+		}
+	}
+}
+
+func (p *pathParser) primary() (PathExpr, error) {
+	p.skip()
+	if p.peek() == '(' {
+		p.pos++
+		inner, err := p.alt()
+		if err != nil {
+			return nil, err
+		}
+		p.skip()
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("sparql: expected ')' in path at %q", p.in[p.pos:])
+		}
+		p.pos++
+		return inner, nil
+	}
+	if p.peek() == '<' {
+		end := strings.IndexByte(p.in[p.pos:], '>')
+		if end < 0 {
+			return nil, fmt.Errorf("sparql: unterminated IRI in path")
+		}
+		iri := p.in[p.pos+1 : p.pos+end]
+		p.pos += end + 1
+		return PathIRI{IRI: iri}, nil
+	}
+	start := p.pos
+	for p.pos < len(p.in) && isPathNameByte(p.in[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, fmt.Errorf("sparql: expected path step at %q", p.in[start:])
+	}
+	return PathIRI{IRI: p.in[start:p.pos]}, nil
+}
+
+func isPathNameByte(c byte) bool {
+	switch c {
+	case '_', ':', '-', '.':
+		return true
+	}
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c >= 0x80
+}
+
+// EnumeratePaths generates every path expression of syntactic size ≤ maxSize
+// over the given predicate alphabet (size = number of operators and steps).
+// Used by experiment E9 to falsify expressibility claims exhaustively over a
+// finite fragment.
+func EnumeratePaths(alphabet []string, maxSize int) []PathExpr {
+	bySize := make([][]PathExpr, maxSize+1)
+	for _, a := range alphabet {
+		bySize[1] = append(bySize[1], PathIRI{IRI: a})
+	}
+	for size := 2; size <= maxSize; size++ {
+		for _, inner := range bySize[size-1] {
+			bySize[size] = append(bySize[size],
+				PathInv{P: inner}, PathStar{P: inner}, PathPlus{P: inner}, PathOpt{P: inner})
+		}
+		for ls := 1; ls < size-1; ls++ {
+			for _, l := range bySize[ls] {
+				for _, r := range bySize[size-1-ls] {
+					bySize[size] = append(bySize[size], PathSeq{L: l, R: r}, PathAlt{L: l, R: r})
+				}
+			}
+		}
+	}
+	var out []PathExpr
+	for _, exprs := range bySize {
+		out = append(out, exprs...)
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+package sparql
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSPARQLParsersNeverPanic(t *testing.T) {
+	f := func(s string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("parser panicked on %q: %v", s, r)
+			}
+		}()
+		_, _ = ParseQuery(s)
+		_, _ = ParsePath(s)
+		_, _ = ParseNRE(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	// Structured prefixes of valid queries.
+	full := `SELECT ?X WHERE { ?X name ?N . OPTIONAL { ?X phone ?P } FILTER(?N != bob && bound(?P)) }`
+	for i := 0; i <= len(full); i++ {
+		_, _ = ParseQuery(full[:i])
+	}
+	fullPath := `(partOf+/^partOf | knows)*`
+	for i := 0; i <= len(fullPath); i++ {
+		_, _ = ParsePath(fullPath[:i])
+	}
+	fullNRE := `(next::[ (next::partOf)+ / self::transportService ])+`
+	for i := 0; i <= len(fullNRE); i++ {
+		_, _ = ParseNRE(fullNRE[:i])
+	}
+}

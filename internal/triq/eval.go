@@ -1,0 +1,149 @@
+// Package triq implements the paper's two query languages — TriQ 1.0
+// (weakly-frontier-guarded Datalog^{∃,¬s,⊥}, Definition 4.2) and
+// TriQ-Lite 1.0 (warded Datalog^{∃,¬sg,⊥}, Definition 6.1) — together with
+// their evaluation: the Π⊥ constraint reduction of Theorem 4.4, bottom-up
+// evaluation through the chase with ground-stabilized iterative deepening,
+// and the top-down ProofTree decision procedure of Section 6.3 with
+// proof-tree extraction (Definition 6.11, Figure 1).
+package triq
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/chase"
+	"repro/internal/datalog"
+)
+
+// Language selects which of the paper's languages a query must belong to.
+type Language int
+
+const (
+	// TriQ10 is TriQ 1.0: weakly-frontier-guarded Datalog^{∃,¬s,⊥}.
+	// Eval is ExpTime-complete in data complexity (Theorem 4.4).
+	TriQ10 Language = iota
+	// TriQLite10 is TriQ-Lite 1.0: warded Datalog^{∃,¬sg,⊥}.
+	// Eval is PTime-complete in data complexity (Theorem 6.7).
+	TriQLite10
+	// Unrestricted skips the dialect check (plain Datalog^{∃,¬s,⊥}; Eval is
+	// undecidable in general, so evaluation is necessarily bounded).
+	Unrestricted
+)
+
+func (l Language) String() string {
+	switch l {
+	case TriQ10:
+		return "TriQ 1.0"
+	case TriQLite10:
+		return "TriQ-Lite 1.0"
+	case Unrestricted:
+		return "Datalog[∃,¬s,⊥]"
+	default:
+		return fmt.Sprintf("Language(%d)", int(l))
+	}
+}
+
+// dialect maps a language to its syntactic check.
+func (l Language) dialect() datalog.Dialect {
+	switch l {
+	case TriQ10:
+		return datalog.WeaklyFrontierGuarded
+	case TriQLite10:
+		return datalog.TriQLite
+	default:
+		return datalog.AnyDialect
+	}
+}
+
+// Validate checks that the query program belongs to the language.
+func Validate(q datalog.Query, lang Language) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	return datalog.CheckDialect(q.Program, lang.dialect())
+}
+
+// Options configure evaluation.
+type Options struct {
+	// Chase bounds the underlying chase engine.
+	Chase chase.Options
+	// StabilityWindow is the number of consecutive depth increments with an
+	// unchanged ground part required to declare the ground semantics stable
+	// (see chase.StableGround); 0 selects the default of 2.
+	StabilityWindow int
+}
+
+// Result is the outcome of evaluating a TriQ query.
+type Result struct {
+	// Answers is Q(D): ⊤ (Inconsistent) or the set of constant tuples.
+	Answers *chase.Answers
+	// Exact reports whether the chase terminated within its depth bound, so
+	// the answer set is provably complete. When false the answers are the
+	// stable fixpoint of iterative deepening (exact for warded programs; see
+	// chase.StableGround).
+	Exact bool
+	// Depth is the null-nesting depth at which the result was computed.
+	Depth int
+	Stats chase.Stats
+}
+
+// inconsistencyMarker is the 0-ary predicate used internally to signal that
+// some constraint fired. It is a variant of the Π⊥ construction of
+// Theorem 4.4 (whose literal form, deriving the all-⋆ output tuple, is
+// available as datalog.ReduceConstraints): using a dedicated marker avoids
+// colliding with legitimate all-⋆ answers, which the SPARQL translation of
+// Section 5.1 produces for mappings with empty domain.
+const inconsistencyMarker = "⊥#marker"
+
+// Eval evaluates the query over the database as defined in Section 3.2:
+// Q(D) = ⊤ when D is inconsistent w.r.t. Π, and the set of constant output
+// tuples otherwise. The query must belong to the given language.
+//
+// Internally constraints are first eliminated in the style of Theorem 4.4 —
+// they become ordinary rules deriving an inconsistency marker — so that a
+// single monotone chase answers both the consistency question and the query.
+func Eval(db *chase.Instance, q datalog.Query, lang Language, opts Options) (*Result, error) {
+	if err := Validate(q, lang); err != nil {
+		return nil, err
+	}
+	prog := q.Program
+	if len(prog.Constraints) > 0 {
+		prog = prog.Clone()
+		for _, c := range prog.Constraints {
+			prog.Add(datalog.Rule{BodyPos: c.Body, Head: []datalog.Atom{{Pred: inconsistencyMarker}}})
+		}
+		prog.Constraints = nil
+	}
+	gr, err := chase.StableGround(db, prog, opts.Chase, opts.StabilityWindow)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Exact: gr.Exact, Depth: gr.Depth, Stats: gr.Stats}
+	ans := &chase.Answers{}
+	if len(gr.Ground.AtomsOf(inconsistencyMarker)) > 0 {
+		ans.Inconsistent = true
+		res.Answers = ans
+		return res, nil
+	}
+	for _, a := range gr.Ground.AtomsOf(q.Output) {
+		ans.Tuples = append(ans.Tuples, a.Args)
+	}
+	sortTuples(ans.Tuples)
+	res.Answers = ans
+	return res, nil
+}
+
+func sortTuples(ts [][]datalog.Term) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		for k := range a {
+			if k >= len(b) {
+				return false
+			}
+			if c := a[k].Compare(b[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return len(a) < len(b)
+	})
+}

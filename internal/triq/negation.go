@@ -1,0 +1,163 @@
+package triq
+
+import (
+	"fmt"
+
+	"repro/internal/chase"
+	"repro/internal/datalog"
+)
+
+// This file implements Step 1 of the evaluation algorithm of Section 6.3:
+// eliminating stratified *grounded* negation from a warded Datalog^{∃,¬sg}
+// program by materializing complement relations. For each stratum i and each
+// predicate s negated in it, the relation s̄ holds the complement of s with
+// respect to the ground semantics Π⋆_{i-1}(D⋆_{i-1})↓ over the active
+// domain; negative atoms ¬s(t) become positive atoms s̄(t). Because the
+// negation is grounded, negated atoms only ever instantiate to constant
+// tuples, so the complement construction is sound. The result (D+, Π+)
+// satisfies Q(D) = Q+(D+) on the original schema.
+
+// complementPred names the complement relation of a predicate.
+func complementPred(pred string) string { return "not#" + pred }
+
+// EliminateNegation computes (D+, Π+). The program must be stratified with
+// grounded negation and free of constraints (apply the Π⊥ reduction first);
+// the chase options bound the ground-semantics computations of the
+// intermediate strata.
+func EliminateNegation(db *chase.Instance, prog *datalog.Program, opts chase.Options) (*chase.Instance, *datalog.Program, error) {
+	if len(prog.Constraints) > 0 {
+		return nil, nil, fmt.Errorf("triq: EliminateNegation requires a constraint-free program")
+	}
+	if err := datalog.CheckGroundedNegation(prog); err != nil {
+		return nil, nil, err
+	}
+	work := datalog.SingleHead(prog)
+	strat, err := datalog.Stratify(work)
+	if err != nil {
+		return nil, nil, err
+	}
+	strata, err := strat.Strata(work)
+	if err != nil {
+		return nil, nil, err
+	}
+	sch, err := work.Schema()
+	if err != nil {
+		return nil, nil, err
+	}
+	dbPlus := db.Clone()
+	progPlus := &datalog.Program{}
+	// The active domain for complements: constants of D and of Π.
+	domSet := make(map[datalog.Term]bool)
+	for _, c := range db.Constants() {
+		domSet[c] = true
+	}
+	for _, r := range work.Rules {
+		for _, a := range append(r.Body(), r.Head...) {
+			for _, t := range a.Args {
+				if t.IsConst() {
+					domSet[t] = true
+				}
+			}
+		}
+	}
+	var dom []datalog.Term
+	for t := range domSet {
+		dom = append(dom, t)
+	}
+
+	for i, rules := range strata {
+		if i > 0 {
+			// Materialize complements for the predicates negated in this
+			// stratum, against the ground semantics of the accumulated
+			// positive program.
+			negPreds := make(map[string]bool)
+			for _, r := range rules {
+				for _, a := range r.BodyNeg {
+					negPreds[a.Pred] = true
+				}
+			}
+			if len(negPreds) > 0 {
+				gr, err := chase.StableGround(dbPlus, progPlus, opts, 0)
+				if err != nil {
+					return nil, nil, err
+				}
+				if gr.Inconsistent {
+					return nil, nil, fmt.Errorf("triq: unexpected ⊤ during negation elimination")
+				}
+				for pred := range negPreds {
+					if err := addComplement(dbPlus, gr.Ground, pred, sch[pred], dom); err != nil {
+						return nil, nil, err
+					}
+				}
+			}
+		} else {
+			// Predicates negated in stratum 0 are purely extensional.
+			negPreds := make(map[string]bool)
+			for _, r := range rules {
+				for _, a := range r.BodyNeg {
+					negPreds[a.Pred] = true
+				}
+			}
+			for pred := range negPreds {
+				if err := addComplement(dbPlus, dbPlus, pred, sch[pred], dom); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		for _, r := range rules {
+			progPlus.Add(positivize(r))
+		}
+	}
+	return dbPlus, progPlus, nil
+}
+
+func positivize(r datalog.Rule) datalog.Rule {
+	out := datalog.Rule{
+		BodyPos: append([]datalog.Atom(nil), r.BodyPos...),
+		Head:    r.Head,
+	}
+	for _, a := range r.BodyNeg {
+		out.BodyPos = append(out.BodyPos, datalog.Atom{Pred: complementPred(a.Pred), Args: a.Args})
+	}
+	return out
+}
+
+// addComplement inserts s̄(t) for every constant tuple t over the domain
+// with s(t) absent from the reference instance.
+func addComplement(dbPlus, ref *chase.Instance, pred string, arity int, dom []datalog.Term) error {
+	if arity > 4 && len(dom) > 32 {
+		return fmt.Errorf("triq: complement of %s would need |dom|^%d = %d^%d facts", pred, arity, len(dom), arity)
+	}
+	tuple := make([]datalog.Term, arity)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == arity {
+			a := datalog.Atom{Pred: pred, Args: append([]datalog.Term(nil), tuple...)}
+			if !ref.Has(a) {
+				dbPlus.Add(datalog.Atom{Pred: complementPred(pred), Args: a.Args})
+			}
+			return
+		}
+		for _, c := range dom {
+			tuple[k] = c
+			rec(k + 1)
+		}
+	}
+	rec(0)
+	return nil
+}
+
+// NewProverWithNegation eliminates grounded negation per Step 1 and builds a
+// ProofTree prover for the resulting positive warded program, extending the
+// Section 6.3 decision procedure to full TriQ-Lite 1.0 rule sets (without
+// constraints).
+func NewProverWithNegation(db *chase.Instance, prog *datalog.Program, chaseOpts chase.Options, opts ProofOptions) (*Prover, error) {
+	if !prog.HasNegation() {
+		return NewProver(db, prog, opts)
+	}
+	dbPlus, progPlus, err := EliminateNegation(db, prog, chaseOpts)
+	if err != nil {
+		return nil, err
+	}
+	return NewProver(dbPlus, progPlus, opts)
+}

@@ -1,0 +1,275 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/chase"
+	"repro/internal/datalog"
+)
+
+// This file implements the apparatus of Theorem 6.15: alternating Turing
+// machines with linearly bounded tape, a direct simulator (the ground-truth
+// oracle), and the reduction to warded Datalog^∃ with minimal interaction —
+// the fixed machine-independent program ATMProgram and the machine-dependent
+// database ATMDatabase.
+
+// StateKind classifies ATM states.
+type StateKind int
+
+const (
+	// Existential states accept when some successor accepts.
+	Existential StateKind = iota
+	// Universal states accept when all successors accept.
+	Universal
+	// Accepting is the accepting halt state s_a.
+	Accepting
+	// Rejecting is the rejecting halt state s_r.
+	Rejecting
+)
+
+// Move is one branch of a transition: write Write, switch to State, move the
+// cursor by Dir (-1 left, +1 right).
+type Move struct {
+	State string
+	Write string
+	Dir   int
+}
+
+// ATM is an alternating Turing machine M = (S, Λ, δ, s0) with the binary
+// transition relation shape of Theorem 6.15: δ(s, α) yields exactly two
+// branches (deterministic machines duplicate the branch).
+type ATM struct {
+	States map[string]StateKind
+	Start  string
+	Blank  string
+	Delta  map[[2]string][2]Move
+}
+
+// Accepts simulates the machine on the input within a linear tape of
+// len(input) cells, bounded by maxSteps computation-tree depth. Branches
+// that run off the tape, exceed the depth, or revisit a configuration along
+// the current path reject (a finite accepting computation tree never needs
+// repeats).
+func (m *ATM) Accepts(input []string, maxSteps int) bool {
+	type cfg struct {
+		state string
+		pos   int
+		tape  string
+	}
+	join := func(tape []string) string {
+		out := ""
+		for _, s := range tape {
+			out += s + "\x00"
+		}
+		return out
+	}
+	tape := append([]string(nil), input...)
+	memo := make(map[cfg]bool)
+	var rec func(state string, pos int, tape []string, path map[cfg]bool, depth int) bool
+	rec = func(state string, pos int, tape []string, path map[cfg]bool, depth int) bool {
+		switch m.States[state] {
+		case Accepting:
+			return true
+		case Rejecting:
+			return false
+		}
+		if depth >= maxSteps || pos < 0 || pos >= len(tape) {
+			return false
+		}
+		c := cfg{state, pos, join(tape)}
+		if v, ok := memo[c]; ok {
+			return v
+		}
+		if path[c] {
+			return false
+		}
+		path[c] = true
+		defer delete(path, c)
+		moves, ok := m.Delta[[2]string{state, tape[pos]}]
+		if !ok {
+			return false
+		}
+		branch := func(mv Move) bool {
+			np := pos + mv.Dir
+			if np < 0 || np >= len(tape) {
+				return false
+			}
+			old := tape[pos]
+			tape[pos] = mv.Write
+			res := rec(mv.State, np, tape, path, depth+1)
+			tape[pos] = old
+			return res
+		}
+		var res bool
+		if m.States[state] == Existential {
+			res = branch(moves[0]) || branch(moves[1])
+		} else {
+			res = branch(moves[0]) && branch(moves[1])
+		}
+		memo[c] = res
+		return res
+	}
+	return rec(m.Start, 0, tape, make(map[cfg]bool), 0)
+}
+
+// ATMProgramSrc is the fixed warded-with-minimal-interaction program of
+// Theorem 6.15. It does not depend on the machine; the machine lives in the
+// database (ATMDatabase). Cursor directions are the constants left/right,
+// and the acceptance condition reads the machine's accepting states from the
+// database predicate accepting(·), keeping the program machine-independent.
+const ATMProgramSrc = `
+	% Configuration tree generation.
+	config(?V) -> exists ?V1 exists ?V2
+		succ(?V, ?V1, ?V2), config(?V1), config(?V2),
+		follows(?V, ?V1), follows(?V, ?V2).
+
+	% The state-cursor-symbol join (the auxiliary predicates that keep the
+	% transition rules warded with minimal interaction).
+	state(?S, ?V), cursor(?C, ?V) -> statecursor(?S, ?C, ?V).
+	statecursor(?S, ?C, ?V), symbol(?A, ?C, ?V) -> scs(?S, ?C, ?A, ?V).
+
+	% Transition rules, one per cursor-direction combination.
+	trans(?S, ?A, ?S1, ?A1, left, ?S2, ?A2, left),
+		succ(?V, ?V1, ?V2), scs(?S, ?C, ?A, ?V),
+		nextcell(?C1, ?C) ->
+		state(?S1, ?V1), state(?S2, ?V2),
+		symbol(?A1, ?C, ?V1), symbol(?A2, ?C, ?V2),
+		cursor(?C1, ?V1), cursor(?C1, ?V2).
+	trans(?S, ?A, ?S1, ?A1, left, ?S2, ?A2, right),
+		succ(?V, ?V1, ?V2), scs(?S, ?C, ?A, ?V),
+		nextcell(?C1, ?C), nextcell(?C, ?C2) ->
+		state(?S1, ?V1), state(?S2, ?V2),
+		symbol(?A1, ?C, ?V1), symbol(?A2, ?C, ?V2),
+		cursor(?C1, ?V1), cursor(?C2, ?V2).
+	trans(?S, ?A, ?S1, ?A1, right, ?S2, ?A2, left),
+		succ(?V, ?V1, ?V2), scs(?S, ?C, ?A, ?V),
+		nextcell(?C1, ?C), nextcell(?C, ?C2) ->
+		state(?S1, ?V1), state(?S2, ?V2),
+		symbol(?A1, ?C, ?V1), symbol(?A2, ?C, ?V2),
+		cursor(?C2, ?V1), cursor(?C1, ?V2).
+	trans(?S, ?A, ?S1, ?A1, right, ?S2, ?A2, right),
+		succ(?V, ?V1, ?V2), scs(?S, ?C, ?A, ?V),
+		nextcell(?C, ?C2) ->
+		state(?S1, ?V1), state(?S2, ?V2),
+		symbol(?A1, ?C, ?V1), symbol(?A2, ?C, ?V2),
+		cursor(?C2, ?V1), cursor(?C2, ?V2).
+
+	% Cells not under the cursor keep their symbols in both successors.
+	scs(?S, ?C, ?A, ?V), neq(?C, ?D), symbol(?B, ?D, ?V) -> nextsym(?B, ?D, ?V).
+	follows(?V, ?V1), nextsym(?B, ?D, ?V) -> symbol(?B, ?D, ?V1).
+
+	% Acceptance propagation.
+	state(?S, ?V), accepting(?S) -> accept(?V).
+	follows(?V, ?V1), state(?S, ?V) -> prevstate(?S, ?V1).
+	succ(?V, ?V1, ?V2), accept(?V2) -> sibaccept(?V1).
+	succ(?V, ?V1, ?V2), accept(?V1) -> sibaccept(?V2).
+	accept(?V), sibaccept(?V) -> bothaccept(?V).
+	prevstate(?S, ?V), existential(?S), accept(?V) -> prevaccept(?V).
+	prevstate(?S, ?V), universal(?S), bothaccept(?V) -> prevaccept(?V).
+	follows(?V, ?V1), prevaccept(?V1) -> accept(?V).
+	accept(?V), init(?V) -> accepted(?V).
+`
+
+// ATMProgram parses the fixed program.
+func ATMProgram() *datalog.Program { return datalog.MustParse(ATMProgramSrc) }
+
+// ATMQuery is the fixed query (Π, accepted); M accepts on input I iff
+// accepted(ι) is derivable over ATMDatabase(M, I).
+func ATMQuery() datalog.Query {
+	return datalog.NewQuery(ATMProgram(), "accepted")
+}
+
+// ATMDatabase builds D_M for the machine and input: the initial
+// configuration ι, the tape layout, and the transition table.
+func (m *ATM) ATMDatabase(input []string) *chase.Instance {
+	db := chase.NewInstance(
+		atom("config", "ι"),
+		atom("init", "ι"),
+		atom("state", m.Start, "ι"),
+		atom("cursor", "cell0", "ι"),
+	)
+	n := len(input)
+	for i, sym := range input {
+		db.Add(atom("symbol", sym, cell(i), "ι"))
+	}
+	for i := 0; i+1 < n; i++ {
+		db.Add(atom("nextcell", cell(i), cell(i+1)))
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				db.Add(atom("neq", cell(i), cell(j)))
+			}
+		}
+	}
+	for s, kind := range m.States {
+		switch kind {
+		case Existential:
+			db.Add(atom("existential", s))
+		case Universal:
+			db.Add(atom("universal", s))
+		case Accepting:
+			db.Add(atom("accepting", s))
+		}
+	}
+	for key, moves := range m.Delta {
+		db.Add(atom("trans",
+			key[0], key[1],
+			moves[0].State, moves[0].Write, dir(moves[0].Dir),
+			moves[1].State, moves[1].Write, dir(moves[1].Dir)))
+	}
+	return db
+}
+
+func cell(i int) string { return fmt.Sprintf("cell%d", i) }
+
+func dir(d int) string {
+	if d < 0 {
+		return "left"
+	}
+	return "right"
+}
+
+// ParityATM builds a small alternating machine that accepts inputs over
+// {0,1} whose number of 1s is even, sweeping right with existential states
+// and finishing through a universal checkpoint. It exercises both state
+// kinds and both cursor directions.
+func ParityATM() *ATM {
+	// evens/odds track the parity seen so far while moving right; at the
+	// right end (marker $), even parity leads through a universal state to
+	// acceptance (both branches accept trivially on the same cell).
+	return &ATM{
+		Start: "even",
+		Blank: "_",
+		States: map[string]StateKind{
+			"even":  Existential,
+			"odd":   Existential,
+			"check": Universal,
+			"yes":   Accepting,
+			"no":    Rejecting,
+		},
+		Delta: map[[2]string][2]Move{
+			{"even", "^"}:  {{State: "even", Write: "^", Dir: +1}, {State: "even", Write: "^", Dir: +1}},
+			{"check", "^"}: {{State: "yes", Write: "^", Dir: +1}, {State: "yes", Write: "^", Dir: +1}},
+			{"even", "0"}:  {{State: "even", Write: "0", Dir: +1}, {State: "even", Write: "0", Dir: +1}},
+			{"even", "1"}:  {{State: "odd", Write: "1", Dir: +1}, {State: "odd", Write: "1", Dir: +1}},
+			{"odd", "0"}:   {{State: "odd", Write: "0", Dir: +1}, {State: "odd", Write: "0", Dir: +1}},
+			{"odd", "1"}:   {{State: "even", Write: "1", Dir: +1}, {State: "even", Write: "1", Dir: +1}},
+			{"even", "$"}:  {{State: "check", Write: "$", Dir: -1}, {State: "check", Write: "$", Dir: -1}},
+			{"odd", "$"}:   {{State: "no", Write: "$", Dir: -1}, {State: "no", Write: "$", Dir: -1}},
+			{"check", "0"}: {{State: "yes", Write: "0", Dir: +1}, {State: "yes", Write: "0", Dir: +1}},
+			{"check", "1"}: {{State: "yes", Write: "1", Dir: +1}, {State: "yes", Write: "1", Dir: +1}},
+		},
+	}
+}
+
+// ParityInput builds the tape for ParityATM: a ^ start marker, the bits,
+// and the $ end marker.
+func ParityInput(bits []int) []string {
+	out := make([]string, 0, len(bits)+2)
+	out = append(out, "^")
+	for _, b := range bits {
+		out = append(out, fmt.Sprintf("%d", b))
+	}
+	return append(out, "$")
+}

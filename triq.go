@@ -1,0 +1,267 @@
+// Package repro is the public API of this reproduction of "Expressive
+// Languages for Querying the Semantic Web" (Arenas, Gottlob, Pieris;
+// PODS 2014 / TODS 2018). It exposes the paper's two query languages —
+// TriQ 1.0 (weakly-frontier-guarded Datalog^{∃,¬s,⊥}) and TriQ-Lite 1.0
+// (warded Datalog^{∃,¬sg,⊥}) — over RDF graphs, together with the SPARQL
+// algebra, the SPARQL → Datalog translations with and without the OWL 2 QL
+// core entailment regimes, OWL 2 QL core ontologies, and the ProofTree
+// decision procedure.
+//
+// Quick start:
+//
+//	g, _ := repro.ParseGraph(`
+//	    TheAirline partOf transportService .
+//	    A311 partOf TheAirline .
+//	    Oxford A311 London .
+//	`)
+//	q, _ := repro.ParseQuery(`
+//	    triple(?X, partOf, transportService) -> ts(?X).
+//	    triple(?X, partOf, ?Y), ts(?Y) -> ts(?X).
+//	    ts(?T), triple(?X, ?T, ?Y) -> conn(?X, ?Y).
+//	    ts(?T), triple(?X, ?T, ?Z), conn(?Z, ?Y) -> conn(?X, ?Y).
+//	    conn(?X, ?Y) -> query(?X, ?Y).
+//	`, "query")
+//	res, _ := repro.Ask(g, q, repro.TriQLite10, repro.Options{})
+//	for _, row := range res.Rows() { fmt.Println(row) }
+package repro
+
+import (
+	"io"
+	"strings"
+
+	"repro/internal/chase"
+	"repro/internal/datalog"
+	"repro/internal/owl"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/translate"
+	"repro/internal/triq"
+)
+
+// Re-exported core types. See the internal packages for full documentation.
+type (
+	// Graph is an indexed RDF graph.
+	Graph = rdf.Graph
+	// Triple is an RDF triple.
+	Triple = rdf.Triple
+	// Term is an RDF term (URI, blank node, or literal).
+	Term = rdf.Term
+	// Program is a Datalog^{∃,¬s,⊥} program.
+	Program = datalog.Program
+	// Query is a Datalog^{∃,¬s,⊥} query (Π, p).
+	Query = datalog.Query
+	// Options configure evaluation.
+	Options = triq.Options
+	// Language selects TriQ 1.0, TriQ-Lite 1.0, or no syntactic check.
+	Language = triq.Language
+	// Ontology is an OWL 2 QL core ontology.
+	Ontology = owl.Ontology
+	// SPARQLQuery is a parsed SPARQL SELECT or CONSTRUCT query.
+	SPARQLQuery = sparql.Query
+	// Pattern is a SPARQL algebra graph pattern.
+	Pattern = sparql.Pattern
+	// MappingSet is a set of SPARQL solution mappings.
+	MappingSet = sparql.MappingSet
+	// Translation is a compiled SPARQL → Datalog query.
+	Translation = translate.Translation
+	// Regime selects plain SPARQL semantics or an entailment regime.
+	Regime = translate.Regime
+	// ProofNode is a node of a proof-tree (Definition 6.11).
+	ProofNode = triq.ProofNode
+)
+
+// Languages of the paper.
+const (
+	// TriQ10 is TriQ 1.0 (Definition 4.2); Eval is ExpTime-complete in data
+	// complexity.
+	TriQ10 = triq.TriQ10
+	// TriQLite10 is TriQ-Lite 1.0 (Definition 6.1); Eval is PTime-complete
+	// in data complexity.
+	TriQLite10 = triq.TriQLite10
+	// Unrestricted skips the dialect check.
+	Unrestricted = triq.Unrestricted
+)
+
+// Entailment regimes for SPARQL evaluation (Sections 5.1–5.3).
+const (
+	// PlainRegime is the standard SPARQL semantics.
+	PlainRegime = translate.Plain
+	// ActiveDomainRegime is the OWL 2 QL core direct semantics entailment
+	// regime ⟦·⟧^U.
+	ActiveDomainRegime = translate.ActiveDomain
+	// AllRegime is ⟦·⟧^All, lifting the active-domain restriction.
+	AllRegime = translate.All
+)
+
+// ParseGraph reads an RDF graph in (a pragmatic superset of) N-Triples.
+func ParseGraph(src string) (*Graph, error) {
+	return rdf.ParseNTriplesString(src)
+}
+
+// ReadGraph reads an RDF graph from a reader.
+func ReadGraph(r io.Reader) (*Graph, error) { return rdf.ParseNTriples(r) }
+
+// ParseProgram parses a Datalog^{∃,¬s,⊥} program in the rule syntax used
+// throughout the paper (see internal/datalog.Parse).
+func ParseProgram(src string) (*Program, error) { return datalog.Parse(src) }
+
+// ParseQuery parses a program and pairs it with its output predicate.
+func ParseQuery(src, output string) (Query, error) {
+	return datalog.ParseQuery(src, output)
+}
+
+// Validate checks that a query belongs to the given language.
+func Validate(q Query, lang Language) error { return triq.Validate(q, lang) }
+
+// Results is the outcome of asking a query over a graph.
+type Results struct {
+	// Inconsistent is true when Q(G) = ⊤ (some constraint fired).
+	Inconsistent bool
+	// Tuples holds the answer tuples as decoded RDF terms.
+	Tuples [][]Term
+	// Exact reports whether the evaluation provably saturated (see
+	// internal/chase.StableGround).
+	Exact bool
+}
+
+// Rows renders the tuples as strings, one row per answer.
+func (r *Results) Rows() []string {
+	out := make([]string, 0, len(r.Tuples))
+	for _, tup := range r.Tuples {
+		parts := make([]string, len(tup))
+		for i, t := range tup {
+			parts[i] = t.String()
+		}
+		out = append(out, strings.Join(parts, " "))
+	}
+	return out
+}
+
+// Ask evaluates a TriQ query over an RDF graph: the graph is loaded as the
+// database τ_db(G) over the predicate triple(·,·,·), the query program is
+// validated against the language, and the answers are decoded as RDF terms.
+func Ask(g *Graph, q Query, lang Language, opts Options) (*Results, error) {
+	db, err := chase.FromFacts(owl.GraphToDB(g))
+	if err != nil {
+		return nil, err
+	}
+	res, err := triq.Eval(db, q, lang, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &Results{Inconsistent: res.Answers.Inconsistent, Exact: res.Exact}
+	for _, tup := range res.Answers.Tuples {
+		row := make([]Term, len(tup))
+		for i, t := range tup {
+			row[i] = translate.DecodeTerm(t.Name)
+		}
+		out.Tuples = append(out.Tuples, row)
+	}
+	return out, nil
+}
+
+// ParseSPARQL parses a SPARQL SELECT or CONSTRUCT query.
+func ParseSPARQL(src string) (*SPARQLQuery, error) { return sparql.ParseQuery(src) }
+
+// EvalSPARQL evaluates a SELECT query directly under the algebraic
+// semantics ⟦·⟧_G of Section 3.1.
+func EvalSPARQL(q *SPARQLQuery, g *Graph) (*MappingSet, error) { return q.Select(g) }
+
+// Construct evaluates a CONSTRUCT query, producing an RDF graph.
+func Construct(q *SPARQLQuery, g *Graph) (*Graph, error) { return q.Construct(g) }
+
+// TranslateSPARQL compiles a SPARQL pattern into a TriQ query following
+// Sections 5.1–5.3: P_dat under PlainRegime, P^U_dat under
+// ActiveDomainRegime, and P^All_dat under AllRegime. The regime variants are
+// TriQ-Lite 1.0 queries (Corollaries 5.4, 6.2).
+func TranslateSPARQL(p Pattern, regime Regime) (*Translation, error) {
+	return translate.Translate(p, regime)
+}
+
+// AskSPARQL evaluates a SELECT query over a graph under the chosen regime by
+// translating it to a TriQ query and running the Datalog machinery.
+func AskSPARQL(q *SPARQLQuery, g *Graph, regime Regime, opts Options) (*MappingSet, bool, error) {
+	tr, err := translate.Translate(q.Pattern(), regime)
+	if err != nil {
+		return nil, false, err
+	}
+	return tr.Evaluate(g, opts)
+}
+
+// NewProver builds a ProofTree decision procedure (Section 6.3) for a
+// positive warded program over the graph's triple database.
+func NewProver(g *Graph, prog *Program) (*triq.Prover, error) {
+	db, err := chase.FromFacts(owl.GraphToDB(g))
+	if err != nil {
+		return nil, err
+	}
+	return triq.NewProver(db, prog, triq.ProofOptions{})
+}
+
+// OntologyProgram returns the fixed program τ_owl2ql_core of Section 5.2.
+func OntologyProgram() *Program { return owl.Program() }
+
+// PathExpr is a SPARQL 1.1 property-path expression (the navigational
+// baseline of the paper's motivation).
+type PathExpr = sparql.PathExpr
+
+// ParsePath parses a property-path expression such as "partOf+/^partOf".
+func ParsePath(src string) (PathExpr, error) { return sparql.ParsePath(src) }
+
+// EvalPath evaluates a property path over a graph, returning the connected
+// (subject, object) pairs.
+func EvalPath(g *Graph, p PathExpr) sparql.PairSet { return sparql.EvalPath(g, p) }
+
+// ParseOntology reads an OWL 2 QL core ontology in functional-style syntax
+// (Section 5.2), e.g. "SubClassOf(animal, ∃eats)".
+func ParseOntology(src string) (*Ontology, error) { return owl.ParseOntology(src) }
+
+// TranslateConstruct compiles a CONSTRUCT query into a triple-producing TriQ
+// program (rule (3) of Section 2).
+func TranslateConstruct(q *SPARQLQuery, regime Regime) (*translate.ConstructTranslation, error) {
+	return translate.TranslateConstruct(q, regime)
+}
+
+// AskExact evaluates a TriQ-Lite 1.0 query with the provably-exact ProofTree
+// enumeration (Section 6.3) instead of the fast bottom-up chase. Slower, but
+// correct even on programs with an infinite chase, and every answer carries
+// a proof.
+func AskExact(g *Graph, q Query, opts Options) (*Results, error) {
+	db, err := chase.FromFacts(owl.GraphToDB(g))
+	if err != nil {
+		return nil, err
+	}
+	res, err := triq.EvalExact(db, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &Results{Inconsistent: res.Answers.Inconsistent, Exact: true}
+	for _, tup := range res.Answers.Tuples {
+		row := make([]Term, len(tup))
+		for i, t := range tup {
+			row[i] = translate.DecodeTerm(t.Name)
+		}
+		out.Tuples = append(out.Tuples, row)
+	}
+	return out, nil
+}
+
+// Isomorphic reports RDF graph isomorphism (equality up to blank renaming).
+func Isomorphic(g, h *Graph) bool { return rdf.Isomorphic(g, h) }
+
+// RDFSRegime evaluates basic graph patterns over the ρdf closure (the fixed
+// RDFS rule library: subClassOf/subPropertyOf/domain/range reasoning).
+const RDFSRegime = translate.RDFS
+
+// NRE is an nSPARQL nested regular expression (reference [32] of the paper).
+type NRE = sparql.NRE
+
+// ParseNRE parses a nested regular expression such as
+// "(next::[ (next::partOf)+ / self::transportService ])+".
+func ParseNRE(src string) (NRE, error) { return sparql.ParseNRE(src) }
+
+// EvalNRE evaluates a nested regular expression over a graph.
+func EvalNRE(g *Graph, e NRE) sparql.PairSet { return sparql.EvalNRE(g, e) }
+
+// RDFSProgram returns the fixed ρdf rule library.
+func RDFSProgram() *Program { return owl.RDFSProgram() }
