@@ -7,41 +7,106 @@
 //
 // With -eval the translated query is additionally evaluated over the given
 // graph and the solution mappings are printed.
+//
+// Observability (see README "Observability"): -metrics prints the per-rule
+// chase breakdown and the metrics registry to stderr, -trace streams the
+// JSONL span trace (translation and evaluation spans) to a file, and -pprof
+// serves net/http/pprof.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
 	"repro/internal/chase"
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
 	"repro/internal/translate"
 	"repro/internal/triq"
 )
 
+// config collects the CLI flags.
+type config struct {
+	query   string // SPARQL query file ("-" = stdin)
+	regime  string // plain | u | all
+	eval    string // N-Triples graph to evaluate over ("" = translate only)
+	trace   string // JSONL span trace file ("" = off)
+	metrics bool   // print metrics summary to stderr
+	pprof   string // pprof listen address ("" = off)
+}
+
 func main() {
-	var (
-		queryPath  = flag.String("query", "", "SPARQL query file (required; '-' for stdin)")
-		regimeName = flag.String("regime", "plain", "semantics: plain | u | all")
-		evalPath   = flag.String("eval", "", "optionally evaluate over this N-Triples graph")
-	)
+	var cfg config
+	flag.StringVar(&cfg.query, "query", "", "SPARQL query file (required; '-' for stdin)")
+	flag.StringVar(&cfg.regime, "regime", "plain", "semantics: plain | u | all")
+	flag.StringVar(&cfg.eval, "eval", "", "optionally evaluate over this N-Triples graph")
+	flag.StringVar(&cfg.trace, "trace", "", "write a JSONL span trace to this file")
+	flag.BoolVar(&cfg.metrics, "metrics", false, "print the per-rule chase breakdown and metrics registry to stderr")
+	flag.StringVar(&cfg.pprof, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
-	if err := run(*queryPath, *regimeName, *evalPath); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "sparql2triq:", err)
 		os.Exit(1)
 	}
 }
 
-func run(queryPath, regimeName, evalPath string) error {
-	if queryPath == "" {
+// setupObs builds the observability handle from the trace/metrics flags; the
+// closer flushes and closes the trace file. Both flags off → nil handle.
+func setupObs(cfg config) (*obs.Obs, func() error, error) {
+	if cfg.trace == "" && !cfg.metrics {
+		return nil, func() error { return nil }, nil
+	}
+	if cfg.trace == "" {
+		return obs.New(), func() error { return nil }, nil
+	}
+	f, err := os.Create(cfg.trace)
+	if err != nil {
+		return nil, nil, err
+	}
+	o := obs.NewWithSink(f)
+	return o, func() error {
+		if err := o.SinkErr(); err != nil {
+			f.Close()
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		return f.Close()
+	}, nil
+}
+
+func run(cfg config) error {
+	if cfg.query == "" {
 		return fmt.Errorf("-query is required")
 	}
+	if cfg.pprof != "" {
+		ln, err := net.Listen("tcp", cfg.pprof)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "pprof: listening on http://%s/debug/pprof/\n", ln.Addr())
+		go http.Serve(ln, nil) // pprof handlers live on http.DefaultServeMux
+	}
+	o, closeObs, err := setupObs(cfg)
+	if err != nil {
+		return err
+	}
+	err = translateAndEval(cfg, o)
+	if cerr := closeObs(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func translateAndEval(cfg config, o *obs.Obs) error {
 	var src []byte
 	var err error
-	if queryPath == "-" {
+	if cfg.query == "-" {
 		buf := make([]byte, 0, 4096)
 		tmp := make([]byte, 4096)
 		for {
@@ -53,7 +118,7 @@ func run(queryPath, regimeName, evalPath string) error {
 		}
 		src = buf
 	} else {
-		src, err = os.ReadFile(queryPath)
+		src, err = os.ReadFile(cfg.query)
 		if err != nil {
 			return err
 		}
@@ -63,7 +128,7 @@ func run(queryPath, regimeName, evalPath string) error {
 		return err
 	}
 	var regime translate.Regime
-	switch strings.ToLower(regimeName) {
+	switch strings.ToLower(cfg.regime) {
 	case "plain":
 		regime = translate.Plain
 	case "u":
@@ -71,9 +136,9 @@ func run(queryPath, regimeName, evalPath string) error {
 	case "all":
 		regime = translate.All
 	default:
-		return fmt.Errorf("unknown regime %q (want plain, u, or all)", regimeName)
+		return fmt.Errorf("unknown regime %q (want plain, u, or all)", cfg.regime)
 	}
-	tr, err := translate.Translate(q.Pattern(), regime)
+	tr, err := translate.Traced(q.Pattern(), regime, o)
 	if err != nil {
 		return err
 	}
@@ -83,10 +148,13 @@ func run(queryPath, regimeName, evalPath string) error {
 		translate.AnswerPred, strings.Join(tr.Vars, ", "))
 	fmt.Print(tr.Query.Program.String())
 
-	if evalPath == "" {
+	if cfg.eval == "" {
+		if cfg.metrics {
+			fmt.Fprint(os.Stderr, o.Summary())
+		}
 		return nil
 	}
-	f, err := os.Open(evalPath)
+	f, err := os.Open(cfg.eval)
 	if err != nil {
 		return err
 	}
@@ -95,15 +163,19 @@ func run(queryPath, regimeName, evalPath string) error {
 	if err != nil {
 		return err
 	}
-	ms, inconsistent, err := tr.Evaluate(g, triq.Options{Chase: chase.Options{MaxDepth: 16}})
+	ms, res, err := tr.EvaluateFull(g, triq.Options{Chase: chase.Options{MaxDepth: 16, Obs: o}})
 	if err != nil {
 		return err
 	}
-	if inconsistent {
+	if cfg.metrics {
+		fmt.Fprint(os.Stderr, res.Stats.String())
+		fmt.Fprint(os.Stderr, o.Summary())
+	}
+	if res.Answers != nil && res.Answers.Inconsistent {
 		fmt.Println("\n% evaluation: ⊤ (inconsistent)")
 		return nil
 	}
-	fmt.Printf("\n%% evaluation over %s: %d mappings\n", evalPath, ms.Len())
+	fmt.Printf("\n%% evaluation over %s: %d mappings\n", cfg.eval, ms.Len())
 	fmt.Println(ms.String())
 	return nil
 }

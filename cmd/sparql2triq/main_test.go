@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func writeFile(t *testing.T, name, content string) string {
@@ -18,7 +20,7 @@ func writeFile(t *testing.T, name, content string) string {
 func TestSparql2TriqTranslate(t *testing.T) {
 	q := writeFile(t, "q.rq", `SELECT ?X WHERE { ?Y is_author_of ?Z . ?Y name ?X }`)
 	for _, regime := range []string{"plain", "u", "all"} {
-		if err := run(q, regime, ""); err != nil {
+		if err := run(config{query: q, regime: regime}); err != nil {
 			t.Fatalf("regime %s: %v", regime, err)
 		}
 	}
@@ -30,23 +32,56 @@ func TestSparql2TriqEvaluate(t *testing.T) {
 		dbUllman is_author_of tcb .
 		dbUllman name jeff .
 	`)
-	if err := run(q, "plain", g); err != nil {
+	if err := run(config{query: q, regime: "plain", eval: g}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSparql2TriqTraceAndMetrics checks that -trace produces a valid JSONL
+// trace containing the translation compile spans, per-operator spans, and the
+// chase spans from the evaluation.
+func TestSparql2TriqTraceAndMetrics(t *testing.T) {
+	q := writeFile(t, "q.rq", `SELECT ?X WHERE { ?Y is_author_of ?Z . ?Y name ?X }`)
+	g := writeFile(t, "g.nt", `
+		dbUllman is_author_of tcb .
+		dbUllman name jeff .
+	`)
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := run(config{query: q, regime: "plain", eval: g, trace: trace, metrics: true}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ParseTrace(raw)
+	if err != nil {
+		t.Fatalf("invalid JSONL: %v", err)
+	}
+	kinds := map[string]bool{}
+	for _, k := range obs.TraceKinds(recs) {
+		kinds[k] = true
+	}
+	for _, k := range []string{"translate.compile", "translate.op", "translate.load_db", "translate.decode", "chase.run", "chase.round", "chase.rule", "triq.eval"} {
+		if !kinds[k] {
+			t.Errorf("missing span kind %q (got %v)", k, obs.TraceKinds(recs))
+		}
 	}
 }
 
 func TestSparql2TriqErrors(t *testing.T) {
 	q := writeFile(t, "q.rq", `SELECT ?X WHERE { ?X p ?Y }`)
 	bad := writeFile(t, "bad.rq", `SELECT`)
-	cases := []func() error{
-		func() error { return run("", "plain", "") },
-		func() error { return run(q, "klingon", "") },
-		func() error { return run(q+".nope", "plain", "") },
-		func() error { return run(bad, "plain", "") },
-		func() error { return run(q, "plain", "/nope.nt") },
+	cases := []config{
+		{regime: "plain"},
+		{query: q, regime: "klingon"},
+		{query: q + ".nope", regime: "plain"},
+		{query: bad, regime: "plain"},
+		{query: q, regime: "plain", eval: "/nope.nt"},
+		{query: q, regime: "plain", trace: filepath.Join(q, "nope", "t.jsonl")},
 	}
-	for i, f := range cases {
-		if f() == nil {
+	for i, cfg := range cases {
+		if err := run(cfg); err == nil {
 			t.Errorf("case %d: expected error", i)
 		}
 	}

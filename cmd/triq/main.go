@@ -16,48 +16,118 @@
 // prepended, so the query sees the entailed triples in triple1(·,·,·).
 // With -prove the ProofTree decision procedure of Section 6.3 is run on a
 // single goal atom and the proof tree is printed.
+//
+// Observability (see README "Observability"): -metrics prints the per-rule
+// chase breakdown and the metrics registry to stderr, -trace streams the
+// JSONL span trace to a file, and -pprof serves net/http/pprof.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
 	"repro/internal/chase"
 	"repro/internal/datalog"
+	"repro/internal/obs"
 	"repro/internal/owl"
 	"repro/internal/rdf"
 	"repro/internal/triq"
 )
 
+// config collects the CLI flags.
+type config struct {
+	data     string // N-Triples data file
+	program  string // Datalog program file
+	query    string // output predicate
+	lang     string // triq | triqlite | any
+	regime   bool   // prepend τ_owl2ql_core
+	ontology string // OWL functional-syntax file merged into the data
+	exact    bool   // exact ProofTree enumeration
+	prove    string // decide one ground atom instead of querying
+	analyze  bool   // print the program analysis report
+	dot      bool   // DOT output for -analyze / -prove
+	depth    int    // chase null-depth bound
+	trace    string // JSONL span trace file ("" = off)
+	metrics  bool   // print metrics summary to stderr
+	pprof    string // pprof listen address ("" = off)
+}
+
 func main() {
-	var (
-		dataPath    = flag.String("data", "", "N-Triples data file (required)")
-		programPath = flag.String("program", "", "Datalog program file (required)")
-		queryPred   = flag.String("query", "query", "output predicate")
-		langName    = flag.String("lang", "triqlite", "language check: triq | triqlite | any")
-		regime      = flag.Bool("regime", false, "prepend the fixed OWL 2 QL core ontology program")
-		ontoPath    = flag.String("ontology", "", "OWL 2 QL core ontology file in functional-style syntax; its RDF serialization is merged into the data")
-		exact       = flag.Bool("exact", false, "use the exact ProofTree enumeration (TriQ-Lite 1.0 only)")
-		prove       = flag.String("prove", "", "instead of querying, decide one ground atom with ProofTree and print the proof")
-		analyze     = flag.Bool("analyze", false, "instead of querying, print the program analysis report (strata, affected positions, wards, dialects)")
-		dot         = flag.Bool("dot", false, "with -analyze: print the predicate dependency graph in Graphviz DOT; with -prove: print the proof tree in DOT")
-		maxDepth    = flag.Int("depth", 0, "chase null-depth bound (0 = default)")
-	)
+	var cfg config
+	flag.StringVar(&cfg.data, "data", "", "N-Triples data file (required)")
+	flag.StringVar(&cfg.program, "program", "", "Datalog program file (required)")
+	flag.StringVar(&cfg.query, "query", "query", "output predicate")
+	flag.StringVar(&cfg.lang, "lang", "triqlite", "language check: triq | triqlite | any")
+	flag.BoolVar(&cfg.regime, "regime", false, "prepend the fixed OWL 2 QL core ontology program")
+	flag.StringVar(&cfg.ontology, "ontology", "", "OWL 2 QL core ontology file in functional-style syntax; its RDF serialization is merged into the data")
+	flag.BoolVar(&cfg.exact, "exact", false, "use the exact ProofTree enumeration (TriQ-Lite 1.0 only)")
+	flag.StringVar(&cfg.prove, "prove", "", "instead of querying, decide one ground atom with ProofTree and print the proof")
+	flag.BoolVar(&cfg.analyze, "analyze", false, "instead of querying, print the program analysis report (strata, affected positions, wards, dialects)")
+	flag.BoolVar(&cfg.dot, "dot", false, "with -analyze: print the predicate dependency graph in Graphviz DOT; with -prove: print the proof tree in DOT")
+	flag.IntVar(&cfg.depth, "depth", 0, "chase null-depth bound (0 = default)")
+	flag.StringVar(&cfg.trace, "trace", "", "write a JSONL span trace to this file")
+	flag.BoolVar(&cfg.metrics, "metrics", false, "print the per-rule chase breakdown and metrics registry to stderr")
+	flag.StringVar(&cfg.pprof, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
-	if err := run(*dataPath, *programPath, *queryPred, *langName, *regime, *ontoPath, *exact, *prove, *analyze, *dot, *maxDepth); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "triq:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataPath, programPath, queryPred, langName string, regime bool, ontoPath string, exact bool, prove string, analyze, dot bool, maxDepth int) error {
-	if programPath == "" {
+// setupObs builds the observability handle from the trace/metrics flags. The
+// returned closer flushes and closes the trace file. With both flags off it
+// returns a nil handle: no registry, no spans, no I/O.
+func setupObs(cfg config) (*obs.Obs, func() error, error) {
+	if cfg.trace == "" && !cfg.metrics {
+		return nil, func() error { return nil }, nil
+	}
+	if cfg.trace == "" {
+		return obs.New(), func() error { return nil }, nil
+	}
+	f, err := os.Create(cfg.trace)
+	if err != nil {
+		return nil, nil, err
+	}
+	o := obs.NewWithSink(f)
+	return o, func() error {
+		if err := o.SinkErr(); err != nil {
+			f.Close()
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		return f.Close()
+	}, nil
+}
+
+// startPprof serves net/http/pprof on addr for the lifetime of the process.
+func startPprof(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "pprof: listening on http://%s/debug/pprof/\n", ln.Addr())
+	go http.Serve(ln, nil) // pprof handlers live on http.DefaultServeMux
+	return ln, nil
+}
+
+func run(cfg config) error {
+	if cfg.program == "" {
 		return fmt.Errorf("-program is required")
 	}
-	if analyze {
-		src, err := os.ReadFile(programPath)
+	if cfg.pprof != "" {
+		ln, err := startPprof(cfg.pprof)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+	}
+	if cfg.analyze {
+		src, err := os.ReadFile(cfg.program)
 		if err != nil {
 			return err
 		}
@@ -65,82 +135,114 @@ func run(dataPath, programPath, queryPred, langName string, regime bool, ontoPat
 		if err != nil {
 			return err
 		}
-		if regime {
+		if cfg.regime {
 			prog = owl.Program().Merge(prog)
 		}
-		if dot {
+		if cfg.dot {
 			fmt.Print(datalog.DependencyDOT(prog))
 			return nil
 		}
 		fmt.Print(datalog.Report(prog))
 		return nil
 	}
-	if dataPath == "" {
+	if cfg.data == "" {
 		return fmt.Errorf("-data is required")
 	}
-	dataFile, err := os.Open(dataPath)
+	o, closeObs, err := setupObs(cfg)
 	if err != nil {
+		return err
+	}
+	dataFile, err := os.Open(cfg.data)
+	if err != nil {
+		closeObs()
 		return err
 	}
 	defer dataFile.Close()
 	g, err := rdf.ParseNTriples(dataFile)
 	if err != nil {
+		closeObs()
 		return err
 	}
-	if ontoPath != "" {
-		ontoSrc, err := os.ReadFile(ontoPath)
+	if cfg.ontology != "" {
+		ontoSrc, err := os.ReadFile(cfg.ontology)
 		if err != nil {
+			closeObs()
 			return err
 		}
 		onto, err := owl.ParseOntology(string(ontoSrc))
 		if err != nil {
+			closeObs()
 			return err
 		}
 		g.AddGraph(onto.ToGraph())
 	}
-	src, err := os.ReadFile(programPath)
+	src, err := os.ReadFile(cfg.program)
 	if err != nil {
+		closeObs()
 		return err
 	}
 	prog, err := datalog.Parse(string(src))
 	if err != nil {
+		closeObs()
 		return err
 	}
-	if regime {
+	if cfg.regime {
 		prog = owl.Program().Merge(prog)
 	}
 	db, err := chase.FromFacts(owl.GraphToDB(g))
 	if err != nil {
+		closeObs()
 		return err
 	}
 
-	if prove != "" {
-		goal, err := datalog.ParseAtom(prove)
-		if err != nil {
-			return fmt.Errorf("parsing goal: %w", err)
+	if cfg.prove != "" {
+		err := runProve(cfg, db, prog, o)
+		if cerr := closeObs(); err == nil {
+			err = cerr
 		}
-		pv, err := triq.NewProver(db, prog, triq.ProofOptions{})
-		if err != nil {
-			return err
-		}
-		node, ok, err := pv.Prove(goal)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			fmt.Printf("%s is NOT in Π(D)\n", goal)
-			return nil
-		}
-		if dot {
-			fmt.Print(node.DOT())
-			return nil
-		}
-		fmt.Printf("%s is in Π(D); proof tree:\n\n%s", goal, node.Render())
+		return err
+	}
+	err = runQuery(cfg, db, prog, o)
+	if cerr := closeObs(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func runProve(cfg config, db *chase.Instance, prog *datalog.Program, o *obs.Obs) error {
+	goal, err := datalog.ParseAtom(cfg.prove)
+	if err != nil {
+		return fmt.Errorf("parsing goal: %w", err)
+	}
+	pv, err := triq.NewProver(db, prog, triq.ProofOptions{Obs: o})
+	if err != nil {
+		return err
+	}
+	node, ok, err := pv.Prove(goal)
+	if err != nil {
+		return err
+	}
+	if cfg.metrics {
+		m := pv.Metrics()
+		fmt.Fprintf(os.Stderr, "prover: %d components, %d expansions, %d memo hits / %d misses, %d resolutions, max depth %d (visit budget %d)\n",
+			m.Components, m.Expansions, m.MemoHits, m.MemoMisses, m.Resolutions, m.MaxRecursionDepth, m.VisitBudget)
+		fmt.Fprint(os.Stderr, o.Summary())
+	}
+	if !ok {
+		fmt.Printf("%s is NOT in Π(D)\n", goal)
 		return nil
 	}
+	if cfg.dot {
+		fmt.Print(node.DOT())
+		return nil
+	}
+	fmt.Printf("%s is in Π(D); proof tree:\n\n%s", goal, node.Render())
+	return nil
+}
 
+func runQuery(cfg config, db *chase.Instance, prog *datalog.Program, o *obs.Obs) error {
 	var lang triq.Language
-	switch strings.ToLower(langName) {
+	switch strings.ToLower(cfg.lang) {
 	case "triq":
 		lang = triq.TriQ10
 	case "triqlite":
@@ -148,15 +250,17 @@ func run(dataPath, programPath, queryPred, langName string, regime bool, ontoPat
 	case "any":
 		lang = triq.Unrestricted
 	default:
-		return fmt.Errorf("unknown language %q (want triq, triqlite, or any)", langName)
+		return fmt.Errorf("unknown language %q (want triq, triqlite, or any)", cfg.lang)
 	}
-	q := datalog.NewQuery(prog, queryPred)
+	q := datalog.NewQuery(prog, cfg.query)
 	opts := triq.Options{}
-	if maxDepth > 0 {
-		opts.Chase.MaxDepth = maxDepth
+	if cfg.depth > 0 {
+		opts.Chase.MaxDepth = cfg.depth
 	}
+	opts.Chase.Obs = o
 	var res *triq.Result
-	if exact {
+	var err error
+	if cfg.exact {
 		res, err = triq.EvalExact(db, q, opts)
 	} else {
 		res, err = triq.Eval(db, q, lang, opts)
@@ -177,5 +281,9 @@ func run(dataPath, programPath, queryPred, langName string, regime bool, ontoPat
 	}
 	fmt.Fprintf(os.Stderr, "%d answers (depth %d, exact=%v, %d facts derived)\n",
 		len(res.Answers.Tuples), res.Depth, res.Exact, res.Stats.FactsDerived)
+	if cfg.metrics {
+		fmt.Fprint(os.Stderr, res.Stats.String())
+		fmt.Fprint(os.Stderr, o.Summary())
+	}
 	return nil
 }

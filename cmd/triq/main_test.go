@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func writeFile(t *testing.T, name, content string) string {
@@ -28,66 +30,153 @@ ts(?T), triple(?X, ?T, ?Y) -> conn(?X, ?Y).
 conn(?X, ?Y) -> query(?X, ?Y).
 `
 
+// base returns the default flag values, mirroring main().
+func base() config {
+	return config{query: "query", lang: "triqlite"}
+}
+
 func TestCLIRunQuery(t *testing.T) {
-	data := writeFile(t, "g.nt", cliData)
-	prog := writeFile(t, "p.dlog", cliProgram)
-	if err := run(data, prog, "query", "triqlite", false, "", false, "", false, false, 0); err != nil {
+	cfg := base()
+	cfg.data = writeFile(t, "g.nt", cliData)
+	cfg.program = writeFile(t, "p.dlog", cliProgram)
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 	// Exact mode too.
-	if err := run(data, prog, "query", "triqlite", false, "", true, "", false, false, 0); err != nil {
+	exact := cfg
+	exact.exact = true
+	if err := run(exact); err != nil {
 		t.Fatal(err)
 	}
 	// TriQ language name and explicit depth.
-	if err := run(data, prog, "query", "triq", false, "", false, "", false, false, 6); err != nil {
+	tq := cfg
+	tq.lang = "triq"
+	tq.depth = 6
+	if err := run(tq); err != nil {
 		t.Fatal(err)
 	}
 	// "any" language.
-	if err := run(data, prog, "query", "any", false, "", false, "", false, false, 0); err != nil {
+	any := cfg
+	any.lang = "any"
+	if err := run(any); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCLIProve(t *testing.T) {
-	data := writeFile(t, "g.nt", cliData)
-	prog := writeFile(t, "p.dlog", cliProgram)
-	if err := run(data, prog, "query", "triqlite", false, "", false, "ts(A311)", false, false, 0); err != nil {
+	cfg := base()
+	cfg.data = writeFile(t, "g.nt", cliData)
+	cfg.program = writeFile(t, "p.dlog", cliProgram)
+	cfg.prove = "ts(A311)"
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 	// DOT output of the proof.
-	if err := run(data, prog, "query", "triqlite", false, "", false, "ts(A311)", false, true, 0); err != nil {
+	dot := cfg
+	dot.dot = true
+	if err := run(dot); err != nil {
 		t.Fatal(err)
 	}
 	// Unprovable goal still succeeds (prints NOT).
-	if err := run(data, prog, "query", "triqlite", false, "", false, "ts(Oxford)", false, false, 0); err != nil {
+	not := cfg
+	not.prove = "ts(Oxford)"
+	if err := run(not); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCLIAnalyze(t *testing.T) {
-	prog := writeFile(t, "p.dlog", cliProgram)
-	if err := run("", prog, "query", "triqlite", false, "", false, "", true, false, 0); err != nil {
+	cfg := base()
+	cfg.program = writeFile(t, "p.dlog", cliProgram)
+	cfg.analyze = true
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", prog, "query", "triqlite", false, "", false, "", true, true, 0); err != nil {
+	dot := cfg
+	dot.dot = true
+	if err := run(dot); err != nil {
 		t.Fatal(err)
 	}
 	// Regime merge in analyze mode.
-	if err := run("", prog, "query", "triqlite", true, "", false, "", true, false, 0); err != nil {
+	reg := cfg
+	reg.regime = true
+	if err := run(reg); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCLIOntologyAndRegime(t *testing.T) {
-	data := writeFile(t, "g.nt", "")
-	onto := writeFile(t, "o.owl", `
+	cfg := base()
+	cfg.data = writeFile(t, "g.nt", "")
+	cfg.ontology = writeFile(t, "o.owl", `
 		SubClassOf(dog, animal)
 		ClassAssertion(dog, rex)
 	`)
-	prog := writeFile(t, "p.dlog", `
+	cfg.program = writeFile(t, "p.dlog", `
 		triple1(?X, rdf:type, animal), C(?X) -> query(?X).
 	`)
-	if err := run(data, prog, "query", "triqlite", true, onto, false, "", false, false, 8); err != nil {
+	cfg.regime = true
+	cfg.depth = 8
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCLITraceAndMetrics runs a query and a proof with -trace and -metrics on
+// and checks the trace file is valid JSONL covering the chase round, per-rule,
+// and prover span kinds (the ISSUE acceptance criterion).
+func TestCLITraceAndMetrics(t *testing.T) {
+	cfg := base()
+	cfg.data = writeFile(t, "g.nt", cliData)
+	cfg.program = writeFile(t, "p.dlog", cliProgram)
+	cfg.trace = filepath.Join(t.TempDir(), "trace.jsonl")
+	cfg.metrics = true
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	prove := cfg
+	prove.prove = "ts(A311)"
+	prove.trace = filepath.Join(t.TempDir(), "prove.jsonl")
+	if err := run(prove); err != nil {
+		t.Fatal(err)
+	}
+
+	wantKinds := map[string][]string{
+		cfg.trace:   {"chase.deepen", "chase.round", "chase.rule", "chase.run", "triq.eval"},
+		prove.trace: {"prover.prove"},
+	}
+	for file, want := range wantKinds {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := obs.ParseTrace(raw)
+		if err != nil {
+			t.Fatalf("%s: invalid JSONL: %v", file, err)
+		}
+		if len(recs) == 0 {
+			t.Fatalf("%s: empty trace", file)
+		}
+		kinds := map[string]bool{}
+		for _, k := range obs.TraceKinds(recs) {
+			kinds[k] = true
+		}
+		for _, k := range want {
+			if !kinds[k] {
+				t.Errorf("%s: missing span kind %q (got %v)", file, k, obs.TraceKinds(recs))
+			}
+		}
+	}
+}
+
+// TestCLIMetricsOnly exercises -metrics without -trace (in-memory registry,
+// no file I/O).
+func TestCLIMetricsOnly(t *testing.T) {
+	cfg := base()
+	cfg.data = writeFile(t, "g.nt", cliData)
+	cfg.program = writeFile(t, "p.dlog", cliProgram)
+	cfg.metrics = true
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -95,34 +184,28 @@ func TestCLIOntologyAndRegime(t *testing.T) {
 func TestCLIErrors(t *testing.T) {
 	data := writeFile(t, "g.nt", cliData)
 	prog := writeFile(t, "p.dlog", cliProgram)
+	mod := func(f func(*config)) config {
+		cfg := base()
+		cfg.data = data
+		cfg.program = prog
+		f(&cfg)
+		return cfg
+	}
 	cases := []struct {
 		name string
-		err  func() error
+		cfg  config
 	}{
-		{"missing program", func() error {
-			return run(data, "", "query", "triqlite", false, "", false, "", false, false, 0)
-		}},
-		{"missing data", func() error {
-			return run("", prog, "query", "triqlite", false, "", false, "", false, false, 0)
-		}},
-		{"bad language", func() error {
-			return run(data, prog, "query", "klingon", false, "", false, "", false, false, 0)
-		}},
-		{"bad data path", func() error {
-			return run(data+".nope", prog, "query", "triqlite", false, "", false, "", false, false, 0)
-		}},
-		{"bad program path", func() error {
-			return run(data, prog+".nope", "query", "triqlite", false, "", false, "", false, false, 0)
-		}},
-		{"bad goal", func() error {
-			return run(data, prog, "query", "triqlite", false, "", false, "?X", false, false, 0)
-		}},
-		{"bad ontology path", func() error {
-			return run(data, prog, "query", "triqlite", false, "/nope.owl", false, "", false, false, 0)
-		}},
+		{"missing program", mod(func(c *config) { c.program = "" })},
+		{"missing data", mod(func(c *config) { c.data = "" })},
+		{"bad language", mod(func(c *config) { c.lang = "klingon" })},
+		{"bad data path", mod(func(c *config) { c.data = data + ".nope" })},
+		{"bad program path", mod(func(c *config) { c.program = prog + ".nope" })},
+		{"bad goal", mod(func(c *config) { c.prove = "?X" })},
+		{"bad ontology path", mod(func(c *config) { c.ontology = "/nope.owl" })},
+		{"bad trace path", mod(func(c *config) { c.trace = filepath.Join(data, "nope", "t.jsonl") })},
 	}
 	for _, tc := range cases {
-		if tc.err() == nil {
+		if err := run(tc.cfg); err == nil {
 			t.Errorf("%s: expected error", tc.name)
 		}
 	}

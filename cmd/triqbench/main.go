@@ -7,9 +7,11 @@
 //
 //	triqbench            # run everything
 //	triqbench -only E2   # run one experiment
+//	triqbench -json      # machine-readable BENCH JSON (tables + per-stage breakdowns)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +22,7 @@ import (
 
 func main() {
 	only := flag.String("only", "", "run a single experiment by id (T1, F1, E1 … E9)")
+	asJSON := flag.Bool("json", false, "emit the tables as JSON (with per-stage engine breakdowns) instead of markdown")
 	flag.Parse()
 
 	runners := map[string]func() *bench.Table{
@@ -43,14 +46,27 @@ func main() {
 
 	failed := 0
 	for _, t := range tables {
-		fmt.Println(t.Render())
 		if !t.OK {
 			failed++
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			fmt.Fprintln(os.Stderr, "triqbench:", err)
+			os.Exit(1)
+		}
+	} else {
+		for _, t := range tables {
+			fmt.Println(t.Render())
 		}
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "triqbench: %d experiment(s) did not reproduce\n", failed)
 		os.Exit(1)
 	}
-	fmt.Printf("all %d experiments reproduced.\n", len(tables))
+	if !*asJSON {
+		fmt.Printf("all %d experiments reproduced.\n", len(tables))
+	}
 }

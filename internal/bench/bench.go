@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/chase"
 	"repro/internal/datalog"
+	"repro/internal/obs"
 	"repro/internal/owl"
 	"repro/internal/pep"
 	"repro/internal/rdf"
@@ -23,16 +24,56 @@ import (
 	"repro/internal/workload"
 )
 
-// Table is one experiment's result.
+// Table is one experiment's result. The json tags define the schema of
+// `triqbench -json` (BENCH JSON).
 type Table struct {
-	ID      string
-	Title   string
-	Claim   string // what the paper asserts
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Claim   string     `json:"claim"` // what the paper asserts
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
 	// OK is false when a measured result contradicts the expected shape.
-	OK bool
+	OK bool `json:"ok"`
+	// Breakdown carries per-stage engine metrics (chase rounds, per-rule
+	// hot spots, prover search-space counters) alongside the headline rows.
+	Breakdown []StageMetric `json:"breakdown,omitempty"`
+}
+
+// StageMetric is one engine-level measurement attributed to a pipeline stage.
+type StageMetric struct {
+	Stage  string `json:"stage"`  // e.g. "chase n=7 k=4", "prover p(a,a)"
+	Metric string `json:"metric"` // e.g. "rounds", "top_rule_time"
+	Value  string `json:"value"`
+}
+
+// chaseBreakdown summarizes chase.Stats as StageMetric rows.
+func chaseBreakdown(stage string, s chase.Stats) []StageMetric {
+	rows := []StageMetric{
+		{stage, "rounds", fmt.Sprintf("%d", s.Rounds)},
+		{stage, "triggers_fired", fmt.Sprintf("%d", s.TriggersFired)},
+		{stage, "facts_derived", fmt.Sprintf("%d", s.FactsDerived)},
+		{stage, "nulls_invented", fmt.Sprintf("%d", s.NullsInvented)},
+	}
+	if top := s.TopRule(); top != nil {
+		rows = append(rows,
+			StageMetric{stage, "top_rule", top.Rule},
+			StageMetric{stage, "top_rule_time", obs.FormatDuration(top.Time)},
+		)
+	}
+	return rows
+}
+
+// proverBreakdown summarizes triq.ProofMetrics as StageMetric rows.
+func proverBreakdown(stage string, m triq.ProofMetrics) []StageMetric {
+	return []StageMetric{
+		{stage, "components", fmt.Sprintf("%d", m.Components)},
+		{stage, "expansions", fmt.Sprintf("%d", m.Expansions)},
+		{stage, "memo_hits", fmt.Sprintf("%d", m.MemoHits)},
+		{stage, "memo_misses", fmt.Sprintf("%d", m.MemoMisses)},
+		{stage, "resolutions", fmt.Sprintf("%d", m.Resolutions)},
+		{stage, "max_recursion_depth", fmt.Sprintf("%d", m.MaxRecursionDepth)},
+	}
 }
 
 // Render prints the table as GitHub markdown.
@@ -49,6 +90,12 @@ func (t *Table) Render() string {
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "%s\n", n)
 	}
+	if len(t.Breakdown) > 0 {
+		b.WriteString("\nEngine breakdown:\n")
+		for _, m := range t.Breakdown {
+			fmt.Fprintf(&b, "  %s: %s = %s\n", m.Stage, m.Metric, m.Value)
+		}
+	}
 	status := "reproduced"
 	if !t.OK {
 		status = "**MISMATCH**"
@@ -57,16 +104,9 @@ func (t *Table) Render() string {
 	return b.String()
 }
 
-func dur(d time.Duration) string {
-	switch {
-	case d < time.Millisecond:
-		return fmt.Sprintf("%.1fµs", float64(d.Microseconds()))
-	case d < time.Second:
-		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
-	default:
-		return fmt.Sprintf("%.2fs", d.Seconds())
-	}
-}
+// dur formats a duration on the µs/ms/s ladder with fixed two-decimal
+// precision (see obs.FormatDuration), so table cells line up across rows.
+func dur(d time.Duration) string { return obs.FormatDuration(d) }
 
 // RunT1 reproduces Table 1: the axiom → RDF-triple mapping, validated by a
 // round trip through the RDF serialization.
@@ -129,6 +169,7 @@ func RunF1() *Table {
 	if err != nil || !ok {
 		t.OK = false
 	}
+	t.Breakdown = proverBreakdown("prover p(a,a)", pv.Metrics())
 	size := 0
 	if node != nil {
 		size = node.Size()
@@ -178,6 +219,8 @@ func RunE1() *Table {
 		if got != want {
 			t.OK = false
 		}
+		t.Breakdown = append(t.Breakdown,
+			chaseBreakdown(fmt.Sprintf("chase n=%d k=%d", cfg.n, cfg.k), res.Stats)...)
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", cfg.n), fmt.Sprintf("%d", cfg.k),
 			fmt.Sprintf("%d", res.Stats.FactsDerived), dur(elapsed),
@@ -219,6 +262,8 @@ func RunE2() *Table {
 			t.OK = false
 		}
 		pts = append(pts, point{float64(db.Len()), float64(elapsed.Nanoseconds())})
+		t.Breakdown = append(t.Breakdown,
+			chaseBreakdown(fmt.Sprintf("chase lines=%d", lines), res.Stats)...)
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", lines), fmt.Sprintf("%d", db.Len()),
 			fmt.Sprintf("%d", len(res.Answers.Tuples)), dur(elapsed),
@@ -298,12 +343,14 @@ func RunE3() *Table {
 			continue
 		}
 		start = time.Now()
-		got, _, err := tr.Evaluate(g, triq.Options{})
+		got, evalRes, err := tr.EvaluateFull(g, triq.Options{})
 		transTime := time.Since(start)
 		if err != nil {
 			t.OK = false
 			continue
 		}
+		t.Breakdown = append(t.Breakdown,
+			chaseBreakdown("translated "+name, evalRes.Stats)...)
 		equal := direct.Equal(got)
 		if !equal {
 			t.OK = false
@@ -347,12 +394,14 @@ func RunE4() *Table {
 				continue
 			}
 			start := time.Now()
-			regime, _, err := tr.Evaluate(g, triq.Options{Chase: chase.Options{MaxDepth: 10}})
+			regime, evalRes, err := tr.EvaluateFull(g, triq.Options{Chase: chase.Options{MaxDepth: 10}})
 			elapsed := time.Since(start)
 			if err != nil {
 				t.OK = false
 				continue
 			}
+			t.Breakdown = append(t.Breakdown, chaseBreakdown(
+				fmt.Sprintf("regime depts=%d class=%s", depts, class), evalRes.Stats)...)
 			oracle := len(r.Members(owl.Atom(class)))
 			if regime.Len() != oracle {
 				t.OK = false
@@ -469,6 +518,8 @@ func RunE6() *Table {
 		if got != want {
 			t.OK = false
 		}
+		t.Breakdown = append(t.Breakdown,
+			chaseBreakdown(fmt.Sprintf("atm bits=%d", len(bits)), res.Stats)...)
 		growth := "-"
 		if prevFacts > 0 {
 			growth = fmt.Sprintf("%.1fx", float64(res.Stats.FactsDerived)/float64(prevFacts))

@@ -3,8 +3,11 @@ package chase
 import (
 	"fmt"
 	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/datalog"
+	"repro/internal/obs"
 )
 
 // Mode selects the chase variant.
@@ -52,6 +55,13 @@ type Options struct {
 	// every rule against the full instance each round. Exposed for the
 	// ablation benchmarks; results are identical, only slower.
 	NaiveEvaluation bool
+	// Obs attaches the observability layer: when non-nil the engine emits
+	// chase.run / chase.round / chase.rule spans and registry counters. A nil
+	// Obs (the default) adds no tracing work and no I/O.
+	Obs *obs.Obs
+	// Parent optionally nests the chase.run span under an enclosing span
+	// (e.g. the iterative-deepening driver). Ignored when Obs is nil.
+	Parent *obs.Span
 }
 
 func (o Options) withDefaults() Options {
@@ -74,6 +84,65 @@ type Stats struct {
 	FactsDerived   int
 	NullsInvented  int
 	DepthTruncated bool
+	// PerRule breaks the run down by rule, in stratum evaluation order.
+	PerRule []RuleStats
+}
+
+// RuleStats is the per-rule slice of a chase run. A trigger is "attempted"
+// when the positive body matched (before the negation check and duplicate
+// suppression in fire); it is "fired" when it derived at least one new fact.
+type RuleStats struct {
+	// Index is the rule's position in stratum evaluation order (which may
+	// differ from source order when the program is stratified).
+	Index int
+	// Rule is the rule's source rendering.
+	Rule              string
+	TriggersAttempted int
+	TriggersFired     int
+	FactsDerived      int
+	NullsInvented     int
+	// Time is the cumulative wall-clock time spent matching and firing the
+	// rule across all rounds.
+	Time time.Duration
+}
+
+// TopRule returns the rule with the largest cumulative time, or nil when no
+// per-rule breakdown was collected.
+func (s Stats) TopRule() *RuleStats {
+	var top *RuleStats
+	for i := range s.PerRule {
+		if top == nil || s.PerRule[i].Time > top.Time {
+			top = &s.PerRule[i]
+		}
+	}
+	return top
+}
+
+// String renders the stats with the per-rule breakdown as a human-readable
+// table; it backs the CLI -metrics flag.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chase: %d rounds, %d triggers fired, %d facts derived, %d nulls invented",
+		s.Rounds, s.TriggersFired, s.FactsDerived, s.NullsInvented)
+	if s.DepthTruncated {
+		b.WriteString(" (depth-truncated)")
+	}
+	b.WriteByte('\n')
+	if len(s.PerRule) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-5s %9s %9s %9s %7s %10s  %s\n",
+		"rule", "attempted", "fired", "facts", "nulls", "time", "definition")
+	for _, r := range s.PerRule {
+		def := r.Rule
+		if len([]rune(def)) > 60 {
+			def = string([]rune(def)[:57]) + "..."
+		}
+		fmt.Fprintf(&b, "#%-4d %9d %9d %9d %7d %10s  %s\n",
+			r.Index, r.TriggersAttempted, r.TriggersFired, r.FactsDerived,
+			r.NullsInvented, obs.FormatDuration(r.Time), def)
+	}
+	return b.String()
 }
 
 // Result is the outcome of evaluating a program over a database.
@@ -146,6 +215,16 @@ type engine struct {
 	skolem   map[string]string // skolem key → null name
 	nextNull int
 	stats    Stats
+	perRule  []*RuleStats // one entry per rule, across strata
+	cur      *RuleStats   // the rule currently being matched/fired
+	span     *obs.Span    // the chase.run span (nil when tracing is off)
+}
+
+// newRuleStats registers a per-rule stats slot in evaluation order.
+func (e *engine) newRuleStats(r datalog.Rule) *RuleStats {
+	rs := &RuleStats{Index: len(e.perRule), Rule: r.String()}
+	e.perRule = append(e.perRule, rs)
+	return rs
 }
 
 func newEngine(db *Instance, opts Options) *engine {
@@ -170,6 +249,9 @@ func (e *engine) freshNull(key string, d int) datalog.Term {
 	e.skolem[key] = name
 	e.depth[name] = d
 	e.stats.NullsInvented++
+	if e.cur != nil {
+		e.cur.NullsInvented++
+	}
 	return datalog.N(name)
 }
 
@@ -179,8 +261,10 @@ func (e *engine) freshNull(key string, d int) datalog.Term {
 // strata and are already final.
 func (e *engine) chaseStratum(rules []datalog.Rule) error {
 	comp := make([]*compiledRule, len(rules))
+	ruleStats := make([]*RuleStats, len(rules))
 	for i, r := range rules {
 		comp[i] = compileRule(r, i)
+		ruleStats[i] = e.newRuleStats(r)
 	}
 	envs := make([]*env, len(rules))
 	for i, c := range comp {
@@ -192,11 +276,39 @@ func (e *engine) chaseStratum(rules []datalog.Rule) error {
 			return fmt.Errorf("chase: exceeded MaxRounds=%d", e.opts.MaxRounds)
 		}
 		e.stats.Rounds++
+		var roundSpan *obs.Span
+		if e.span != nil {
+			deltaSize := e.inst.Len() // first round matches the full instance
+			if delta != nil {
+				deltaSize = delta.Len()
+			}
+			roundSpan = e.span.Span("chase.round",
+				obs.F("round", e.stats.Rounds),
+				obs.F("delta", deltaSize),
+				obs.F("instance", e.inst.Len()))
+		}
+		roundFacts := e.stats.FactsDerived
 		next := NewInstance()
 		for ci, c := range comp {
 			ev := envs[ci]
+			rs := ruleStats[ci]
+			var ruleSpan *obs.Span
+			if roundSpan != nil {
+				joinOrder := "seeded(delta)"
+				if delta == nil {
+					joinOrder = fmt.Sprint(c.fullOrder)
+				}
+				ruleSpan = roundSpan.Span("chase.rule",
+					obs.F("rule", rs.Index),
+					obs.F("pred", c.rule.Head[0].Pred),
+					obs.F("join_order", joinOrder))
+			}
+			before := *rs
+			t0 := time.Now()
+			e.cur = rs
 			var fireErr error
 			emit := func() bool {
+				rs.TriggersAttempted++
 				// Stratified negation against the current instance.
 				for _, np := range c.bodyNeg {
 					if e.inst.Has(np.instantiate(ev)) {
@@ -247,10 +359,21 @@ func (e *engine) chaseStratum(rules []datalog.Rule) error {
 					}
 				}
 			}
+			e.cur = nil
+			rs.Time += time.Since(t0)
+			ruleSpan.End(
+				obs.F("attempted", rs.TriggersAttempted-before.TriggersAttempted),
+				obs.F("fired", rs.TriggersFired-before.TriggersFired),
+				obs.F("facts", rs.FactsDerived-before.FactsDerived),
+				obs.F("nulls", rs.NullsInvented-before.NullsInvented))
 			if fireErr != nil {
+				roundSpan.End(obs.F("error", true))
 				return fireErr
 			}
 		}
+		roundSpan.End(
+			obs.F("facts", e.stats.FactsDerived-roundFacts),
+			obs.F("next_delta", next.Len()))
 		if next.Len() == 0 {
 			return nil
 		}
@@ -290,6 +413,9 @@ func (e *engine) fire(c *compiledRule, ev *env) ([]datalog.Atom, error) {
 			}
 		}
 		if d > e.opts.MaxDepth {
+			if !e.stats.DepthTruncated && e.opts.Obs != nil {
+				e.opts.Obs.Event("chase.truncated", obs.F("depth", e.opts.MaxDepth))
+			}
 			e.stats.DepthTruncated = true
 			return nil, nil
 		}
@@ -326,11 +452,17 @@ func (e *engine) fire(c *compiledRule, ev *env) ([]datalog.Atom, error) {
 		fact := h.instantiate(ev)
 		if e.inst.Add(fact) {
 			e.stats.FactsDerived++
+			if e.cur != nil {
+				e.cur.FactsDerived++
+			}
 			added = append(added, fact)
 		}
 	}
 	if len(added) > 0 {
 		e.stats.TriggersFired++
+		if e.cur != nil {
+			e.cur.TriggersFired++
+		}
 	}
 	if e.inst.Len() > e.opts.MaxFacts {
 		return nil, fmt.Errorf("chase: instance exceeded MaxFacts=%d", e.opts.MaxFacts)
@@ -384,6 +516,30 @@ func Run(db *Instance, prog *datalog.Program, opts Options) (*Result, error) {
 		return nil, err
 	}
 	e := newEngine(db, opts)
+	if opts.Obs != nil {
+		if opts.Parent != nil {
+			e.span = opts.Parent.Span("chase.run")
+		} else {
+			e.span = opts.Obs.Span("chase.run")
+		}
+		e.span.Attr("mode", opts.Mode.String())
+		e.span.Attr("rules", len(work.Rules))
+		e.span.Attr("strata", len(strata))
+		e.span.Attr("db_facts", db.Len())
+		defer func() {
+			e.span.End(
+				obs.F("rounds", e.stats.Rounds),
+				obs.F("triggers_fired", e.stats.TriggersFired),
+				obs.F("facts_derived", e.stats.FactsDerived),
+				obs.F("nulls_invented", e.stats.NullsInvented),
+				obs.F("depth_truncated", e.stats.DepthTruncated))
+			opts.Obs.Count("chase.runs", 1)
+			opts.Obs.Count("chase.rounds", int64(e.stats.Rounds))
+			opts.Obs.Count("chase.triggers_fired", int64(e.stats.TriggersFired))
+			opts.Obs.Count("chase.facts_derived", int64(e.stats.FactsDerived))
+			opts.Obs.Count("chase.nulls_invented", int64(e.stats.NullsInvented))
+		}()
+	}
 	for _, rules := range strata {
 		if len(rules) == 0 {
 			continue
@@ -391,6 +547,9 @@ func Run(db *Instance, prog *datalog.Program, opts Options) (*Result, error) {
 		if err := e.chaseStratum(rules); err != nil {
 			return nil, err
 		}
+	}
+	for _, rs := range e.perRule {
+		e.stats.PerRule = append(e.stats.PerRule, *rs)
 	}
 	res := &Result{Instance: e.inst, Stats: e.stats}
 	for _, c := range work.Constraints {

@@ -2,6 +2,7 @@ package chase
 
 import (
 	"repro/internal/datalog"
+	"repro/internal/obs"
 )
 
 // GroundResult is the outcome of computing the ground semantics Π(D)↓.
@@ -62,11 +63,19 @@ func StableGround(db *Instance, prog *datalog.Program, opts Options, window int)
 	for {
 		o := opts
 		o.MaxDepth = depth
+		sp := opts.Obs.Span("chase.deepen", obs.F("depth", depth))
+		o.Parent = sp
 		res, err := GroundSemantics(db, prog, o)
 		if err != nil {
+			sp.End(obs.F("error", true))
 			return nil, err
 		}
 		res.Depth = depth
+		sp.End(
+			obs.F("ground", res.Ground.Len()),
+			obs.F("exact", res.Exact),
+			obs.F("inconsistent", res.Inconsistent),
+			obs.F("stable", stable))
 		if res.Inconsistent || res.Exact {
 			return res, nil
 		}

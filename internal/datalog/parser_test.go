@@ -136,19 +136,19 @@ func TestParseComments(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	bad := map[string]string{
-		`p(?X) -> q(?X)`:                       "missing final dot",
-		`p(?X) q(?X).`:                         "missing separator",
-		`p(?X,) -> q(?X).`:                     "dangling comma",
-		`p(?X) -> exists q(?X).`:               "exists without variables",
-		`p(?X) -> exists ?X q(?X).`:            "existential also in body",
-		`p(?X) -> exists ?Z q(?X).`:            "declared but unused existential",
-		`-> q(?X).`:                            "empty body",
-		`p(?X), not r(?Y) -> q(?X).`:           "unsafe negation",
-		`p(?X, "unterminated -> q(?X).`:        "unterminated string",
-		`p(?) -> q(?X).`:                       "empty variable",
-		`p(?X) - q(?X).`:                       "lone dash",
-		`p(?X), not r(?X) -> false.`:           "negation in constraint",
-		`p(?X) -> q(?X). p(?X,?Y) -> q(?X).`:   "arity clash (Validate via Schema is not checked here)",
+		`p(?X) -> q(?X)`:                     "missing final dot",
+		`p(?X) q(?X).`:                       "missing separator",
+		`p(?X,) -> q(?X).`:                   "dangling comma",
+		`p(?X) -> exists q(?X).`:             "exists without variables",
+		`p(?X) -> exists ?X q(?X).`:          "existential also in body",
+		`p(?X) -> exists ?Z q(?X).`:          "declared but unused existential",
+		`-> q(?X).`:                          "empty body",
+		`p(?X), not r(?Y) -> q(?X).`:         "unsafe negation",
+		`p(?X, "unterminated -> q(?X).`:      "unterminated string",
+		`p(?) -> q(?X).`:                     "empty variable",
+		`p(?X) - q(?X).`:                     "lone dash",
+		`p(?X), not r(?X) -> false.`:         "negation in constraint",
+		`p(?X) -> q(?X). p(?X,?Y) -> q(?X).`: "arity clash (Validate via Schema is not checked here)",
 	}
 	for src, why := range bad {
 		if _, err := Parse(src); err == nil && why != "arity clash (Validate via Schema is not checked here)" {

@@ -33,9 +33,9 @@ func TestRuleAccessors(t *testing.T) {
 
 func TestRuleValidate(t *testing.T) {
 	bad := []Rule{
-		{Head: []Atom{NewAtom("q", V("X"))}},                                     // empty body
-		{BodyPos: []Atom{NewAtom("p", V("X"))}},                                  // empty head
-		{BodyPos: []Atom{NewAtom("p", N("z"))}, Head: []Atom{NewAtom("q")}},      // null in body
+		{Head: []Atom{NewAtom("q", V("X"))}},                                        // empty body
+		{BodyPos: []Atom{NewAtom("p", V("X"))}},                                     // empty head
+		{BodyPos: []Atom{NewAtom("p", N("z"))}, Head: []Atom{NewAtom("q")}},         // null in body
 		{BodyPos: []Atom{NewAtom("p", V("X"))}, Head: []Atom{NewAtom("q", N("z"))}}, // null in head
 		{ // unsafe negation
 			BodyPos: []Atom{NewAtom("p", V("X"))},

@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a clock that advances step per call.
+func fakeClock(step time.Duration) func() time.Time {
+	t := time.Unix(0, 0)
+	return func() time.Time {
+		t = t.Add(step)
+		return t
+	}
+}
+
+func TestNilObsIsNoOp(t *testing.T) {
+	var o *Obs
+	if o.Enabled() {
+		t.Fatal("nil Obs must report disabled")
+	}
+	// Every method must be callable on nil without panicking.
+	o.Count("c", 1)
+	o.Gauge("g", 2)
+	o.Observe("h", 3)
+	o.Event("e", F("k", "v"))
+	if o.Summary() != "" || o.Registry() != nil || o.SinkErr() != nil {
+		t.Fatal("nil Obs must return zero values")
+	}
+	sp := o.Span("root")
+	if sp != nil {
+		t.Fatal("nil Obs must return nil spans")
+	}
+	sp.Attr("k", 1)
+	child := sp.Span("child")
+	child.End()
+	sp.End(F("k", 2))
+	var reg *Registry
+	reg.Add("c", 1)
+	reg.SetGauge("g", 1)
+	reg.Observe("h", 1)
+	if reg.Counter("c") != 0 || reg.Gauge("g") != 0 || reg.Summary() != "" {
+		t.Fatal("nil Registry must return zero values")
+	}
+	if _, ok := reg.Hist("h"); ok {
+		t.Fatal("nil Registry must have no histograms")
+	}
+}
+
+func TestRegistryCountersGaugesHists(t *testing.T) {
+	r := NewRegistry()
+	r.Add("triggers", 3)
+	r.Add("triggers", 4)
+	if got := r.Counter("triggers"); got != 7 {
+		t.Fatalf("counter = %d, want 7", got)
+	}
+	r.SetGauge("depth", 4)
+	r.SetGauge("depth", 6)
+	if got := r.Gauge("depth"); got != 6 {
+		t.Fatalf("gauge = %g, want 6", got)
+	}
+	for i := 1; i <= 100; i++ {
+		r.Observe("lat", float64(i))
+	}
+	s, ok := r.Hist("lat")
+	if !ok {
+		t.Fatal("histogram missing")
+	}
+	if s.Count != 100 || s.Max != 100 || s.Sum != 5050 {
+		t.Fatalf("hist stats = %+v", s)
+	}
+	if s.P50 != 50 || s.P95 != 95 {
+		t.Fatalf("quantiles p50=%g p95=%g, want 50/95", s.P50, s.P95)
+	}
+	sum := r.Summary()
+	for _, want := range []string{"triggers", "depth", "lat", "p95=95.0"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+func TestHistogramDecimationBoundsMemory(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 100_000; i++ {
+		r.Observe("big", float64(i))
+	}
+	s, _ := r.Hist("big")
+	if s.Count != 100_000 || s.Max != 99_999 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// Reservoir quantiles stay within a few percent of the true value.
+	if s.P50 < 40_000 || s.P50 > 60_000 {
+		t.Fatalf("p50 = %g, want ≈50000", s.P50)
+	}
+	r.mu.Lock()
+	n := len(r.hists["big"].samples)
+	r.mu.Unlock()
+	if n >= maxSamples {
+		t.Fatalf("reservoir grew to %d, want < %d", n, maxSamples)
+	}
+}
+
+func TestSpansEmitJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	o := NewWithSink(&buf)
+	o.SetClock(fakeClock(time.Millisecond))
+	root := o.Span("run", F("mode", "skolem"))
+	child := root.Span("round")
+	child.End(F("facts", 3))
+	root.End()
+	o.Event("memo_hit", F("n", 1))
+	if err := o.SinkErr(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ParseTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	// Spans are written at End time: child first, then root, then the event.
+	if recs[0]["name"] != "round" || recs[0]["kind"] != "span" {
+		t.Fatalf("record 0 = %v", recs[0])
+	}
+	if recs[0]["parent"].(float64) != recs[1]["id"].(float64) {
+		t.Fatal("child must point at root's id")
+	}
+	if recs[1]["name"] != "run" {
+		t.Fatalf("record 1 = %v", recs[1])
+	}
+	if _, has := recs[1]["parent"]; has {
+		t.Fatal("root span must omit parent")
+	}
+	if recs[2]["kind"] != "event" || recs[2]["name"] != "memo_hit" {
+		t.Fatalf("record 2 = %v", recs[2])
+	}
+	attrs := recs[0]["attrs"].(map[string]any)
+	if attrs["facts"].(float64) != 3 {
+		t.Fatalf("child attrs = %v", attrs)
+	}
+	// Durations are in the registry too.
+	if _, ok := o.Registry().Hist("span.round"); !ok {
+		t.Fatal("span duration histogram missing")
+	}
+}
+
+// TestGoldenJSONL pins the exact trace bytes of a fixed span pattern under a
+// deterministic clock; any schema change must update this golden.
+func TestGoldenJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	o := NewWithSink(&buf)
+	o.SetClock(fakeClock(time.Millisecond))
+	run := o.Span("chase.run", F("mode", "skolem"))
+	round := run.Span("chase.round", F("round", 1))
+	rule := round.Span("chase.rule", F("rule", 0))
+	rule.End(F("fired", 2))
+	round.End(F("delta", 2))
+	run.End(F("rounds", 1))
+	o.Event("prover.prove", F("ok", true))
+	golden := strings.Join([]string{
+		`{"kind":"span","name":"chase.rule","id":3,"parent":2,"t_us":3000,"dur_us":1000,"attrs":{"fired":2,"rule":0}}`,
+		`{"kind":"span","name":"chase.round","id":2,"parent":1,"t_us":2000,"dur_us":3000,"attrs":{"delta":2,"round":1}}`,
+		`{"kind":"span","name":"chase.run","id":1,"t_us":1000,"dur_us":5000,"attrs":{"mode":"skolem","rounds":1}}`,
+		`{"kind":"event","name":"prover.prove","t_us":7000,"attrs":{"ok":true}}`,
+	}, "\n") + "\n"
+	if got := buf.String(); got != golden {
+		t.Fatalf("golden mismatch:\n got: %s\nwant: %s", got, golden)
+	}
+}
+
+func TestConcurrentUseIsSafe(t *testing.T) {
+	var buf bytes.Buffer
+	o := NewWithSink(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				o.Count("c", 1)
+				o.Observe("h", float64(j))
+				sp := o.Span("s")
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := o.Registry().Counter("c"); got != 1600 {
+		t.Fatalf("counter = %d, want 1600", got)
+	}
+	// Every emitted line must still parse as standalone JSON.
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("corrupt line %q: %v", line, err)
+		}
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "0.00µs"},
+		{750 * time.Nanosecond, "0.75µs"},
+		{time.Microsecond, "1.00µs"},
+		{999 * time.Microsecond, "999.00µs"},
+		{time.Millisecond, "1.00ms"},
+		{1500 * time.Microsecond, "1.50ms"},
+		{999 * time.Millisecond, "999.00ms"},
+		{time.Second, "1.00s"},
+		{90 * time.Second, "90.00s"},
+	}
+	for _, c := range cases {
+		if got := FormatDuration(c.d); got != c.want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestParseTraceRejectsGarbage(t *testing.T) {
+	if _, err := ParseTrace([]byte("{\"ok\":1}\nnot json\n")); err == nil {
+		t.Fatal("expected parse error")
+	}
+	recs, err := ParseTrace([]byte(""))
+	if err != nil || recs != nil {
+		t.Fatalf("empty trace: %v %v", recs, err)
+	}
+}
+
+func TestTraceKinds(t *testing.T) {
+	recs := []map[string]any{
+		{"name": "b"}, {"name": "a"}, {"name": "b"}, {"kind": "x"},
+	}
+	got := TraceKinds(recs)
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("kinds = %v", got)
+	}
+}

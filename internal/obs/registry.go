@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a process-local metrics store: monotonically increasing
+// counters, last-write-wins gauges, and fixed-size-reservoir histograms with
+// p50/p95/max. All methods are safe for concurrent use and are no-ops on a
+// nil receiver.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+		hists:    make(map[string]*histogram),
+	}
+}
+
+// Add increments a counter by delta.
+func (r *Registry) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Counter reads a counter (0 when absent).
+func (r *Registry) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// SetGauge sets a gauge.
+func (r *Registry) SetGauge(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// Gauge reads a gauge (0 when absent).
+func (r *Registry) Gauge(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[name]
+}
+
+// Observe records one histogram sample.
+func (r *Registry) Observe(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	h.observe(v)
+	r.mu.Unlock()
+}
+
+// HistStats is a histogram snapshot.
+type HistStats struct {
+	Count    int64
+	Sum, Max float64
+	P50, P95 float64
+}
+
+// Hist snapshots a histogram; ok is false when no sample was recorded.
+func (r *Registry) Hist(name string) (HistStats, bool) {
+	if r == nil {
+		return HistStats{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil || h.count == 0 {
+		return HistStats{}, false
+	}
+	return h.stats(), true
+}
+
+// Summary renders every metric in sorted order, one per line: counters and
+// gauges as "name value", histograms as "name count=… p50=… p95=… max=…".
+func (r *Registry) Summary() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lines []string
+	for n, v := range r.counters {
+		lines = append(lines, fmt.Sprintf("%-40s %d", n, v))
+	}
+	for n, v := range r.gauges {
+		lines = append(lines, fmt.Sprintf("%-40s %g", n, v))
+	}
+	for n, h := range r.hists {
+		if h.count == 0 {
+			continue
+		}
+		s := h.stats()
+		lines = append(lines, fmt.Sprintf("%-40s count=%d p50=%.1f p95=%.1f max=%.1f",
+			n, s.Count, s.P50, s.P95, s.Max))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// maxSamples bounds a histogram reservoir; when full, the reservoir is
+// decimated (every second sample kept) and the sampling stride doubles, so
+// quantiles stay approximately right at bounded memory for any stream
+// length.
+const maxSamples = 4096
+
+type histogram struct {
+	count   int64
+	sum     float64
+	max     float64
+	samples []float64
+	stride  int64 // record every stride-th observation
+}
+
+func newHistogram() *histogram { return &histogram{stride: 1} }
+
+func (h *histogram) observe(v float64) {
+	h.count++
+	h.sum += v
+	if h.count == 1 || v > h.max {
+		h.max = v
+	}
+	if h.count%h.stride != 0 {
+		return
+	}
+	h.samples = append(h.samples, v)
+	if len(h.samples) >= maxSamples {
+		kept := h.samples[:0]
+		for i := 1; i < len(h.samples); i += 2 {
+			kept = append(kept, h.samples[i])
+		}
+		h.samples = kept
+		h.stride *= 2
+	}
+}
+
+func (h *histogram) stats() HistStats {
+	s := HistStats{Count: h.count, Sum: h.sum, Max: h.max}
+	if len(h.samples) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), h.samples...)
+	sort.Float64s(sorted)
+	s.P50 = quantile(sorted, 0.50)
+	s.P95 = quantile(sorted, 0.95)
+	return s
+}
+
+// quantile reads the q-th quantile from a sorted sample by nearest-rank.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -91,9 +91,9 @@ type ntParser struct {
 	pos int
 }
 
-func (p *ntParser) atEOF() bool   { return p.pos >= len(p.in) }
-func (p *ntParser) rest() string  { return p.in[p.pos:] }
-func (p *ntParser) peek() byte    { return p.in[p.pos] }
+func (p *ntParser) atEOF() bool  { return p.pos >= len(p.in) }
+func (p *ntParser) rest() string { return p.in[p.pos:] }
+func (p *ntParser) peek() byte   { return p.in[p.pos] }
 
 func (p *ntParser) skipSpace() {
 	for !p.atEOF() && (p.peek() == ' ' || p.peek() == '\t') {

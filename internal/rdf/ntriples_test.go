@@ -57,14 +57,14 @@ func TestParseNTriplesRoundTrip(t *testing.T) {
 
 func TestParseNTriplesErrors(t *testing.T) {
 	bad := []string{
-		"a b",                      // too few terms, no dot
-		"a b c",                    // missing dot
-		"a b c . extra",            // trailing garbage
-		`a b "unterminated .`,      // unterminated literal
-		"<unterminated b c .",      // unterminated IRI
-		"_: b c .",                 // empty blank label
-		`a b "x"@ .`,               // empty language tag
-		`a b "bad\q" .`,            // unknown escape
+		"a b",                 // too few terms, no dot
+		"a b c",               // missing dot
+		"a b c . extra",       // trailing garbage
+		`a b "unterminated .`, // unterminated literal
+		"<unterminated b c .", // unterminated IRI
+		"_: b c .",            // empty blank label
+		`a b "x"@ .`,          // empty language tag
+		`a b "bad\q" .`,       // unknown escape
 	}
 	for _, in := range bad {
 		if _, err := ParseNTriplesString(in); err == nil {

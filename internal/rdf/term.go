@@ -152,17 +152,17 @@ func escapeLiteral(s string) string {
 // Well-known vocabulary IRIs used by the paper's examples and by the
 // OWL 2 QL core mapping of Table 1.
 const (
-	RDFType                  = "rdf:type"
-	RDFSSubClassOf           = "rdfs:subClassOf"
-	RDFSSubPropertyOf        = "rdfs:subPropertyOf"
-	OWLClass                 = "owl:Class"
-	OWLObjectProperty        = "owl:ObjectProperty"
-	OWLRestriction           = "owl:Restriction"
-	OWLOnProperty            = "owl:onProperty"
-	OWLSomeValuesFrom        = "owl:someValuesFrom"
-	OWLThing                 = "owl:Thing"
-	OWLInverseOf             = "owl:inverseOf"
-	OWLDisjointWith          = "owl:disjointWith"
-	OWLPropertyDisjointWith  = "owl:propertyDisjointWith"
-	OWLSameAs                = "owl:sameAs"
+	RDFType                 = "rdf:type"
+	RDFSSubClassOf          = "rdfs:subClassOf"
+	RDFSSubPropertyOf       = "rdfs:subPropertyOf"
+	OWLClass                = "owl:Class"
+	OWLObjectProperty       = "owl:ObjectProperty"
+	OWLRestriction          = "owl:Restriction"
+	OWLOnProperty           = "owl:onProperty"
+	OWLSomeValuesFrom       = "owl:someValuesFrom"
+	OWLThing                = "owl:Thing"
+	OWLInverseOf            = "owl:inverseOf"
+	OWLDisjointWith         = "owl:disjointWith"
+	OWLPropertyDisjointWith = "owl:propertyDisjointWith"
+	OWLSameAs               = "owl:sameAs"
 )

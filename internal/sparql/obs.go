@@ -1,0 +1,79 @@
+package sparql
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/rdf"
+)
+
+// PatternKind names an operator of the SPARQL algebra for spans and metrics.
+func PatternKind(p Pattern) string {
+	switch p.(type) {
+	case BGP:
+		return "BGP"
+	case And:
+		return "AND"
+	case Union:
+		return "UNION"
+	case Opt:
+		return "OPT"
+	case Filter:
+		return "FILTER"
+	case Select:
+		return "SELECT"
+	default:
+		return fmt.Sprintf("%T", p)
+	}
+}
+
+// EvalTraced computes ⟦P⟧_G like Eval while emitting one sparql.op span per
+// algebra operator (kind, result cardinality) to the observability layer.
+// With a nil Obs it is exactly Eval.
+func EvalTraced(p Pattern, g *rdf.Graph, o *obs.Obs) *MappingSet {
+	if o == nil {
+		return Eval(p, g)
+	}
+	return evalTraced(p, g, o, nil)
+}
+
+func evalTraced(p Pattern, g *rdf.Graph, o *obs.Obs, parent *obs.Span) *MappingSet {
+	var sp *obs.Span
+	if parent != nil {
+		sp = parent.Span("sparql.op", obs.F("kind", PatternKind(p)))
+	} else {
+		sp = o.Span("sparql.op", obs.F("kind", PatternKind(p)))
+	}
+	var out *MappingSet
+	switch q := p.(type) {
+	case BGP:
+		out = evalBGP(q, g)
+	case And:
+		out = Join(evalTraced(q.L, g, o, sp), evalTraced(q.R, g, o, sp))
+	case Union:
+		out = UnionSets(evalTraced(q.L, g, o, sp), evalTraced(q.R, g, o, sp))
+	case Opt:
+		out = LeftOuterJoin(evalTraced(q.L, g, o, sp), evalTraced(q.R, g, o, sp))
+	case Filter:
+		out = NewMappingSet()
+		for _, m := range evalTraced(q.P, g, o, sp).Mappings() {
+			if q.Cond.Satisfied(m) {
+				out.Add(m)
+			}
+		}
+	case Select:
+		w := make(map[string]bool, len(q.Proj))
+		for _, v := range q.Proj {
+			w[v] = true
+		}
+		out = NewMappingSet()
+		for _, m := range evalTraced(q.P, g, o, sp).Mappings() {
+			out.Add(m.Restrict(w))
+		}
+	default:
+		sp.End(obs.F("error", true))
+		panic(fmt.Sprintf("sparql: unknown pattern type %T", p))
+	}
+	sp.End(obs.F("mappings", out.Len()))
+	return out
+}

@@ -1,0 +1,99 @@
+package sparql
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/rdf"
+)
+
+func tracedEvalGraph() *rdf.Graph {
+	g := rdf.NewGraph()
+	g.Add(rdf.T("u1", "name", "n1"))
+	g.Add(rdf.T("u2", "name", "n2"))
+	g.Add(rdf.T("u1", "phone", "t1"))
+	g.Add(rdf.T("u1", "knows", "u2"))
+	return g
+}
+
+func tracedEvalPattern() Pattern {
+	return Select{
+		Proj: []string{"?X"},
+		P: Filter{
+			P: Union{
+				L: Opt{
+					L: BGP{Triples: []TriplePattern{TP(Var("X"), IRI("name"), Var("N"))}},
+					R: BGP{Triples: []TriplePattern{TP(Var("X"), IRI("phone"), Var("P"))}},
+				},
+				R: BGP{Triples: []TriplePattern{TP(Var("X"), IRI("knows"), Var("Y"))}},
+			},
+			Cond: Bound{Var: "?X"},
+		},
+	}
+}
+
+// TestEvalTracedMatchesEval: the traced evaluator is semantically Eval.
+func TestEvalTracedMatchesEval(t *testing.T) {
+	g := tracedEvalGraph()
+	p := tracedEvalPattern()
+	want := Eval(p, g)
+	if got := EvalTraced(p, g, nil); !want.Equal(got) {
+		t.Error("EvalTraced(nil obs) differs from Eval")
+	}
+	var buf bytes.Buffer
+	if got := EvalTraced(p, g, obs.NewWithSink(&buf)); !want.Equal(got) {
+		t.Error("EvalTraced(obs) differs from Eval")
+	}
+	if buf.Len() == 0 {
+		t.Error("traced evaluation wrote no spans")
+	}
+}
+
+// TestEvalTracedSpans: one sparql.op span per algebra operator, labeled with
+// its kind and result cardinality.
+func TestEvalTracedSpans(t *testing.T) {
+	var buf bytes.Buffer
+	o := obs.NewWithSink(&buf)
+	EvalTraced(tracedEvalPattern(), tracedEvalGraph(), o)
+	recs, err := obs.ParseTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := map[string]int{}
+	for _, r := range recs {
+		if r["name"] != "sparql.op" {
+			t.Errorf("unexpected span name %v", r["name"])
+			continue
+		}
+		attrs, _ := r["attrs"].(map[string]any)
+		kind, _ := attrs["kind"].(string)
+		ops[kind]++
+		if _, ok := attrs["mappings"]; !ok {
+			t.Errorf("sparql.op span missing mappings attr: %v", r)
+		}
+	}
+	want := map[string]int{"SELECT": 1, "FILTER": 1, "UNION": 1, "OPT": 1, "BGP": 3}
+	for k, n := range want {
+		if ops[k] != n {
+			t.Errorf("sparql.op kind %s: got %d spans, want %d (all: %v)", k, ops[k], n, ops)
+		}
+	}
+}
+
+// TestPatternKind covers the operator naming used by spans and metrics.
+func TestPatternKind(t *testing.T) {
+	cases := map[string]Pattern{
+		"BGP":    BGP{},
+		"AND":    And{},
+		"UNION":  Union{},
+		"OPT":    Opt{},
+		"FILTER": Filter{},
+		"SELECT": Select{},
+	}
+	for want, p := range cases {
+		if got := PatternKind(p); got != want {
+			t.Errorf("PatternKind(%T) = %q, want %q", p, got, want)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/chase"
 	"repro/internal/datalog"
+	"repro/internal/obs"
 	"repro/internal/owl"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
@@ -83,14 +84,26 @@ const AnswerPred = "answer"
 
 // Translate compiles a SPARQL graph pattern.
 func Translate(p sparql.Pattern, regime Regime) (*Translation, error) {
+	return Traced(p, regime, nil)
+}
+
+// Traced is Translate with the observability layer attached: each compiled
+// sub-pattern emits a translate.op span (operator kind, rules added) nested
+// under one translate.compile span. A nil Obs behaves exactly like Translate.
+func Traced(p sparql.Pattern, regime Regime, o *obs.Obs) (*Translation, error) {
 	if err := sparql.Validate(p); err != nil {
 		return nil, err
 	}
-	c := &compiler{regime: regime, prog: &datalog.Program{}}
+	root := o.Span("translate.compile", obs.F("regime", regime.String()))
+	c := &compiler{regime: regime, prog: &datalog.Program{}, obs: o, span: root}
 	node, err := c.compile(p)
 	if err != nil {
+		root.End(obs.F("error", true))
 		return nil, err
 	}
+	defer func() {
+		root.End(obs.F("rules", len(c.prog.Rules)), obs.F("constraints", len(c.prog.Constraints)))
+	}()
 	// τ_out: answer_P(v1 … vn) with ⋆ at unbound positions.
 	vars := sortedVars(p.Vars())
 	for _, d := range node.domains {
@@ -145,13 +158,30 @@ func DB(g *rdf.Graph) *chase.Instance {
 // tuples into a mapping set: ⟦(P_dat, τ_db(G))⟧. The boolean reports
 // inconsistency (⊤), which can arise only under the entailment regimes.
 func (tr *Translation) Evaluate(g *rdf.Graph, opts triq.Options) (*sparql.MappingSet, bool, error) {
-	res, err := triq.Eval(DB(g), tr.Query, triq.Unrestricted, opts)
+	ms, res, err := tr.EvaluateFull(g, opts)
 	if err != nil {
 		return nil, false, err
 	}
-	if res.Answers.Inconsistent {
-		return nil, true, nil
+	return ms, res.Answers != nil && res.Answers.Inconsistent, nil
+}
+
+// EvaluateFull is Evaluate, additionally returning the underlying evaluation
+// Result (chase stats with per-rule breakdown, depth, exactness). When
+// opts.Chase.Obs is set, the load and decode phases emit translate.* spans.
+func (tr *Translation) EvaluateFull(g *rdf.Graph, opts triq.Options) (*sparql.MappingSet, *triq.Result, error) {
+	o := opts.Chase.Obs
+	sp := o.Span("translate.load_db", obs.F("triples", g.Len()))
+	db := DB(g)
+	sp.End(obs.F("facts", db.Len()))
+	res, err := triq.Eval(db, tr.Query, triq.Unrestricted, opts)
+	if err != nil {
+		return nil, nil, err
 	}
+	if res.Answers.Inconsistent {
+		return nil, res, nil
+	}
+	dec := o.Span("translate.decode", obs.F("tuples", len(res.Answers.Tuples)))
+	defer func() { dec.End() }()
 	out := sparql.NewMappingSet()
 	for _, tup := range res.Answers.Tuples {
 		m := make(sparql.Mapping)
@@ -166,7 +196,7 @@ func (tr *Translation) Evaluate(g *rdf.Graph, opts triq.Options) (*sparql.Mappin
 		}
 		out.Add(m)
 	}
-	return out, false, nil
+	return out, res, nil
 }
 
 // compiler carries the translation state.
@@ -176,6 +206,28 @@ type compiler struct {
 	nextID  int
 	nextVar int
 	needEq  bool
+	obs     *obs.Obs
+	span    *obs.Span // current parent span for translate.op children
+}
+
+// patternKind names a SPARQL operator for spans and summaries.
+func patternKind(p sparql.Pattern) string {
+	switch p.(type) {
+	case sparql.BGP:
+		return "BGP"
+	case sparql.And:
+		return "AND"
+	case sparql.Union:
+		return "UNION"
+	case sparql.Opt:
+		return "OPT"
+	case sparql.Filter:
+		return "FILTER"
+	case sparql.Select:
+		return "SELECT"
+	default:
+		return fmt.Sprintf("%T", p)
+	}
 }
 
 // domain is a sorted set of variable names.
@@ -254,6 +306,20 @@ func (c *compiler) freshVar() datalog.Term {
 }
 
 func (c *compiler) compile(p sparql.Pattern) (*node, error) {
+	if c.obs == nil {
+		return c.compileInner(p)
+	}
+	parent := c.span
+	sp := parent.Span("translate.op", obs.F("kind", patternKind(p)))
+	c.span = sp
+	before := len(c.prog.Rules)
+	n, err := c.compileInner(p)
+	c.span = parent
+	sp.End(obs.F("rules", len(c.prog.Rules)-before), obs.F("error", err != nil))
+	return n, err
+}
+
+func (c *compiler) compileInner(p sparql.Pattern) (*node, error) {
 	switch q := p.(type) {
 	case sparql.BGP:
 		return c.compileBGP(q)

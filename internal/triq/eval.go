@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/chase"
 	"repro/internal/datalog"
+	"repro/internal/obs"
 )
 
 // Language selects which of the paper's languages a query must belong to.
@@ -106,6 +107,11 @@ func Eval(db *chase.Instance, q datalog.Query, lang Language, opts Options) (*Re
 	if err := Validate(q, lang); err != nil {
 		return nil, err
 	}
+	o := opts.Chase.Obs
+	sp := o.Span("triq.eval",
+		obs.F("lang", lang.String()),
+		obs.F("output", q.Output),
+		obs.F("db_facts", db.Len()))
 	prog := q.Program
 	if len(prog.Constraints) > 0 {
 		prog = prog.Clone()
@@ -116,6 +122,7 @@ func Eval(db *chase.Instance, q datalog.Query, lang Language, opts Options) (*Re
 	}
 	gr, err := chase.StableGround(db, prog, opts.Chase, opts.StabilityWindow)
 	if err != nil {
+		sp.End(obs.F("error", true))
 		return nil, err
 	}
 	res := &Result{Exact: gr.Exact, Depth: gr.Depth, Stats: gr.Stats}
@@ -123,6 +130,7 @@ func Eval(db *chase.Instance, q datalog.Query, lang Language, opts Options) (*Re
 	if len(gr.Ground.AtomsOf(inconsistencyMarker)) > 0 {
 		ans.Inconsistent = true
 		res.Answers = ans
+		sp.End(obs.F("inconsistent", true), obs.F("depth", res.Depth))
 		return res, nil
 	}
 	for _, a := range gr.Ground.AtomsOf(q.Output) {
@@ -130,6 +138,10 @@ func Eval(db *chase.Instance, q datalog.Query, lang Language, opts Options) (*Re
 	}
 	sortTuples(ans.Tuples)
 	res.Answers = ans
+	sp.End(
+		obs.F("answers", len(ans.Tuples)),
+		obs.F("depth", res.Depth),
+		obs.F("exact", res.Exact))
 	return res, nil
 }
 

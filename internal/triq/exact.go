@@ -139,7 +139,7 @@ func EvalExact(db *chase.Instance, q datalog.Query, opts Options) (*Result, erro
 		prog.Constraints = nil
 		preds = append(preds, inconsistencyMarker)
 	}
-	ground, err := ExactGround(db, prog, preds, opts.Chase, ProofOptions{})
+	ground, err := ExactGround(db, prog, preds, opts.Chase, ProofOptions{Obs: opts.Chase.Obs})
 	if err != nil {
 		return nil, err
 	}

@@ -5,9 +5,11 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/chase"
 	"repro/internal/datalog"
+	"repro/internal/obs"
 )
 
 // This file implements the ProofTree algorithm of Section 6.3: a top-down
@@ -79,6 +81,38 @@ func (n *ProofNode) Size() int {
 type ProofOptions struct {
 	// MaxVisits caps the number of component expansions (default 2,000,000).
 	MaxVisits int
+	// Obs attaches the observability layer: when non-nil each Prove emits a
+	// prover.prove span with its search-space metrics, the registry gains
+	// prover.* counters, and canonicalization time is measured. Nil (the
+	// default) disables all of it.
+	Obs *obs.Obs
+}
+
+// ProofMetrics is the cumulative search-space accounting of a Prover. It
+// grows monotonically across Prove calls on the same Prover, so callers
+// snapshot it before and after a call to attribute work to one goal.
+type ProofMetrics struct {
+	// Components counts component states visited (the paper's alternating
+	// branches), including memoized and cycle-cut revisits.
+	Components int
+	// Expansions counts states that needed actual resolution work (i.e.
+	// neither a database base case nor a memo hit nor a cycle cut).
+	Expansions int
+	// MemoHits / MemoMisses count canonical-state memo lookups.
+	MemoHits   int
+	MemoMisses int
+	// Resolutions counts successful head unifications tried during expansion.
+	Resolutions int
+	// MaxRecursionDepth is the deepest component nesting reached.
+	MaxRecursionDepth int
+	// FreshNulls counts the fresh labeled nulls allocated by µ-enumeration.
+	FreshNulls int
+	// CanonTime is the total time spent canonicalizing states; it is only
+	// collected when ProofOptions.Obs is set (timing calls are skipped on the
+	// disabled path).
+	CanonTime time.Duration
+	// VisitBudget echoes the effective ProofOptions.MaxVisits limit.
+	VisitBudget int
 }
 
 // Prover decides membership of ground atoms in Π(D) for a positive warded
@@ -96,6 +130,19 @@ type Prover struct {
 	visits int
 	fresh  int
 	err    error
+
+	m        ProofMetrics // hits/misses/expansions/resolutions/depth/canon
+	depthNow int
+	timing   bool // collect CanonTime (set when opts.Obs != nil)
+}
+
+// Metrics snapshots the prover's cumulative search-space accounting.
+func (pv *Prover) Metrics() ProofMetrics {
+	m := pv.m
+	m.Components = pv.visits
+	m.FreshNulls = pv.fresh
+	m.VisitBudget = pv.opts.MaxVisits
+	return m
 }
 
 // memoEntry stores the proof nodes of a successfully proven state with the
@@ -151,12 +198,13 @@ func NewProver(db *chase.Instance, prog *datalog.Program, opts ProofOptions) (*P
 		opts.MaxVisits = 2_000_000
 	}
 	pv := &Prover{
-		db:   db,
-		orig: prog,
-		prog: norm,
-		an:   datalog.Analyze(norm),
-		opts: opts,
-		memo: make(map[string]*memoEntry),
+		db:     db,
+		orig:   prog,
+		prog:   norm,
+		an:     datalog.Analyze(norm),
+		opts:   opts,
+		memo:   make(map[string]*memoEntry),
+		timing: opts.Obs != nil,
 	}
 	// Domain: constants of the database and of the program.
 	seen := make(map[datalog.Term]bool)
@@ -225,8 +273,33 @@ func (pv *Prover) Prove(goal datalog.Atom) (*ProofNode, bool, error) {
 	if !goal.IsConstantGround() {
 		return nil, false, fmt.Errorf("triq: goal %v must be a constant-ground atom", goal)
 	}
+	o := pv.opts.Obs
+	before := pv.Metrics()
+	sp := o.Span("prover.prove", obs.F("goal", goal.String()))
 	pv.err = nil
 	nodes, ok := pv.proveComponent([]datalog.Atom{goal}, map[string]datalog.Atom{}, map[string]bool{})
+	if o != nil {
+		after := pv.Metrics()
+		sp.End(
+			obs.F("ok", ok && pv.err == nil),
+			obs.F("components", after.Components-before.Components),
+			obs.F("expansions", after.Expansions-before.Expansions),
+			obs.F("memo_hits", after.MemoHits-before.MemoHits),
+			obs.F("memo_misses", after.MemoMisses-before.MemoMisses),
+			obs.F("resolutions", after.Resolutions-before.Resolutions),
+			obs.F("fresh_nulls", after.FreshNulls-before.FreshNulls),
+			obs.F("max_recursion_depth", after.MaxRecursionDepth),
+			obs.F("canon_us", after.CanonTime.Microseconds()),
+			obs.F("visit_budget", after.VisitBudget))
+		o.Count("prover.proofs", 1)
+		o.Count("prover.components", int64(after.Components-before.Components))
+		o.Count("prover.expansions", int64(after.Expansions-before.Expansions))
+		o.Count("prover.memo_hits", int64(after.MemoHits-before.MemoHits))
+		o.Count("prover.memo_misses", int64(after.MemoMisses-before.MemoMisses))
+		o.Count("prover.resolutions", int64(after.Resolutions-before.Resolutions))
+		o.Gauge("prover.visit_budget", float64(after.VisitBudget))
+		o.Gauge("prover.max_recursion_depth", float64(after.MaxRecursionDepth))
+	}
 	if pv.err != nil {
 		return nil, false, pv.err
 	}
@@ -248,12 +321,25 @@ func (pv *Prover) proveComponent(s []datalog.Atom, rs map[string]datalog.Atom, s
 		pv.err = fmt.Errorf("triq: proof search exceeded MaxVisits=%d", pv.opts.MaxVisits)
 		return nil, false
 	}
+	pv.depthNow++
+	defer func() { pv.depthNow-- }()
+	if pv.depthNow > pv.m.MaxRecursionDepth {
+		pv.m.MaxRecursionDepth = pv.depthNow
+	}
 	// Base: a single constant atom present in the database (step 1).
 	if len(s) == 1 && s[0].IsConstantGround() && pv.db.Has(s[0]) {
 		return map[string]*ProofNode{s[0].Key(): {Atom: s[0]}}, true
 	}
+	var canonStart time.Time
+	if pv.timing {
+		canonStart = time.Now()
+	}
 	key, order := canonState(s, rs)
+	if pv.timing {
+		pv.m.CanonTime += time.Since(canonStart)
+	}
 	if e, ok := pv.memo[key]; ok {
+		pv.m.MemoHits++
 		// Rename the canonical placeholders to this state's null names.
 		ren := make(map[string]string, len(order))
 		for id, name := range order {
@@ -266,6 +352,7 @@ func (pv *Prover) proveComponent(s []datalog.Atom, rs map[string]datalog.Atom, s
 		}
 		return out, true
 	}
+	pv.m.MemoMisses++
 	if stack[key] {
 		// A minimal proof never repeats a state along a branch; treat as
 		// failure here without memoizing (the state may succeed elsewhere).
@@ -274,6 +361,7 @@ func (pv *Prover) proveComponent(s []datalog.Atom, rs map[string]datalog.Atom, s
 	stack[key] = true
 	defer delete(stack, key)
 
+	pv.m.Expansions++
 	nodes, ok := pv.expand(s, rs, stack)
 	if ok {
 		// Store in canonical form.
@@ -332,6 +420,7 @@ func (pv *Prover) expand(s []datalog.Atom, rs map[string]datalog.Atom, stack map
 			if !ok {
 				continue
 			}
+			pv.m.Resolutions++
 			// Step 7b: if a null sits at the existential position, this
 			// resolution claims its invention; it must agree with RS.
 			rs2 := rs
