@@ -15,6 +15,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -22,8 +24,10 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/chase"
+	"repro/internal/limits"
 	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
@@ -31,14 +35,26 @@ import (
 	"repro/internal/triq"
 )
 
+// Exit codes of the resource-governance contract (see README "Resource
+// limits & cancellation"): 124 mirrors timeout(1).
+const (
+	exitUsage    = 1   // flag/parse/IO errors
+	exitInternal = 2   // recovered engine panic
+	exitBudget   = 3   // fact/round budget tripped
+	exitTimeout  = 124 // -timeout deadline exceeded
+)
+
 // config collects the CLI flags.
 type config struct {
-	query   string // SPARQL query file ("-" = stdin)
-	regime  string // plain | u | all
-	eval    string // N-Triples graph to evaluate over ("" = translate only)
-	trace   string // JSONL span trace file ("" = off)
-	metrics bool   // print metrics summary to stderr
-	pprof   string // pprof listen address ("" = off)
+	query     string        // SPARQL query file ("-" = stdin)
+	regime    string        // plain | u | all
+	eval      string        // N-Triples graph to evaluate over ("" = translate only)
+	timeout   time.Duration // wall-clock deadline for -eval (0 = none)
+	maxFacts  int           // chase fact budget (0 = none)
+	maxRounds int           // chase round budget (0 = none)
+	trace     string        // JSONL span trace file ("" = off)
+	metrics   bool          // print metrics summary to stderr
+	pprof     string        // pprof listen address ("" = off)
 }
 
 func main() {
@@ -46,14 +62,39 @@ func main() {
 	flag.StringVar(&cfg.query, "query", "", "SPARQL query file (required; '-' for stdin)")
 	flag.StringVar(&cfg.regime, "regime", "plain", "semantics: plain | u | all")
 	flag.StringVar(&cfg.eval, "eval", "", "optionally evaluate over this N-Triples graph")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "wall-clock evaluation deadline, e.g. 30s (0 = none; exit 124 on expiry)")
+	flag.IntVar(&cfg.maxFacts, "max-facts", 0, "abort the chase once the instance holds this many facts (0 = unlimited; partial mappings + exit 3)")
+	flag.IntVar(&cfg.maxRounds, "max-rounds", 0, "abort the chase after this many rounds per stratum (0 = unlimited; partial mappings + exit 3)")
 	flag.StringVar(&cfg.trace, "trace", "", "write a JSONL span trace to this file")
 	flag.BoolVar(&cfg.metrics, "metrics", false, "print the per-rule chase breakdown and metrics registry to stderr")
 	flag.StringVar(&cfg.pprof, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
-	if err := run(cfg); err != nil {
-		fmt.Fprintln(os.Stderr, "sparql2triq:", err)
-		os.Exit(1)
+	ctx := context.Background()
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
 	}
+	if err := run(ctx, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "sparql2triq:", err)
+		if tr, ok := limits.TruncationOf(err); ok {
+			fmt.Fprint(os.Stderr, tr.String())
+		}
+		os.Exit(exitCode(err))
+	}
+}
+
+// exitCode maps the error taxonomy onto the exit-code contract.
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, limits.ErrDeadline) || errors.Is(err, context.DeadlineExceeded):
+		return exitTimeout
+	case limits.IsBudget(err):
+		return exitBudget
+	case errors.Is(err, limits.ErrInternal):
+		return exitInternal
+	}
+	return exitUsage
 }
 
 // setupObs builds the observability handle from the trace/metrics flags; the
@@ -79,7 +120,10 @@ func setupObs(cfg config) (*obs.Obs, func() error, error) {
 	}, nil
 }
 
-func run(cfg config) error {
+func run(ctx context.Context, cfg config) (err error) {
+	// One pathological query must not take down the process with a raw
+	// panic: recover it into a typed ErrInternal (exit 2).
+	defer limits.Recover(&err)
 	if cfg.query == "" {
 		return fmt.Errorf("-query is required")
 	}
@@ -96,14 +140,14 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
-	err = translateAndEval(cfg, o)
+	err = translateAndEval(ctx, cfg, o)
 	if cerr := closeObs(); err == nil {
 		err = cerr
 	}
 	return err
 }
 
-func translateAndEval(cfg config, o *obs.Obs) error {
+func translateAndEval(ctx context.Context, cfg config, o *obs.Obs) error {
 	var src []byte
 	var err error
 	if cfg.query == "-" {
@@ -163,7 +207,13 @@ func translateAndEval(cfg config, o *obs.Obs) error {
 	if err != nil {
 		return err
 	}
-	ms, res, err := tr.EvaluateFull(g, triq.Options{Chase: chase.Options{MaxDepth: 16, Obs: o}})
+	opts := triq.Options{Chase: chase.Options{
+		MaxDepth:  16,
+		MaxFacts:  cfg.maxFacts,
+		MaxRounds: cfg.maxRounds,
+		Obs:       o,
+	}}
+	ms, res, err := tr.EvaluateFullCtx(ctx, g, opts)
 	if err != nil {
 		return err
 	}
@@ -177,5 +227,10 @@ func translateAndEval(cfg config, o *obs.Obs) error {
 	}
 	fmt.Printf("\n%% evaluation over %s: %d mappings\n", cfg.eval, ms.Len())
 	fmt.Println(ms.String())
+	if ms.Incomplete {
+		// The partial mappings above are sound; signal the truncation on
+		// stderr and through the exit code (3).
+		return ms.Truncation.Err()
+	}
 	return nil
 }

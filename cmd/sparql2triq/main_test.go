@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -20,7 +21,7 @@ func writeFile(t *testing.T, name, content string) string {
 func TestSparql2TriqTranslate(t *testing.T) {
 	q := writeFile(t, "q.rq", `SELECT ?X WHERE { ?Y is_author_of ?Z . ?Y name ?X }`)
 	for _, regime := range []string{"plain", "u", "all"} {
-		if err := run(config{query: q, regime: regime}); err != nil {
+		if err := run(context.Background(), config{query: q, regime: regime}); err != nil {
 			t.Fatalf("regime %s: %v", regime, err)
 		}
 	}
@@ -32,7 +33,7 @@ func TestSparql2TriqEvaluate(t *testing.T) {
 		dbUllman is_author_of tcb .
 		dbUllman name jeff .
 	`)
-	if err := run(config{query: q, regime: "plain", eval: g}); err != nil {
+	if err := run(context.Background(), config{query: q, regime: "plain", eval: g}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -47,7 +48,7 @@ func TestSparql2TriqTraceAndMetrics(t *testing.T) {
 		dbUllman name jeff .
 	`)
 	trace := filepath.Join(t.TempDir(), "trace.jsonl")
-	if err := run(config{query: q, regime: "plain", eval: g, trace: trace, metrics: true}); err != nil {
+	if err := run(context.Background(), config{query: q, regime: "plain", eval: g, trace: trace, metrics: true}); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(trace)
@@ -81,7 +82,7 @@ func TestSparql2TriqErrors(t *testing.T) {
 		{query: q, regime: "plain", trace: filepath.Join(q, "nope", "t.jsonl")},
 	}
 	for i, cfg := range cases {
-		if err := run(cfg); err == nil {
+		if err := run(context.Background(), cfg); err == nil {
 			t.Errorf("case %d: expected error", i)
 		}
 	}

@@ -23,6 +23,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -30,31 +32,46 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/chase"
 	"repro/internal/datalog"
+	"repro/internal/limits"
 	"repro/internal/obs"
 	"repro/internal/owl"
 	"repro/internal/rdf"
 	"repro/internal/triq"
 )
 
+// Exit codes of the resource-governance contract (see README "Resource
+// limits & cancellation"): 124 mirrors timeout(1).
+const (
+	exitUsage    = 1   // flag/parse/IO errors
+	exitInternal = 2   // recovered engine panic
+	exitBudget   = 3   // fact/round/visit budget tripped
+	exitTimeout  = 124 // -timeout deadline exceeded
+)
+
 // config collects the CLI flags.
 type config struct {
-	data     string // N-Triples data file
-	program  string // Datalog program file
-	query    string // output predicate
-	lang     string // triq | triqlite | any
-	regime   bool   // prepend τ_owl2ql_core
-	ontology string // OWL functional-syntax file merged into the data
-	exact    bool   // exact ProofTree enumeration
-	prove    string // decide one ground atom instead of querying
-	analyze  bool   // print the program analysis report
-	dot      bool   // DOT output for -analyze / -prove
-	depth    int    // chase null-depth bound
-	trace    string // JSONL span trace file ("" = off)
-	metrics  bool   // print metrics summary to stderr
-	pprof    string // pprof listen address ("" = off)
+	data      string        // N-Triples data file
+	program   string        // Datalog program file
+	query     string        // output predicate
+	lang      string        // triq | triqlite | any
+	regime    bool          // prepend τ_owl2ql_core
+	ontology  string        // OWL functional-syntax file merged into the data
+	exact     bool          // exact ProofTree enumeration
+	prove     string        // decide one ground atom instead of querying
+	analyze   bool          // print the program analysis report
+	dot       bool          // DOT output for -analyze / -prove
+	depth     int           // chase null-depth bound
+	timeout   time.Duration // wall-clock deadline (0 = none)
+	maxFacts  int           // chase fact budget (0 = none)
+	maxRounds int           // chase round budget (0 = none)
+	maxVisits int           // proof-search visit budget (0 = default)
+	trace     string        // JSONL span trace file ("" = off)
+	metrics   bool          // print metrics summary to stderr
+	pprof     string        // pprof listen address ("" = off)
 }
 
 func main() {
@@ -70,14 +87,40 @@ func main() {
 	flag.BoolVar(&cfg.analyze, "analyze", false, "instead of querying, print the program analysis report (strata, affected positions, wards, dialects)")
 	flag.BoolVar(&cfg.dot, "dot", false, "with -analyze: print the predicate dependency graph in Graphviz DOT; with -prove: print the proof tree in DOT")
 	flag.IntVar(&cfg.depth, "depth", 0, "chase null-depth bound (0 = default)")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "wall-clock evaluation deadline, e.g. 30s (0 = none; exit 124 on expiry)")
+	flag.IntVar(&cfg.maxFacts, "max-facts", 0, "abort the chase once the instance holds this many facts (0 = unlimited; partial answers + exit 3)")
+	flag.IntVar(&cfg.maxRounds, "max-rounds", 0, "abort the chase after this many rounds per stratum (0 = unlimited; partial answers + exit 3)")
+	flag.IntVar(&cfg.maxVisits, "max-visits", 0, "proof-search component-visit budget for -prove/-exact (0 = default; exit 3 on trip)")
 	flag.StringVar(&cfg.trace, "trace", "", "write a JSONL span trace to this file")
 	flag.BoolVar(&cfg.metrics, "metrics", false, "print the per-rule chase breakdown and metrics registry to stderr")
 	flag.StringVar(&cfg.pprof, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
-	if err := run(cfg); err != nil {
-		fmt.Fprintln(os.Stderr, "triq:", err)
-		os.Exit(1)
+	ctx := context.Background()
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
 	}
+	if err := run(ctx, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "triq:", err)
+		if tr, ok := limits.TruncationOf(err); ok {
+			fmt.Fprint(os.Stderr, tr.String())
+		}
+		os.Exit(exitCode(err))
+	}
+}
+
+// exitCode maps the error taxonomy onto the exit-code contract.
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, limits.ErrDeadline) || errors.Is(err, context.DeadlineExceeded):
+		return exitTimeout
+	case limits.IsBudget(err):
+		return exitBudget
+	case errors.Is(err, limits.ErrInternal):
+		return exitInternal
+	}
+	return exitUsage
 }
 
 // setupObs builds the observability handle from the trace/metrics flags. The
@@ -115,7 +158,10 @@ func startPprof(addr string) (net.Listener, error) {
 	return ln, nil
 }
 
-func run(cfg config) error {
+func run(ctx context.Context, cfg config) (err error) {
+	// One pathological query must not take down the process with a raw
+	// panic: recover it into a typed ErrInternal (exit 2).
+	defer limits.Recover(&err)
 	if cfg.program == "" {
 		return fmt.Errorf("-program is required")
 	}
@@ -196,29 +242,29 @@ func run(cfg config) error {
 	}
 
 	if cfg.prove != "" {
-		err := runProve(cfg, db, prog, o)
+		err := runProve(ctx, cfg, db, prog, o)
 		if cerr := closeObs(); err == nil {
 			err = cerr
 		}
 		return err
 	}
-	err = runQuery(cfg, db, prog, o)
+	err = runQuery(ctx, cfg, db, prog, o)
 	if cerr := closeObs(); err == nil {
 		err = cerr
 	}
 	return err
 }
 
-func runProve(cfg config, db *chase.Instance, prog *datalog.Program, o *obs.Obs) error {
+func runProve(ctx context.Context, cfg config, db *chase.Instance, prog *datalog.Program, o *obs.Obs) error {
 	goal, err := datalog.ParseAtom(cfg.prove)
 	if err != nil {
 		return fmt.Errorf("parsing goal: %w", err)
 	}
-	pv, err := triq.NewProver(db, prog, triq.ProofOptions{Obs: o})
+	pv, err := triq.NewProver(db, prog, triq.ProofOptions{Obs: o, MaxVisits: cfg.maxVisits})
 	if err != nil {
 		return err
 	}
-	node, ok, err := pv.Prove(goal)
+	node, ok, err := pv.ProveCtx(ctx, goal)
 	if err != nil {
 		return err
 	}
@@ -240,7 +286,7 @@ func runProve(cfg config, db *chase.Instance, prog *datalog.Program, o *obs.Obs)
 	return nil
 }
 
-func runQuery(cfg config, db *chase.Instance, prog *datalog.Program, o *obs.Obs) error {
+func runQuery(ctx context.Context, cfg config, db *chase.Instance, prog *datalog.Program, o *obs.Obs) error {
 	var lang triq.Language
 	switch strings.ToLower(cfg.lang) {
 	case "triq":
@@ -257,13 +303,16 @@ func runQuery(cfg config, db *chase.Instance, prog *datalog.Program, o *obs.Obs)
 	if cfg.depth > 0 {
 		opts.Chase.MaxDepth = cfg.depth
 	}
+	opts.Chase.MaxFacts = cfg.maxFacts
+	opts.Chase.MaxRounds = cfg.maxRounds
 	opts.Chase.Obs = o
 	var res *triq.Result
 	var err error
 	if cfg.exact {
-		res, err = triq.EvalExact(db, q, opts)
+		opts.MaxVisits = cfg.maxVisits
+		res, err = triq.EvalExactCtx(ctx, db, q, opts)
 	} else {
-		res, err = triq.Eval(db, q, lang, opts)
+		res, err = triq.EvalCtx(ctx, db, q, lang, opts)
 	}
 	if err != nil {
 		return err
@@ -284,6 +333,11 @@ func runQuery(cfg config, db *chase.Instance, prog *datalog.Program, o *obs.Obs)
 	if cfg.metrics {
 		fmt.Fprint(os.Stderr, res.Stats.String())
 		fmt.Fprint(os.Stderr, o.Summary())
+	}
+	if res.Incomplete {
+		// The partial answers above are sound; signal the truncation on
+		// stderr and through the exit code (3).
+		return res.Truncation.Err()
 	}
 	return nil
 }

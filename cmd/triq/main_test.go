@@ -1,10 +1,12 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"repro/internal/limits"
 	"repro/internal/obs"
 )
 
@@ -39,26 +41,26 @@ func TestCLIRunQuery(t *testing.T) {
 	cfg := base()
 	cfg.data = writeFile(t, "g.nt", cliData)
 	cfg.program = writeFile(t, "p.dlog", cliProgram)
-	if err := run(cfg); err != nil {
+	if err := run(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	// Exact mode too.
 	exact := cfg
 	exact.exact = true
-	if err := run(exact); err != nil {
+	if err := run(context.Background(), exact); err != nil {
 		t.Fatal(err)
 	}
 	// TriQ language name and explicit depth.
 	tq := cfg
 	tq.lang = "triq"
 	tq.depth = 6
-	if err := run(tq); err != nil {
+	if err := run(context.Background(), tq); err != nil {
 		t.Fatal(err)
 	}
 	// "any" language.
 	any := cfg
 	any.lang = "any"
-	if err := run(any); err != nil {
+	if err := run(context.Background(), any); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -68,19 +70,19 @@ func TestCLIProve(t *testing.T) {
 	cfg.data = writeFile(t, "g.nt", cliData)
 	cfg.program = writeFile(t, "p.dlog", cliProgram)
 	cfg.prove = "ts(A311)"
-	if err := run(cfg); err != nil {
+	if err := run(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	// DOT output of the proof.
 	dot := cfg
 	dot.dot = true
-	if err := run(dot); err != nil {
+	if err := run(context.Background(), dot); err != nil {
 		t.Fatal(err)
 	}
 	// Unprovable goal still succeeds (prints NOT).
 	not := cfg
 	not.prove = "ts(Oxford)"
-	if err := run(not); err != nil {
+	if err := run(context.Background(), not); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -89,18 +91,18 @@ func TestCLIAnalyze(t *testing.T) {
 	cfg := base()
 	cfg.program = writeFile(t, "p.dlog", cliProgram)
 	cfg.analyze = true
-	if err := run(cfg); err != nil {
+	if err := run(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	dot := cfg
 	dot.dot = true
-	if err := run(dot); err != nil {
+	if err := run(context.Background(), dot); err != nil {
 		t.Fatal(err)
 	}
 	// Regime merge in analyze mode.
 	reg := cfg
 	reg.regime = true
-	if err := run(reg); err != nil {
+	if err := run(context.Background(), reg); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -117,7 +119,7 @@ func TestCLIOntologyAndRegime(t *testing.T) {
 	`)
 	cfg.regime = true
 	cfg.depth = 8
-	if err := run(cfg); err != nil {
+	if err := run(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -131,13 +133,13 @@ func TestCLITraceAndMetrics(t *testing.T) {
 	cfg.program = writeFile(t, "p.dlog", cliProgram)
 	cfg.trace = filepath.Join(t.TempDir(), "trace.jsonl")
 	cfg.metrics = true
-	if err := run(cfg); err != nil {
+	if err := run(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	prove := cfg
 	prove.prove = "ts(A311)"
 	prove.trace = filepath.Join(t.TempDir(), "prove.jsonl")
-	if err := run(prove); err != nil {
+	if err := run(context.Background(), prove); err != nil {
 		t.Fatal(err)
 	}
 
@@ -176,7 +178,7 @@ func TestCLIMetricsOnly(t *testing.T) {
 	cfg.data = writeFile(t, "g.nt", cliData)
 	cfg.program = writeFile(t, "p.dlog", cliProgram)
 	cfg.metrics = true
-	if err := run(cfg); err != nil {
+	if err := run(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -205,8 +207,46 @@ func TestCLIErrors(t *testing.T) {
 		{"bad trace path", mod(func(c *config) { c.trace = filepath.Join(data, "nope", "t.jsonl") })},
 	}
 	for _, tc := range cases {
-		if err := run(tc.cfg); err == nil {
+		if err := run(context.Background(), tc.cfg); err == nil {
 			t.Errorf("%s: expected error", tc.name)
 		}
+	}
+}
+
+// TestCLIExitCodeContract pins the resource-governance exit codes: budget
+// trips map to 3, deadlines to 124, recovered panics to 2, other errors to 1.
+func TestCLIExitCodeContract(t *testing.T) {
+	data := writeFile(t, "g.nt", cliData)
+	prog := writeFile(t, "p.dlog", cliProgram)
+
+	budget := base()
+	budget.data, budget.program = data, prog
+	budget.maxFacts = 4
+	err := run(context.Background(), budget)
+	if err == nil || exitCode(err) != exitBudget {
+		t.Fatalf("max-facts: want exit %d, got err=%v code=%d", exitBudget, err, exitCode(err))
+	}
+
+	deadline := base()
+	deadline.data, deadline.program = data, prog
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	err = run(ctx, deadline)
+	if err == nil || exitCode(err) != exitTimeout {
+		t.Fatalf("timeout: want exit %d, got err=%v code=%d", exitTimeout, err, exitCode(err))
+	}
+
+	boom := base()
+	boom.data, boom.program = data, prog
+	restore := limits.SetGlobal(limits.NewPlan(limits.Fault{Point: "chase.rule", Action: limits.ActPanic}))
+	err = run(context.Background(), boom)
+	restore()
+	if err == nil || exitCode(err) != exitInternal {
+		t.Fatalf("panic: want exit %d, got err=%v code=%d", exitInternal, err, exitCode(err))
+	}
+
+	usage := base()
+	if err := run(context.Background(), usage); err == nil || exitCode(err) != exitUsage {
+		t.Fatalf("usage: want exit %d, got %v", exitUsage, err)
 	}
 }

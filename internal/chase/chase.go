@@ -1,12 +1,14 @@
 package chase
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/datalog"
+	"repro/internal/limits"
 	"repro/internal/obs"
 )
 
@@ -62,6 +64,10 @@ type Options struct {
 	// Parent optionally nests the chase.run span under an enclosing span
 	// (e.g. the iterative-deepening driver). Ignored when Obs is nil.
 	Parent *obs.Span
+	// Faults arms a per-evaluation fault-injection plan checked at the
+	// chase.round and chase.rule sites (the process-global TRIQ_FAULTS plan
+	// is always consulted too). Nil disables per-evaluation injection.
+	Faults *limits.Plan
 }
 
 func (o Options) withDefaults() Options {
@@ -209,6 +215,7 @@ func compileRule(r datalog.Rule, idx int) *compiledRule {
 
 // engine holds the mutable chase state shared across strata.
 type engine struct {
+	ctx      context.Context
 	opts     Options
 	inst     *Instance
 	depth    map[string]int    // null name → invention depth
@@ -218,6 +225,64 @@ type engine struct {
 	perRule  []*RuleStats // one entry per rule, across strata
 	cur      *RuleStats   // the rule currently being matched/fired
 	span     *obs.Span    // the chase.run span (nil when tracing is off)
+	start    time.Time
+	tick     int // trigger-attempt counter gating the in-round ctx checks
+}
+
+// snapshotStats copies the cumulative counters plus the per-rule breakdown;
+// it is used on both the success and the abort path so a truncated run still
+// reports what it did.
+func (e *engine) snapshotStats() Stats {
+	s := e.stats
+	for _, rs := range e.perRule {
+		s.PerRule = append(s.PerRule, *rs)
+	}
+	return s
+}
+
+// abort builds a typed limits error for the tripped limit, attaching the
+// Truncation report (progress counters and per-rule stats) and emitting the
+// limits.aborted observability event.
+func (e *engine) abort(kind error, budget, reached int64) error {
+	return e.fail(limits.NewError(kind, limits.Truncation{Budget: budget, Reached: reached}))
+}
+
+// interrupted returns a typed abort when the context has been canceled or
+// its deadline passed, nil otherwise.
+func (e *engine) interrupted() error {
+	if kind := limits.CtxKind(e.ctx); kind != nil {
+		return e.abort(kind, 0, 0)
+	}
+	return nil
+}
+
+// fail decorates a typed limits error (including injected faults) with the
+// engine's progress and emits the limits.aborted event. Non-limits errors
+// pass through untouched.
+func (e *engine) fail(err error) error {
+	tr, ok := limits.TruncationOf(err)
+	if !ok {
+		return err
+	}
+	tr.Rounds = e.stats.Rounds
+	tr.Facts = e.inst.Len()
+	tr.Elapsed = time.Since(e.start)
+	for _, rs := range e.perRule {
+		tr.PerRule = append(tr.PerRule, limits.RuleStat{
+			Index: rs.Index, Rule: rs.Rule,
+			TriggersAttempted: rs.TriggersAttempted,
+			TriggersFired:     rs.TriggersFired,
+			FactsDerived:      rs.FactsDerived,
+		})
+	}
+	if e.opts.Obs != nil {
+		e.opts.Obs.Event("limits.aborted",
+			obs.F("limit", tr.Limit),
+			obs.F("rounds", tr.Rounds),
+			obs.F("facts", tr.Facts))
+		e.opts.Obs.Count("limits.aborted", 1)
+	}
+	return err
 }
 
 // newRuleStats registers a per-rule stats slot in evaluation order.
@@ -227,12 +292,14 @@ func (e *engine) newRuleStats(r datalog.Rule) *RuleStats {
 	return rs
 }
 
-func newEngine(db *Instance, opts Options) *engine {
+func newEngine(ctx context.Context, db *Instance, opts Options) *engine {
 	e := &engine{
+		ctx:    ctx,
 		opts:   opts,
 		inst:   db.Clone(),
 		depth:  make(map[string]int),
 		skolem: make(map[string]string),
+		start:  time.Now(),
 	}
 	for _, n := range e.inst.Nulls() {
 		e.depth[n.Name] = 0
@@ -273,7 +340,13 @@ func (e *engine) chaseStratum(rules []datalog.Rule) error {
 	var delta *Instance // nil on the first round = match everything
 	for round := 0; ; round++ {
 		if round > e.opts.MaxRounds {
-			return fmt.Errorf("chase: exceeded MaxRounds=%d", e.opts.MaxRounds)
+			return e.abort(limits.ErrRoundBudget, int64(e.opts.MaxRounds), int64(round))
+		}
+		if err := limits.Hit(e.opts.Faults, "chase.round"); err != nil {
+			return e.fail(err)
+		}
+		if err := e.interrupted(); err != nil {
+			return err
 		}
 		e.stats.Rounds++
 		var roundSpan *obs.Span
@@ -307,8 +380,23 @@ func (e *engine) chaseStratum(rules []datalog.Rule) error {
 			t0 := time.Now()
 			e.cur = rs
 			var fireErr error
+			if err := limits.Hit(e.opts.Faults, "chase.rule"); err != nil {
+				fireErr = e.fail(err)
+			} else if err := e.interrupted(); err != nil {
+				fireErr = err
+			}
 			emit := func() bool {
 				rs.TriggersAttempted++
+				// Cancellation is polled inside the match loop (not just per
+				// round/rule) so a canceled query stops within milliseconds
+				// even when a single round is huge; the counter keeps the
+				// common path to one increment and a mask.
+				if e.tick++; e.tick&63 == 0 {
+					if err := e.interrupted(); err != nil {
+						fireErr = err
+						return false
+					}
+				}
 				// Stratified negation against the current instance.
 				for _, np := range c.bodyNeg {
 					if e.inst.Has(np.instantiate(ev)) {
@@ -325,7 +413,10 @@ func (e *engine) chaseStratum(rules []datalog.Rule) error {
 				}
 				return true
 			}
-			if delta == nil {
+			if fireErr != nil {
+				// The rule-level fault/cancel check tripped before matching;
+				// fall through to the span end and error propagation below.
+			} else if delta == nil {
 				ev.reset()
 				matchPatterns(e.inst, c.bodyPos, c.fullOrder, ev, emit)
 			} else {
@@ -450,6 +541,19 @@ func (e *engine) fire(c *compiledRule, ev *env) ([]datalog.Atom, error) {
 	var added []datalog.Atom
 	for _, h := range c.heads {
 		fact := h.instantiate(ev)
+		// The fact budget is enforced per insertion, not per trigger or per
+		// round, so the instance never overshoots MaxFacts: an insertion that
+		// would exceed the cap aborts before it happens. (The Has probe runs
+		// only at the boundary, so the common path pays nothing.)
+		if e.inst.Len() >= e.opts.MaxFacts && !e.inst.Has(fact) {
+			if len(added) > 0 {
+				e.stats.TriggersFired++
+				if e.cur != nil {
+					e.cur.TriggersFired++
+				}
+			}
+			return added, e.abort(limits.ErrFactBudget, int64(e.opts.MaxFacts), int64(e.inst.Len()))
+		}
 		if e.inst.Add(fact) {
 			e.stats.FactsDerived++
 			if e.cur != nil {
@@ -463,9 +567,6 @@ func (e *engine) fire(c *compiledRule, ev *env) ([]datalog.Atom, error) {
 		if e.cur != nil {
 			e.cur.TriggersFired++
 		}
-	}
-	if e.inst.Len() > e.opts.MaxFacts {
-		return nil, fmt.Errorf("chase: instance exceeded MaxFacts=%d", e.opts.MaxFacts)
 	}
 	return added, nil
 }
@@ -492,6 +593,19 @@ func (e *engine) skolemKeyFor(c *compiledRule, exIdx int, ev *env) string {
 // S_i = chase(S_{i-1}, (Π_i)^{S_{i-1}}), then constraints are checked on
 // S_ℓ. The result is Π(D) (Result.Inconsistent true encodes ⊤).
 func Run(db *Instance, prog *datalog.Program, opts Options) (*Result, error) {
+	return RunCtx(context.Background(), db, prog, opts)
+}
+
+// RunCtx is Run under a context: cancellation and deadlines are honored at
+// round, rule, and (every few dozen) trigger granularity, so a canceled
+// chase stops within milliseconds rather than at the next round boundary.
+// When the run is cut short by a limit — a canceled/expired context, the
+// fact or round budget, or an injected fault — RunCtx returns BOTH a
+// non-nil *Result snapshotting the instance and stats reached so far AND a
+// typed limits error carrying the Truncation report; for positive programs
+// that partial instance is a sound under-approximation of Π(D), which is
+// what the graceful-degradation paths upstream rely on.
+func RunCtx(ctx context.Context, db *Instance, prog *datalog.Program, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := prog.Validate(); err != nil {
 		return nil, err
@@ -515,7 +629,7 @@ func Run(db *Instance, prog *datalog.Program, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := newEngine(db, opts)
+	e := newEngine(ctx, db, opts)
 	if opts.Obs != nil {
 		if opts.Parent != nil {
 			e.span = opts.Parent.Span("chase.run")
@@ -545,13 +659,12 @@ func Run(db *Instance, prog *datalog.Program, opts Options) (*Result, error) {
 			continue
 		}
 		if err := e.chaseStratum(rules); err != nil {
-			return nil, err
+			// Snapshot rather than discard: the caller gets the instance and
+			// stats reached at the abort alongside the typed error.
+			return &Result{Instance: e.inst, Stats: e.snapshotStats()}, err
 		}
 	}
-	for _, rs := range e.perRule {
-		e.stats.PerRule = append(e.stats.PerRule, *rs)
-	}
-	res := &Result{Instance: e.inst, Stats: e.stats}
+	res := &Result{Instance: e.inst, Stats: e.snapshotStats()}
 	for _, c := range work.Constraints {
 		violated := false
 		matchBody(e.inst, e.inst, c.Body, nil, Binding{}, func(Binding) bool {
@@ -606,12 +719,22 @@ func (a *Answers) HasConstants(names ...string) bool {
 // inconsistent w.r.t. Π, and otherwise the set of constant tuples t with
 // p(t) ∈ Π(D), sorted canonically.
 func Answer(db *Instance, q datalog.Query, opts Options) (*Answers, error) {
+	return AnswerCtx(context.Background(), db, q, opts)
+}
+
+// AnswerCtx is Answer under a context. When the run aborts on a limit it
+// returns the (sound, for positive programs) partial answer set reached so
+// far together with the typed limits error, mirroring RunCtx.
+func AnswerCtx(ctx context.Context, db *Instance, q datalog.Query, opts Options) (*Answers, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	res, err := Run(db, q.Program, opts)
+	res, err := RunCtx(ctx, db, q.Program, opts)
 	if err != nil {
-		return nil, err
+		if res == nil {
+			return nil, err
+		}
+		return collectAnswers(res.Instance, q.Output), err
 	}
 	if res.Inconsistent {
 		return &Answers{Inconsistent: true}, nil

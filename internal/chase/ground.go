@@ -1,6 +1,8 @@
 package chase
 
 import (
+	"context"
+
 	"repro/internal/datalog"
 	"repro/internal/obs"
 )
@@ -23,10 +25,24 @@ type GroundResult struct {
 // GroundSemantics runs the chase once with the given options and restricts
 // the result to its constant-only atoms.
 func GroundSemantics(db *Instance, prog *datalog.Program, opts Options) (*GroundResult, error) {
+	return GroundSemanticsCtx(context.Background(), db, prog, opts)
+}
+
+// GroundSemanticsCtx is GroundSemantics under a context. A limit abort
+// returns the ground part of the partial instance alongside the typed
+// error, never Exact.
+func GroundSemanticsCtx(ctx context.Context, db *Instance, prog *datalog.Program, opts Options) (*GroundResult, error) {
 	opts = opts.withDefaults()
-	res, err := Run(db, prog, opts)
+	res, err := RunCtx(ctx, db, prog, opts)
 	if err != nil {
-		return nil, err
+		if res == nil {
+			return nil, err
+		}
+		return &GroundResult{
+			Ground: res.Instance.GroundPart(),
+			Depth:  opts.MaxDepth,
+			Stats:  res.Stats,
+		}, err
 	}
 	return &GroundResult{
 		Ground:       res.Instance.GroundPart(),
@@ -52,6 +68,14 @@ func GroundSemantics(db *Instance, prog *datalog.Program, opts Options) (*Ground
 // per-atom certification used by the test-suite to cross-check this
 // procedure.
 func StableGround(db *Instance, prog *datalog.Program, opts Options, window int) (*GroundResult, error) {
+	return StableGroundCtx(context.Background(), db, prog, opts, window)
+}
+
+// StableGroundCtx is StableGround under a context. On a limit abort it
+// returns the partial GroundResult of the interrupted deepening step (when
+// one exists) together with the typed error, so callers can degrade to the
+// sound partial ground part instead of discarding the work.
+func StableGroundCtx(ctx context.Context, db *Instance, prog *datalog.Program, opts Options, window int) (*GroundResult, error) {
 	opts = opts.withDefaults()
 	if window <= 0 {
 		window = 2
@@ -65,10 +89,13 @@ func StableGround(db *Instance, prog *datalog.Program, opts Options, window int)
 		o.MaxDepth = depth
 		sp := opts.Obs.Span("chase.deepen", obs.F("depth", depth))
 		o.Parent = sp
-		res, err := GroundSemantics(db, prog, o)
+		res, err := GroundSemanticsCtx(ctx, db, prog, o)
 		if err != nil {
 			sp.End(obs.F("error", true))
-			return nil, err
+			if res != nil {
+				res.Depth = depth
+			}
+			return res, err
 		}
 		res.Depth = depth
 		sp.End(

@@ -1,0 +1,195 @@
+package chase
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/limits"
+	"repro/internal/obs"
+)
+
+// chainProgram derives a linear chain next(a0,a1), ..., so each round fires
+// exactly one new fact: handy for budget and round assertions.
+const chainSrc = `
+	start(?X) -> step(?X, ?X).
+	step(?X, ?Y), edge(?Y, ?Z) -> step(?X, ?Z).
+`
+
+func chainDB(n int) *Instance {
+	db := NewInstance(atom("start", nodeName(0)))
+	for i := 0; i < n; i++ {
+		db.Add(datalog.NewAtom("edge",
+			datalog.C(nodeName(i)), datalog.C(nodeName(i+1))))
+	}
+	return db
+}
+
+func nodeName(i int) string {
+	return "v" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+func TestFactBudgetReturnsTypedErrorAndPartialInstance(t *testing.T) {
+	db := NewInstance(atom("n", "a"), atom("n", "b"), atom("n", "c"))
+	prog := datalog.MustParse(`n(?X), n(?Y) -> pair(?X, ?Y).`)
+	const budget = 5
+	res, err := Run(db, prog, Options{MaxFacts: budget})
+	if !errors.Is(err, limits.ErrFactBudget) {
+		t.Fatalf("want ErrFactBudget, got %v", err)
+	}
+	if res == nil || res.Instance == nil {
+		t.Fatal("budget abort must return the partial instance")
+	}
+	if res.Instance.Len() > budget {
+		t.Fatalf("instance exceeded the budget: %d > %d", res.Instance.Len(), budget)
+	}
+	// Everything in the partial instance must be derivable: subset of the
+	// unbudgeted run.
+	full, ferr := Run(db, prog, Options{})
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	for _, a := range res.Instance.AtomsOf("pair") {
+		if !full.Instance.Has(a) {
+			t.Fatalf("partial instance holds underivable atom %v", a)
+		}
+	}
+	tr, ok := limits.TruncationOf(err)
+	if !ok {
+		t.Fatal("budget error must carry a Truncation")
+	}
+	if tr.Limit != limits.LimitFacts || tr.Budget != budget {
+		t.Fatalf("truncation = %+v, want limit=facts budget=%d", tr, budget)
+	}
+	if len(tr.PerRule) == 0 {
+		t.Error("truncation must carry the per-rule breakdown")
+	}
+	if tr.Facts == 0 || tr.Elapsed <= 0 {
+		t.Errorf("truncation progress not populated: %+v", tr)
+	}
+}
+
+func TestRoundBudgetReturnsTypedError(t *testing.T) {
+	res, err := Run(chainDB(8), datalog.MustParse(chainSrc), Options{MaxRounds: 2})
+	if !errors.Is(err, limits.ErrRoundBudget) {
+		t.Fatalf("want ErrRoundBudget, got %v", err)
+	}
+	if res == nil || res.Instance == nil {
+		t.Fatal("round abort must return the partial instance")
+	}
+	full, ferr := Run(chainDB(8), datalog.MustParse(chainSrc), Options{})
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	if got, want := len(res.Instance.AtomsOf("step")), len(full.Instance.AtomsOf("step")); got >= want {
+		t.Fatalf("round budget did not truncate: %d >= %d step facts", got, want)
+	}
+}
+
+func TestCanceledContextStopsMidRound(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel from inside the engine, right before the second rule
+	// application of the run: the chase must stop before the round
+	// completes rather than at the next round boundary.
+	plan := limits.NewPlan(limits.Fault{
+		Point:  "chase.rule",
+		After:  1,
+		Action: limits.ActHook,
+		Hook:   cancel,
+	})
+	res, err := RunCtx(ctx, chainDB(8), datalog.MustParse(chainSrc), Options{Faults: plan})
+	if !errors.Is(err, limits.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if res == nil || res.Instance == nil {
+		t.Fatal("cancellation must still return the partial instance")
+	}
+	if plan.Fires() == 0 {
+		t.Fatal("the cancel hook never fired")
+	}
+	tr, ok := limits.TruncationOf(err)
+	if !ok || tr.Limit != limits.LimitCanceled {
+		t.Fatalf("want canceled truncation, got %+v (ok=%v)", tr, ok)
+	}
+}
+
+func TestExpiredDeadlineReturnsErrDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	_, err := RunCtx(ctx, chainDB(4), datalog.MustParse(chainSrc), Options{})
+	if !errors.Is(err, limits.ErrDeadline) {
+		t.Fatalf("want ErrDeadline, got %v", err)
+	}
+}
+
+func TestInjectedFaultAtRoundBoundary(t *testing.T) {
+	plan := limits.NewPlan(limits.Fault{Point: "chase.round", After: 1, Action: limits.ActError})
+	res, err := Run(chainDB(8), datalog.MustParse(chainSrc), Options{Faults: plan})
+	if !errors.Is(err, limits.ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if res == nil || res.Instance == nil {
+		t.Fatal("injected abort must return the partial instance")
+	}
+	if plan.Fires() != 1 {
+		t.Fatalf("plan fired %d times, want 1", plan.Fires())
+	}
+}
+
+func TestGlobalFaultPlanViaEnvSyntax(t *testing.T) {
+	plan, err := limits.ParsePlan("chase.round@1=error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer limits.SetGlobal(plan)()
+	_, err = Run(chainDB(8), datalog.MustParse(chainSrc), Options{})
+	if !errors.Is(err, limits.ErrInjected) {
+		t.Fatalf("want ErrInjected from the global plan, got %v", err)
+	}
+}
+
+func TestAbortEmitsObsEvent(t *testing.T) {
+	var buf bytes.Buffer
+	o := obs.NewWithSink(&buf)
+	_, err := Run(chainDB(8), datalog.MustParse(chainSrc), Options{MaxRounds: 1, Obs: o})
+	if !errors.Is(err, limits.ErrRoundBudget) {
+		t.Fatalf("want ErrRoundBudget, got %v", err)
+	}
+	records, err := obs.ParseTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range records {
+		if r["kind"] == "event" && r["name"] == "limits.aborted" {
+			attrs, _ := r["attrs"].(map[string]any)
+			if attrs["limit"] != limits.LimitRounds {
+				t.Fatalf("limits.aborted limit attr = %v, want %q", attrs["limit"], limits.LimitRounds)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("trace has no limits.aborted event")
+	}
+}
+
+func TestAnswerCtxReturnsPartialAnswersOnBudget(t *testing.T) {
+	q := datalog.Query{Program: datalog.MustParse(chainSrc + "\nstep(?X, ?Y) -> query(?X, ?Y).\n"), Output: "query"}
+	ans, err := AnswerCtx(context.Background(), chainDB(8), q, Options{MaxRounds: 3})
+	if !errors.Is(err, limits.ErrRoundBudget) {
+		t.Fatalf("want ErrRoundBudget, got %v", err)
+	}
+	if ans == nil {
+		t.Fatal("budget abort must return the partial answers")
+	}
+	full, ferr := Answer(chainDB(8), q, Options{})
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	if len(ans.Tuples) == 0 || len(ans.Tuples) >= len(full.Tuples) {
+		t.Fatalf("partial answers = %d, full = %d; want a proper non-empty subset", len(ans.Tuples), len(full.Tuples))
+	}
+}

@@ -1,0 +1,40 @@
+package datalog
+
+import "testing"
+
+// FuzzParseProgram asserts the rule parser's total-function contract: any
+// input must produce a program or an error — never a panic — and a parsed
+// program must survive String() → Parse() (the printer emits parseable
+// syntax).
+func FuzzParseProgram(f *testing.F) {
+	f.Add("triple(?X, partOf, transportService) -> ts(?X).")
+	f.Add("t(?X), ts(?Y) -> ∃Z conn(?X, ?Z).\nconn(?X, ?Y) -> query(?X, ?Y).")
+	f.Add("p(?X), not q(?X) -> r(?X).")
+	f.Add("p(?X), q(?X) -> ⊥.")
+	f.Add("p(?X -> q(?X).")
+	f.Add("->.")
+	f.Add("\x00(\xff).")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		out := prog.String()
+		if _, err := Parse(out); err != nil {
+			t.Fatalf("re-parse of printed program failed: %v\ninput: %q\nprinted: %q", err, src, out)
+		}
+	})
+}
+
+// FuzzParseAtom covers the goal-atom parser used by the triq CLI's -prove
+// flag, which feeds raw user input into ParseAtom.
+func FuzzParseAtom(f *testing.F) {
+	f.Add("p(a, b)")
+	f.Add("triple(s, p, o)")
+	f.Add("p()")
+	f.Add("p(?X)")
+	f.Add("p(a")
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = ParseAtom(src)
+	})
+}

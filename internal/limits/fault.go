@@ -1,0 +1,214 @@
+package limits
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file is the deterministic fault-injection harness. The engine calls
+// Hit(plan, point) at well-known sites — "chase.round", "chase.rule",
+// "prover.expand", "prover.memo", "translate.decode" — and a Plan armed for
+// that site makes the call return an injected error, panic, or run a test
+// hook (e.g. cancel the context mid-round). Plans are configured per
+// evaluation through the engine Options, or process-wide through the
+// TRIQ_FAULTS environment variable; with no plan armed a fault point is a
+// nil check and two pointer loads.
+
+// Action is what an armed fault does when it fires.
+type Action int
+
+const (
+	// ActError makes the fault point return an injected typed error.
+	ActError Action = iota
+	// ActPanic makes the fault point panic, exercising the API-boundary
+	// recovery.
+	ActPanic
+	// ActHook runs the fault's Hook and lets the fault point succeed; tests
+	// use it to cancel contexts at a precise engine site.
+	ActHook
+)
+
+// Fault arms one site of a Plan.
+type Fault struct {
+	// Point is the site name, e.g. "chase.round".
+	Point string
+	// After skips the first After hits of the site; the fault fires on every
+	// hit from the After+1-th on.
+	After int
+	// Action selects error / panic / hook.
+	Action Action
+	// Err overrides the injected error for ActError (default: a typed
+	// ErrInjected).
+	Err error
+	// Hook runs on fire for ActHook.
+	Hook func()
+}
+
+// Plan is a set of armed faults. The zero value by pointer (nil) is an empty
+// plan; Check on it always succeeds. A Plan is safe for concurrent use.
+type Plan struct {
+	mu    sync.Mutex
+	armed map[string][]*armedFault
+	fires int
+}
+
+type armedFault struct {
+	f    Fault
+	hits int
+}
+
+// NewPlan builds a plan with the given faults armed.
+func NewPlan(faults ...Fault) *Plan {
+	p := &Plan{}
+	for _, f := range faults {
+		p.Arm(f)
+	}
+	return p
+}
+
+// Arm adds a fault to the plan.
+func (p *Plan) Arm(f Fault) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.armed == nil {
+		p.armed = make(map[string][]*armedFault)
+	}
+	p.armed[f.Point] = append(p.armed[f.Point], &armedFault{f: f})
+}
+
+// Fires reports how many times any fault of the plan has fired.
+func (p *Plan) Fires() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fires
+}
+
+// Check registers a hit on the site and fires any armed fault whose After
+// threshold has passed. Hooks run (and panics unwind) outside the plan lock.
+func (p *Plan) Check(point string) error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	var fire []*Fault
+	for _, a := range p.armed[point] {
+		a.hits++
+		if a.hits > a.f.After {
+			p.fires++
+			fire = append(fire, &a.f)
+		}
+	}
+	p.mu.Unlock()
+	for _, f := range fire {
+		switch f.Action {
+		case ActPanic:
+			panic(fmt.Sprintf("limits: injected panic at %s", f.Point))
+		case ActHook:
+			if f.Hook != nil {
+				f.Hook()
+			}
+		default:
+			if f.Err != nil {
+				return f.Err
+			}
+			return NewError(ErrInjected, Truncation{Limit: LimitInjected})
+		}
+	}
+	return nil
+}
+
+// Hit checks the per-evaluation plan first, then the process-global plan
+// (armed from TRIQ_FAULTS). Engine fault points call this.
+func Hit(p *Plan, point string) error {
+	if p != nil {
+		if err := p.Check(point); err != nil {
+			return err
+		}
+	}
+	return FaultPoint(point)
+}
+
+var (
+	globalMu   sync.Mutex
+	globalPlan *Plan
+)
+
+// FaultPoint checks the process-global plan only.
+func FaultPoint(point string) error {
+	globalMu.Lock()
+	p := globalPlan
+	globalMu.Unlock()
+	return p.Check(point)
+}
+
+// SetGlobal installs a process-global plan (nil clears it) and returns a
+// restore function; tests pair the two with defer.
+func SetGlobal(p *Plan) (restore func()) {
+	globalMu.Lock()
+	old := globalPlan
+	globalPlan = p
+	globalMu.Unlock()
+	return func() {
+		globalMu.Lock()
+		globalPlan = old
+		globalMu.Unlock()
+	}
+}
+
+// ParsePlan parses the TRIQ_FAULTS syntax: comma-separated entries of the
+// form "point=action" or "point@N=action" where action is "error" or
+// "panic" and N is the number of hits to skip first, e.g.
+//
+//	TRIQ_FAULTS="chase.round@3=error,prover.expand=panic"
+//
+// (Hooks are code, not syntax, so they cannot be armed from the
+// environment.)
+func ParsePlan(spec string) (*Plan, error) {
+	p := &Plan{}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		site, action, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("limits: fault entry %q: want point[@N]=action", entry)
+		}
+		f := Fault{Point: site}
+		if point, after, hasAt := strings.Cut(site, "@"); hasAt {
+			n, err := strconv.Atoi(after)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("limits: fault entry %q: bad hit count %q", entry, after)
+			}
+			f.Point = point
+			f.After = n
+		}
+		switch action {
+		case "error":
+			f.Action = ActError
+		case "panic":
+			f.Action = ActPanic
+		default:
+			return nil, fmt.Errorf("limits: fault entry %q: unknown action %q (want error or panic)", entry, action)
+		}
+		p.Arm(f)
+	}
+	return p, nil
+}
+
+func init() {
+	if spec := os.Getenv("TRIQ_FAULTS"); spec != "" {
+		p, err := ParsePlan(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "limits: ignoring TRIQ_FAULTS:", err)
+			return
+		}
+		globalPlan = p
+	}
+}

@@ -1,0 +1,191 @@
+package limits
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestErrorTaxonomyIsAs(t *testing.T) {
+	err := NewError(ErrFactBudget, Truncation{Budget: 100, Reached: 101, Rounds: 3})
+	if !errors.Is(err, ErrFactBudget) {
+		t.Error("errors.Is must match the sentinel")
+	}
+	if errors.Is(err, ErrRoundBudget) {
+		t.Error("errors.Is must not match a different sentinel")
+	}
+	var le *Error
+	if !errors.As(err, &le) || le.Trunc.Budget != 100 {
+		t.Error("errors.As must extract the typed error with its Truncation")
+	}
+	tr, ok := TruncationOf(err)
+	if !ok || tr.Limit != LimitFacts || tr.Reached != 101 {
+		t.Errorf("TruncationOf = %+v, %v", tr, ok)
+	}
+	if !IsBudget(err) {
+		t.Error("fact budget is a budget error")
+	}
+	if IsBudget(NewError(ErrCanceled, Truncation{})) {
+		t.Error("cancellation is not a budget error")
+	}
+}
+
+func TestLimitNameRoundTrip(t *testing.T) {
+	for _, kind := range []error{ErrCanceled, ErrDeadline, ErrFactBudget, ErrRoundBudget, ErrVisitBudget, ErrInternal, ErrInjected} {
+		name := LimitName(kind)
+		if name == "" {
+			t.Fatalf("no limit name for %v", kind)
+		}
+		tr := Truncation{Limit: name}
+		if !errors.Is(tr.Err(), kind) {
+			t.Errorf("Truncation{%q}.Err() does not wrap %v", name, kind)
+		}
+	}
+}
+
+func TestTruncationString(t *testing.T) {
+	tr := Truncation{
+		Limit: LimitFacts, Budget: 10, Reached: 10, Rounds: 2, Facts: 10,
+		Elapsed: 3 * time.Millisecond,
+		PerRule: []RuleStat{{Index: 0, Rule: "n(?X) -> m(?X).", TriggersAttempted: 5, FactsDerived: 4}},
+	}
+	s := tr.String()
+	for _, want := range []string{"limit=facts", "budget=10", "rounds=2", "rule #0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report %q missing %q", s, want)
+		}
+	}
+}
+
+func TestCtxKind(t *testing.T) {
+	if CtxKind(context.Background()) != nil {
+		t.Error("live context must map to nil")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if CtxKind(ctx) != ErrCanceled {
+		t.Error("canceled context must map to ErrCanceled")
+	}
+	ctx2, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if CtxKind(ctx2) != ErrDeadline {
+		t.Error("expired context must map to ErrDeadline")
+	}
+	if CtxKind(nil) != nil {
+		t.Error("nil context is live")
+	}
+}
+
+func TestRecoverConvertsPanic(t *testing.T) {
+	run := func() (err error) {
+		defer Recover(&err)
+		panic("boom")
+	}
+	err := run()
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("recovered panic must wrap ErrInternal, got %v", err)
+	}
+	var ie *InternalError
+	if !errors.As(err, &ie) || ie.Value != "boom" || len(ie.Stack) == 0 {
+		t.Errorf("InternalError must carry the panic value and a stack, got %+v", ie)
+	}
+}
+
+func TestRecoverPreservesTypedPanic(t *testing.T) {
+	typed := NewError(ErrFactBudget, Truncation{Budget: 7})
+	run := func() (err error) {
+		defer Recover(&err)
+		panic(typed)
+	}
+	if err := run(); !errors.Is(err, ErrFactBudget) {
+		t.Errorf("typed panic must be preserved, got %v", err)
+	}
+}
+
+func TestPlanErrorAfterN(t *testing.T) {
+	p := NewPlan(Fault{Point: "chase.round", After: 2, Action: ActError})
+	for i := 0; i < 2; i++ {
+		if err := p.Check("chase.round"); err != nil {
+			t.Fatalf("hit %d must pass", i)
+		}
+	}
+	err := p.Check("chase.round")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("third hit must inject, got %v", err)
+	}
+	if p.Fires() != 1 {
+		t.Errorf("fires = %d, want 1", p.Fires())
+	}
+	if err := p.Check("other.site"); err != nil {
+		t.Error("unarmed sites must pass")
+	}
+}
+
+func TestPlanPanicAndHook(t *testing.T) {
+	fired := 0
+	p := NewPlan(
+		Fault{Point: "hook.site", Action: ActHook, Hook: func() { fired++ }},
+		Fault{Point: "panic.site", Action: ActPanic},
+	)
+	if err := p.Check("hook.site"); err != nil || fired != 1 {
+		t.Fatalf("hook must run and the check succeed (err=%v fired=%d)", err, fired)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ActPanic must panic")
+			}
+		}()
+		p.Check("panic.site")
+	}()
+}
+
+func TestNilPlanAndHit(t *testing.T) {
+	var p *Plan
+	if err := p.Check("anything"); err != nil {
+		t.Error("nil plan must pass")
+	}
+	if err := Hit(nil, "anything"); err != nil {
+		t.Error("Hit with no plans must pass")
+	}
+	restore := SetGlobal(NewPlan(Fault{Point: "g.site", Action: ActError}))
+	defer restore()
+	if err := Hit(nil, "g.site"); !errors.Is(err, ErrInjected) {
+		t.Error("Hit must consult the global plan")
+	}
+	restore()
+	if err := Hit(nil, "g.site"); err != nil {
+		t.Error("restore must clear the global plan")
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("chase.round@1=error, prover.expand=panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Check("chase.round"); err != nil {
+		t.Error("first hit is skipped by @1")
+	}
+	if err := p.Check("chase.round"); !errors.Is(err, ErrInjected) {
+		t.Error("second hit must inject")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("parsed panic action must panic")
+			}
+		}()
+		p.Check("prover.expand")
+	}()
+	for _, bad := range []string{"nosign", "p@x=error", "p=unknown", "p@-1=error"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) must fail", bad)
+		}
+	}
+	if p, err := ParsePlan(""); err != nil || p == nil {
+		t.Error("empty spec is an empty plan")
+	}
+}

@@ -1,0 +1,32 @@
+package rdf
+
+import "testing"
+
+// FuzzParseNTriples asserts the parser's total-function contract: any input,
+// valid or garbage, must produce a graph or an error — never a panic. A
+// successfully parsed graph must additionally serialize to valid N-Triples
+// that re-parse to the same number of triples (no term collisions in the
+// writer's escaping).
+func FuzzParseNTriples(f *testing.F) {
+	f.Add("TheAirline partOf transportService .\nA311 partOf TheAirline .\n")
+	f.Add(`<http://a> <http://b> "lit"@en .`)
+	f.Add(`_:b1 <http://p> "1"^^<http://www.w3.org/2001/XMLSchema#integer> .`)
+	f.Add("# comment only\n")
+	f.Add("s p \"unterminated")
+	f.Add("s p o")
+	f.Add("\x00\xff .")
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ParseNTriplesString(src)
+		if err != nil {
+			return
+		}
+		out := g.String()
+		h, err := ParseNTriplesString(out)
+		if err != nil {
+			t.Fatalf("re-parse of serialized graph failed: %v\ninput: %q\nserialized: %q", err, src, out)
+		}
+		if g.Len() != h.Len() {
+			t.Fatalf("round-trip changed triple count %d -> %d\ninput: %q\nserialized: %q", g.Len(), h.Len(), src, out)
+		}
+	})
+}

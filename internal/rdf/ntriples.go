@@ -128,16 +128,44 @@ func (p *ntParser) term() (Term, error) {
 
 func (p *ntParser) iri() (Term, error) {
 	p.pos++ // consume '<'
-	start := p.pos
-	for !p.atEOF() && p.peek() != '>' {
+	var b strings.Builder
+	for {
+		if p.atEOF() {
+			return Term{}, fmt.Errorf("unterminated IRI")
+		}
+		c := p.peek()
+		if c == '>' {
+			p.pos++
+			break
+		}
+		if c == '\\' {
+			// Decode the writer's escapeIRI set so IRIs containing '>' or
+			// '\' round-trip through the angle-bracket form.
+			p.pos++
+			if p.atEOF() {
+				return Term{}, fmt.Errorf("dangling escape in IRI")
+			}
+			switch p.peek() {
+			case '>':
+				b.WriteByte('>')
+			case '\\':
+				b.WriteByte('\\')
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				return Term{}, fmt.Errorf("unknown escape \\%c in IRI", p.peek())
+			}
+			p.pos++
+			continue
+		}
+		b.WriteByte(c)
 		p.pos++
 	}
-	if p.atEOF() {
-		return Term{}, fmt.Errorf("unterminated IRI")
-	}
-	iri := p.in[start:p.pos]
-	p.pos++ // consume '>'
-	return NewIRI(iri), nil
+	return NewIRI(b.String()), nil
 }
 
 func (p *ntParser) blank() (Term, error) {

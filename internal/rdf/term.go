@@ -85,7 +85,7 @@ func (t Term) IsLiteral() bool { return t.Kind == Literal }
 func (t Term) String() string {
 	switch t.Kind {
 	case IRI:
-		return "<" + t.Value + ">"
+		return "<" + escapeIRI(t.Value) + ">"
 	case Blank:
 		return "_:" + t.Value
 	case Literal:
@@ -98,7 +98,7 @@ func (t Term) String() string {
 			b.WriteString(t.Lang)
 		} else if t.Datatype != "" {
 			b.WriteString("^^<")
-			b.WriteString(t.Datatype)
+			b.WriteString(escapeIRI(t.Datatype))
 			b.WriteByte('>')
 		}
 		return b.String()
@@ -134,6 +134,34 @@ func escapeLiteral(s string) string {
 		switch r {
 		case '"':
 			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeIRI makes an IRI value safe for the angle-bracket form: '>' would
+// terminate the bracket early and '\' would be read as an escape introducer,
+// so both are backslash-escaped, as are the line/column controls that would
+// break the line-oriented reader. The parser's iri() decodes the same set.
+func escapeIRI(s string) string {
+	if !strings.ContainsAny(s, ">\\\n\r\t") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '>':
+			b.WriteString(`\>`)
 		case '\\':
 			b.WriteString(`\\`)
 		case '\n':

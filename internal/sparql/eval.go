@@ -1,25 +1,77 @@
 package sparql
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/limits"
 	"repro/internal/rdf"
 )
 
 // Eval computes ⟦P⟧_G by the recursive definition of Section 3.1.
 func Eval(p Pattern, g *rdf.Graph) *MappingSet {
+	out, _ := EvalCtx(context.Background(), p, g)
+	return out
+}
+
+// EvalCtx is Eval under a context: cancellation and deadlines are polled at
+// every operator node and (counter-gated) throughout BGP backtracking, and
+// surface as typed limits errors (ErrCanceled / ErrDeadline).
+func EvalCtx(ctx context.Context, p Pattern, g *rdf.Graph) (*MappingSet, error) {
+	e := &ctxEval{ctx: ctx}
+	out := e.eval(p, g)
+	if e.err != nil {
+		return nil, e.err
+	}
+	return out, nil
+}
+
+// ctxEval threads the cancellation state through the recursive evaluation;
+// once err is set every remaining node short-circuits.
+type ctxEval struct {
+	ctx  context.Context
+	tick int
+	err  error
+}
+
+// interrupted polls the context (the direct algebra has no budgets, so
+// cancellation and deadlines are the only limits here).
+func (e *ctxEval) interrupted() bool {
+	if e.err != nil {
+		return true
+	}
+	if kind := limits.CtxKind(e.ctx); kind != nil {
+		e.err = limits.NewError(kind, limits.Truncation{})
+		return true
+	}
+	return false
+}
+
+// bgpTick is interrupted gated to every 64th backtracking step, keeping the
+// hot path to an increment and a mask.
+func (e *ctxEval) bgpTick() bool {
+	if e.tick++; e.tick&63 == 0 {
+		return e.interrupted()
+	}
+	return e.err != nil
+}
+
+func (e *ctxEval) eval(p Pattern, g *rdf.Graph) *MappingSet {
+	if e.interrupted() {
+		return NewMappingSet()
+	}
 	switch q := p.(type) {
 	case BGP:
-		return evalBGP(q, g)
+		return evalBGP(q, g, e.bgpTick)
 	case And:
-		return Join(Eval(q.L, g), Eval(q.R, g))
+		return Join(e.eval(q.L, g), e.eval(q.R, g))
 	case Union:
-		return UnionSets(Eval(q.L, g), Eval(q.R, g))
+		return UnionSets(e.eval(q.L, g), e.eval(q.R, g))
 	case Opt:
-		return LeftOuterJoin(Eval(q.L, g), Eval(q.R, g))
+		return LeftOuterJoin(e.eval(q.L, g), e.eval(q.R, g))
 	case Filter:
 		out := NewMappingSet()
-		for _, m := range Eval(q.P, g).Mappings() {
+		for _, m := range e.eval(q.P, g).Mappings() {
 			if q.Cond.Satisfied(m) {
 				out.Add(m)
 			}
@@ -31,7 +83,7 @@ func Eval(p Pattern, g *rdf.Graph) *MappingSet {
 			w[v] = true
 		}
 		out := NewMappingSet()
-		for _, m := range Eval(q.P, g).Mappings() {
+		for _, m := range e.eval(q.P, g).Mappings() {
 			out.Add(m.Restrict(w))
 		}
 		return out
@@ -44,7 +96,11 @@ func Eval(p Pattern, g *rdf.Graph) *MappingSet {
 // dom(µ) = var(P) such that some h : B → U satisfies µ(h(P)) ⊆ G. Variables
 // and blank nodes are both matched by backtracking; blank-node bindings are
 // projected away afterwards, which realizes the existential h.
-func evalBGP(p BGP, g *rdf.Graph) *MappingSet {
+//
+// interrupt, when non-nil, is polled during the backtracking search; a true
+// return abandons the remaining search space (the caller reports the typed
+// error, so the truncated set is never observed as a complete answer).
+func evalBGP(p BGP, g *rdf.Graph, interrupt func() bool) *MappingSet {
 	out := NewMappingSet()
 	if len(p.Triples) == 0 {
 		// The empty BGP yields the single empty mapping µ∅.
@@ -57,6 +113,9 @@ func evalBGP(p BGP, g *rdf.Graph) *MappingSet {
 	binding := make(map[string]rdf.Term)
 	var rec func(k int)
 	rec = func(k int) {
+		if interrupt != nil && interrupt() {
+			return
+		}
 		if k == len(p.Triples) {
 			m := make(Mapping)
 			for v := range vars {

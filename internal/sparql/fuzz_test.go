@@ -1,0 +1,25 @@
+package sparql
+
+import "testing"
+
+// FuzzParseQuery asserts the SPARQL parser's total-function contract: any
+// input must produce a query or an error — never a panic. Parsed SELECT
+// queries must also build their algebraic pattern without panicking (the
+// translation pipeline calls Pattern() unconditionally).
+func FuzzParseQuery(f *testing.F) {
+	f.Add(`SELECT ?X ?Y WHERE { ?Y name ?X . OPTIONAL { ?Y phone ?Z } }`)
+	f.Add(`SELECT * WHERE { { ?X a t1 } UNION { ?X a t2 } FILTER(bound(?X)) }`)
+	f.Add(`CONSTRUCT { ?X name_author ?Z } WHERE { ?Y is_author_of ?Z . ?Y name ?X }`)
+	f.Add(`SELECT ?X WHERE { ?X <http://p> "lit"@en }`)
+	f.Add(`SELECT ?X WHERE { _:b ?X ?X FILTER(?X = ?X && !bound(?Y)) }`)
+	f.Add(`SELECT WHERE`)
+	f.Add(`SELECT * WHERE { ?X`)
+	f.Add("\x00\xff")
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := ParseQuery(src)
+		if err != nil {
+			return
+		}
+		_ = q.Pattern()
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/limits"
 	"repro/internal/rdf"
 )
 
@@ -118,6 +119,15 @@ func (m Mapping) String() string {
 type MappingSet struct {
 	list []Mapping
 	seen map[string]struct{}
+
+	// Incomplete is true when the producing evaluation tripped a resource
+	// budget and this set is the sound partial result computed before the
+	// abort (see internal/limits); set only by the budget-degrading
+	// evaluation paths, never by the plain algebra.
+	Incomplete bool
+	// Truncation reports which limit tripped; non-nil exactly when
+	// Incomplete.
+	Truncation *limits.Truncation
 }
 
 // NewMappingSet builds a set from the given mappings, deduplicating.

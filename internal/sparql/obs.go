@@ -47,7 +47,7 @@ func evalTraced(p Pattern, g *rdf.Graph, o *obs.Obs, parent *obs.Span) *MappingS
 	var out *MappingSet
 	switch q := p.(type) {
 	case BGP:
-		out = evalBGP(q, g)
+		out = evalBGP(q, g, nil)
 	case And:
 		out = Join(evalTraced(q.L, g, o, sp), evalTraced(q.R, g, o, sp))
 	case Union:

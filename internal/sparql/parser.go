@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"unicode"
@@ -45,6 +46,15 @@ func (q *Query) Select(g *rdf.Graph) (*MappingSet, error) {
 		return nil, fmt.Errorf("sparql: not a SELECT query")
 	}
 	return Eval(q.Pattern(), g), nil
+}
+
+// SelectCtx is Select under a context; cancellation and deadlines surface as
+// typed limits errors.
+func (q *Query) SelectCtx(ctx context.Context, g *rdf.Graph) (*MappingSet, error) {
+	if q.Kind != SelectQuery {
+		return nil, fmt.Errorf("sparql: not a SELECT query")
+	}
+	return EvalCtx(ctx, q.Pattern(), g)
 }
 
 // ParseQuery parses a SPARQL query in the subset covered by the paper:

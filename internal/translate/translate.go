@@ -15,12 +15,14 @@
 package translate
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"repro/internal/chase"
 	"repro/internal/datalog"
+	"repro/internal/limits"
 	"repro/internal/obs"
 	"repro/internal/owl"
 	"repro/internal/rdf"
@@ -158,7 +160,15 @@ func DB(g *rdf.Graph) *chase.Instance {
 // tuples into a mapping set: ⟦(P_dat, τ_db(G))⟧. The boolean reports
 // inconsistency (⊤), which can arise only under the entailment regimes.
 func (tr *Translation) Evaluate(g *rdf.Graph, opts triq.Options) (*sparql.MappingSet, bool, error) {
-	ms, res, err := tr.EvaluateFull(g, opts)
+	return tr.EvaluateCtx(context.Background(), g, opts)
+}
+
+// EvaluateCtx is Evaluate under a context. On a budget trip the returned
+// mapping set is the sound partial set with MappingSet.Incomplete and the
+// Truncation attached (err nil); cancellation and deadlines return typed
+// limits errors.
+func (tr *Translation) EvaluateCtx(ctx context.Context, g *rdf.Graph, opts triq.Options) (*sparql.MappingSet, bool, error) {
+	ms, res, err := tr.EvaluateFullCtx(ctx, g, opts)
 	if err != nil {
 		return nil, false, err
 	}
@@ -169,20 +179,32 @@ func (tr *Translation) Evaluate(g *rdf.Graph, opts triq.Options) (*sparql.Mappin
 // Result (chase stats with per-rule breakdown, depth, exactness). When
 // opts.Chase.Obs is set, the load and decode phases emit translate.* spans.
 func (tr *Translation) EvaluateFull(g *rdf.Graph, opts triq.Options) (*sparql.MappingSet, *triq.Result, error) {
+	return tr.EvaluateFullCtx(context.Background(), g, opts)
+}
+
+// EvaluateFullCtx is EvaluateFull under a context; see EvaluateCtx for the
+// limit semantics. The decode phase carries the "translate.decode" fault
+// point.
+func (tr *Translation) EvaluateFullCtx(ctx context.Context, g *rdf.Graph, opts triq.Options) (*sparql.MappingSet, *triq.Result, error) {
 	o := opts.Chase.Obs
 	sp := o.Span("translate.load_db", obs.F("triples", g.Len()))
 	db := DB(g)
 	sp.End(obs.F("facts", db.Len()))
-	res, err := triq.Eval(db, tr.Query, triq.Unrestricted, opts)
+	res, err := triq.EvalCtx(ctx, db, tr.Query, triq.Unrestricted, opts)
 	if err != nil {
 		return nil, nil, err
 	}
 	if res.Answers.Inconsistent {
 		return nil, res, nil
 	}
+	if err := limits.Hit(opts.Chase.Faults, "translate.decode"); err != nil {
+		return nil, res, err
+	}
 	dec := o.Span("translate.decode", obs.F("tuples", len(res.Answers.Tuples)))
 	defer func() { dec.End() }()
 	out := sparql.NewMappingSet()
+	out.Incomplete = res.Incomplete
+	out.Truncation = res.Truncation
 	for _, tup := range res.Answers.Tuples {
 		m := make(sparql.Mapping)
 		for i, t := range tup {

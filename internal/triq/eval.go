@@ -8,11 +8,13 @@
 package triq
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/chase"
 	"repro/internal/datalog"
+	"repro/internal/limits"
 	"repro/internal/obs"
 )
 
@@ -72,6 +74,10 @@ type Options struct {
 	// unchanged ground part required to declare the ground semantics stable
 	// (see chase.StableGround); 0 selects the default of 2.
 	StabilityWindow int
+	// MaxVisits caps the proof-search component expansions of the exact
+	// procedure (EvalExact); 0 selects the ProofOptions default. Ignored by
+	// the bottom-up evaluator.
+	MaxVisits int
 }
 
 // Result is the outcome of evaluating a TriQ query.
@@ -83,6 +89,16 @@ type Result struct {
 	// stable fixpoint of iterative deepening (exact for warded programs; see
 	// chase.StableGround).
 	Exact bool
+	// Incomplete is true when a resource budget (facts, rounds, or visits)
+	// tripped and the answers are the sound partial set computed before the
+	// abort rather than all of Q(D). The chase is monotone, so for positive
+	// programs every tuple reported is a certain answer; with stratified
+	// negation tuples that depend on a negated atom of a truncated stratum
+	// may be unsound and Incomplete should be treated as "approximate".
+	Incomplete bool
+	// Truncation reports which limit tripped and how far the evaluation got;
+	// non-nil exactly when Incomplete.
+	Truncation *limits.Truncation
 	// Depth is the null-nesting depth at which the result was computed.
 	Depth int
 	Stats chase.Stats
@@ -104,6 +120,16 @@ const inconsistencyMarker = "⊥#marker"
 // they become ordinary rules deriving an inconsistency marker — so that a
 // single monotone chase answers both the consistency question and the query.
 func Eval(db *chase.Instance, q datalog.Query, lang Language, opts Options) (*Result, error) {
+	return EvalCtx(context.Background(), db, q, lang, opts)
+}
+
+// EvalCtx is Eval under a context. Cancellation and deadlines abort with a
+// typed limits error (ErrCanceled / ErrDeadline, carrying a Truncation
+// report). Budget exhaustion — MaxFacts or MaxRounds tripping — degrades
+// gracefully instead: the sound partial answer set computed before the
+// abort is returned with Result.Incomplete set and the Truncation attached,
+// and err is nil.
+func EvalCtx(ctx context.Context, db *chase.Instance, q datalog.Query, lang Language, opts Options) (*Result, error) {
 	if err := Validate(q, lang); err != nil {
 		return nil, err
 	}
@@ -120,14 +146,27 @@ func Eval(db *chase.Instance, q datalog.Query, lang Language, opts Options) (*Re
 		}
 		prog.Constraints = nil
 	}
-	gr, err := chase.StableGround(db, prog, opts.Chase, opts.StabilityWindow)
+	gr, err := chase.StableGroundCtx(ctx, db, prog, opts.Chase, opts.StabilityWindow)
+	res := &Result{}
 	if err != nil {
-		sp.End(obs.F("error", true))
-		return nil, err
+		if gr == nil || !limits.IsBudget(err) {
+			sp.End(obs.F("error", true))
+			return nil, err
+		}
+		// Budget trip with a partial instance: degrade to the sound partial
+		// answers instead of discarding the work.
+		res.Incomplete = true
+		if tr, ok := limits.TruncationOf(err); ok {
+			res.Truncation = tr
+		}
 	}
-	res := &Result{Exact: gr.Exact, Depth: gr.Depth, Stats: gr.Stats}
+	res.Exact = gr.Exact
+	res.Depth = gr.Depth
+	res.Stats = gr.Stats
 	ans := &chase.Answers{}
 	if len(gr.Ground.AtomsOf(inconsistencyMarker)) > 0 {
+		// Marker derivation is monotone, so ⊤ is sound even on a truncated
+		// run.
 		ans.Inconsistent = true
 		res.Answers = ans
 		sp.End(obs.F("inconsistent", true), obs.F("depth", res.Depth))
@@ -141,7 +180,8 @@ func Eval(db *chase.Instance, q datalog.Query, lang Language, opts Options) (*Re
 	sp.End(
 		obs.F("answers", len(ans.Tuples)),
 		obs.F("depth", res.Depth),
-		obs.F("exact", res.Exact))
+		obs.F("exact", res.Exact),
+		obs.F("incomplete", res.Incomplete))
 	return res, nil
 }
 

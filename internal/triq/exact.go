@@ -1,11 +1,13 @@
 package triq
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/chase"
 	"repro/internal/datalog"
+	"repro/internal/limits"
 )
 
 // This file provides the provably-exact counterpart to the fast bottom-up
@@ -26,13 +28,21 @@ import (
 // predicate. Restricting the predicates keeps |dom|^arity enumeration
 // affordable when only an output relation is needed.
 func ExactGround(db *chase.Instance, prog *datalog.Program, preds []string, chaseOpts chase.Options, opts ProofOptions) (*chase.Instance, error) {
+	return ExactGroundCtx(context.Background(), db, prog, preds, chaseOpts, opts)
+}
+
+// ExactGroundCtx is ExactGround under a context. When the proof search is
+// cut short by a limit mid-enumeration, the atoms certified before the
+// abort are returned alongside the typed error: each carries a proof, so
+// the partial instance is a sound under-approximation of Π(D)↓.
+func ExactGroundCtx(ctx context.Context, db *chase.Instance, prog *datalog.Program, preds []string, chaseOpts chase.Options, opts ProofOptions) (*chase.Instance, error) {
 	if len(prog.Constraints) > 0 {
 		return nil, fmt.Errorf("triq: ExactGround requires a constraint-free program")
 	}
 	workDB, workProg := db, prog
 	if prog.HasNegation() {
 		var err error
-		workDB, workProg, err = EliminateNegation(db, prog, chaseOpts)
+		workDB, workProg, err = EliminateNegationCtx(ctx, db, prog, chaseOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -95,7 +105,7 @@ func ExactGround(db *chase.Instance, prog *datalog.Program, preds []string, chas
 		rec = func(k int) error {
 			if k == arity {
 				goal := datalog.Atom{Pred: pred, Args: append([]datalog.Term(nil), tuple...)}
-				proven, err := pv.Proves(goal)
+				proven, err := pv.ProvesCtx(ctx, goal)
 				if err != nil {
 					return err
 				}
@@ -113,7 +123,9 @@ func ExactGround(db *chase.Instance, prog *datalog.Program, preds []string, chas
 			return nil
 		}
 		if err := rec(0); err != nil {
-			return nil, err
+			// The atoms certified so far each carry a proof: return them as a
+			// sound partial result alongside the typed error.
+			return out, err
 		}
 	}
 	return out, nil
@@ -126,6 +138,13 @@ func ExactGround(db *chase.Instance, prog *datalog.Program, preds []string, chas
 // per-tuple proof, and it is exact even when the chase of the program is
 // infinite.
 func EvalExact(db *chase.Instance, q datalog.Query, opts Options) (*Result, error) {
+	return EvalExactCtx(context.Background(), db, q, opts)
+}
+
+// EvalExactCtx is EvalExact under a context. A visit-budget trip degrades to
+// the sound partial answer set (every tuple certified by a proof) with
+// Result.Incomplete set; cancellation and deadlines return typed errors.
+func EvalExactCtx(ctx context.Context, db *chase.Instance, q datalog.Query, opts Options) (*Result, error) {
 	if err := Validate(q, TriQLite10); err != nil {
 		return nil, err
 	}
@@ -139,11 +158,18 @@ func EvalExact(db *chase.Instance, q datalog.Query, opts Options) (*Result, erro
 		prog.Constraints = nil
 		preds = append(preds, inconsistencyMarker)
 	}
-	ground, err := ExactGround(db, prog, preds, opts.Chase, ProofOptions{Obs: opts.Chase.Obs})
-	if err != nil {
-		return nil, err
-	}
+	ground, err := ExactGroundCtx(ctx, db, prog, preds, opts.Chase, ProofOptions{MaxVisits: opts.MaxVisits, Obs: opts.Chase.Obs, Faults: opts.Chase.Faults})
 	res := &Result{Exact: true}
+	if err != nil {
+		if ground == nil || !limits.IsBudget(err) {
+			return nil, err
+		}
+		res.Exact = false
+		res.Incomplete = true
+		if tr, ok := limits.TruncationOf(err); ok {
+			res.Truncation = tr
+		}
+	}
 	ans := &chase.Answers{}
 	if len(ground.AtomsOf(inconsistencyMarker)) > 0 {
 		ans.Inconsistent = true

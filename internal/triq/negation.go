@@ -1,6 +1,7 @@
 package triq
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/chase"
@@ -25,6 +26,15 @@ func complementPred(pred string) string { return "not#" + pred }
 // the chase options bound the ground-semantics computations of the
 // intermediate strata.
 func EliminateNegation(db *chase.Instance, prog *datalog.Program, opts chase.Options) (*chase.Instance, *datalog.Program, error) {
+	return EliminateNegationCtx(context.Background(), db, prog, opts)
+}
+
+// EliminateNegationCtx is EliminateNegation under a context: the
+// intermediate ground-semantics chases honor cancellation, deadlines, and
+// budgets. Complement materialization is NOT degradable — an incomplete
+// reference instance would make complements unsound — so any limit abort is
+// returned as an error.
+func EliminateNegationCtx(ctx context.Context, db *chase.Instance, prog *datalog.Program, opts chase.Options) (*chase.Instance, *datalog.Program, error) {
 	if len(prog.Constraints) > 0 {
 		return nil, nil, fmt.Errorf("triq: EliminateNegation requires a constraint-free program")
 	}
@@ -77,7 +87,7 @@ func EliminateNegation(db *chase.Instance, prog *datalog.Program, opts chase.Opt
 				}
 			}
 			if len(negPreds) > 0 {
-				gr, err := chase.StableGround(dbPlus, progPlus, opts, 0)
+				gr, err := chase.StableGroundCtx(ctx, dbPlus, progPlus, opts, 0)
 				if err != nil {
 					return nil, nil, err
 				}

@@ -1,6 +1,7 @@
 package triq
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/chase"
 	"repro/internal/datalog"
+	"repro/internal/limits"
 	"repro/internal/obs"
 )
 
@@ -86,6 +88,10 @@ type ProofOptions struct {
 	// prover.* counters, and canonicalization time is measured. Nil (the
 	// default) disables all of it.
 	Obs *obs.Obs
+	// Faults arms a per-evaluation fault-injection plan checked at the
+	// prover.expand and prover.memo sites (the process-global TRIQ_FAULTS
+	// plan is always consulted too). Nil disables per-evaluation injection.
+	Faults *limits.Plan
 }
 
 // ProofMetrics is the cumulative search-space accounting of a Prover. It
@@ -134,6 +140,40 @@ type Prover struct {
 	m        ProofMetrics // hits/misses/expansions/resolutions/depth/canon
 	depthNow int
 	timing   bool // collect CanonTime (set when opts.Obs != nil)
+
+	ctx   context.Context // the context of the in-flight Prove, nil between calls
+	start time.Time       // start of the in-flight Prove
+	tick  int             // µ-enumeration counter gating the ctx checks
+}
+
+// fail records a typed abort, decorating its Truncation with the prover's
+// progress and emitting the limits.aborted observability event. It returns
+// false so call sites can `return nil, pv.fail(err)`-style collapse.
+func (pv *Prover) fail(err error) bool {
+	if tr, ok := limits.TruncationOf(err); ok {
+		tr.Visits = pv.visits
+		tr.Elapsed = time.Since(pv.start)
+		if pv.opts.Obs != nil {
+			pv.opts.Obs.Event("limits.aborted",
+				obs.F("limit", tr.Limit),
+				obs.F("visits", tr.Visits))
+			pv.opts.Obs.Count("limits.aborted", 1)
+		}
+	}
+	pv.err = err
+	return false
+}
+
+// interrupted aborts the search when the Prove context has been canceled or
+// its deadline passed.
+func (pv *Prover) interrupted() bool {
+	if pv.err != nil {
+		return true
+	}
+	if kind := limits.CtxKind(pv.ctx); kind != nil {
+		return !pv.fail(limits.NewError(kind, limits.Truncation{}))
+	}
+	return false
 }
 
 // Metrics snapshots the prover's cumulative search-space accounting.
@@ -268,8 +308,22 @@ func (pv *Prover) Proves(goal datalog.Atom) (bool, error) {
 	return ok, err
 }
 
+// ProvesCtx is Proves under a context.
+func (pv *Prover) ProvesCtx(ctx context.Context, goal datalog.Atom) (bool, error) {
+	_, ok, err := pv.ProveCtx(ctx, goal)
+	return ok, err
+}
+
 // Prove decides membership and returns the proof-tree on success.
 func (pv *Prover) Prove(goal datalog.Atom) (*ProofNode, bool, error) {
+	return pv.ProveCtx(context.Background(), goal)
+}
+
+// ProveCtx is Prove under a context: cancellation and deadlines are checked
+// at every component visit and throughout µ-enumeration, so a canceled
+// search stops within one expansion; the visit budget aborts with a typed
+// ErrVisitBudget carrying a Truncation report.
+func (pv *Prover) ProveCtx(ctx context.Context, goal datalog.Atom) (*ProofNode, bool, error) {
 	if !goal.IsConstantGround() {
 		return nil, false, fmt.Errorf("triq: goal %v must be a constant-ground atom", goal)
 	}
@@ -277,6 +331,9 @@ func (pv *Prover) Prove(goal datalog.Atom) (*ProofNode, bool, error) {
 	before := pv.Metrics()
 	sp := o.Span("prover.prove", obs.F("goal", goal.String()))
 	pv.err = nil
+	pv.ctx = ctx
+	pv.start = time.Now()
+	defer func() { pv.ctx = nil }()
 	nodes, ok := pv.proveComponent([]datalog.Atom{goal}, map[string]datalog.Atom{}, map[string]bool{})
 	if o != nil {
 		after := pv.Metrics()
@@ -317,8 +374,17 @@ func (pv *Prover) proveComponent(s []datalog.Atom, rs map[string]datalog.Atom, s
 		return nil, false
 	}
 	pv.visits++
+	if err := limits.Hit(pv.opts.Faults, "prover.expand"); err != nil {
+		pv.fail(err)
+		return nil, false
+	}
+	if pv.interrupted() {
+		return nil, false
+	}
 	if pv.visits > pv.opts.MaxVisits {
-		pv.err = fmt.Errorf("triq: proof search exceeded MaxVisits=%d", pv.opts.MaxVisits)
+		pv.fail(limits.NewError(limits.ErrVisitBudget, limits.Truncation{
+			Budget: int64(pv.opts.MaxVisits), Reached: int64(pv.visits),
+		}))
 		return nil, false
 	}
 	pv.depthNow++
@@ -337,6 +403,10 @@ func (pv *Prover) proveComponent(s []datalog.Atom, rs map[string]datalog.Atom, s
 	key, order := canonState(s, rs)
 	if pv.timing {
 		pv.m.CanonTime += time.Since(canonStart)
+	}
+	if err := limits.Hit(pv.opts.Faults, "prover.memo"); err != nil {
+		pv.fail(err)
+		return nil, false
 	}
 	if e, ok := pv.memo[key]; ok {
 		pv.m.MemoHits++
@@ -596,6 +666,12 @@ func (pv *Prover) unifyHead(pr *proverRule, a datalog.Atom) (chase.Binding, bool
 // covered exactly once). The callback returns false to stop; enumAssignments
 // reports whether enumeration ran to completion.
 func (pv *Prover) enumAssignments(pr *proverRule, base chase.Binding, idx int, s []datalog.Atom, freshUsed []datalog.Term, yield func(chase.Binding, []datalog.Term) bool) bool {
+	// A single expansion can enumerate a huge µ space; poll cancellation
+	// here (counter-gated) so a canceled search stops within the expansion
+	// instead of after it.
+	if pv.tick++; pv.tick&63 == 0 && pv.interrupted() {
+		return false
+	}
 	if idx == len(pr.unbound) {
 		return yield(base, freshUsed)
 	}

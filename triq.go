@@ -26,11 +26,13 @@
 package repro
 
 import (
+	"context"
 	"io"
 	"strings"
 
 	"repro/internal/chase"
 	"repro/internal/datalog"
+	"repro/internal/limits"
 	"repro/internal/owl"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
@@ -68,7 +70,38 @@ type (
 	Regime = translate.Regime
 	// ProofNode is a node of a proof-tree (Definition 6.11).
 	ProofNode = triq.ProofNode
+	// Truncation reports which resource limit cut an evaluation short and
+	// how far it got (see internal/limits).
+	Truncation = limits.Truncation
+	// FaultPlan is a deterministic fault-injection plan for tests and chaos
+	// drills (see internal/limits); install one via Options.Chase.Faults.
+	FaultPlan = limits.Plan
 )
+
+// Resource-governance error taxonomy. Every limit abort wraps exactly one of
+// these sentinels, so callers can dispatch with errors.Is; the full report is
+// recoverable with TruncationOf.
+var (
+	// ErrCanceled is returned when the context was canceled.
+	ErrCanceled = limits.ErrCanceled
+	// ErrDeadline is returned when the context deadline passed.
+	ErrDeadline = limits.ErrDeadline
+	// ErrFactBudget is returned when Options.Chase.MaxFacts tripped.
+	ErrFactBudget = limits.ErrFactBudget
+	// ErrRoundBudget is returned when Options.Chase.MaxRounds tripped.
+	ErrRoundBudget = limits.ErrRoundBudget
+	// ErrVisitBudget is returned when ProofOptions.MaxVisits tripped.
+	ErrVisitBudget = limits.ErrVisitBudget
+	// ErrInternal wraps a panic recovered at the public API boundary.
+	ErrInternal = limits.ErrInternal
+)
+
+// TruncationOf extracts the Truncation report from a limit error.
+func TruncationOf(err error) (*Truncation, bool) { return limits.TruncationOf(err) }
+
+// IsBudget reports whether err is a resource-budget trip (facts, rounds, or
+// visits) as opposed to cancellation, a deadline, or an internal error.
+func IsBudget(err error) bool { return limits.IsBudget(err) }
 
 // Languages of the paper.
 const (
@@ -122,6 +155,14 @@ type Results struct {
 	// Exact reports whether the evaluation provably saturated (see
 	// internal/chase.StableGround).
 	Exact bool
+	// Incomplete is true when a resource budget tripped and Tuples is the
+	// sound partial answer set derived before the abort. For positive
+	// programs every listed tuple is a certain answer; only completeness is
+	// lost. Cancellation and deadlines never degrade — they return errors.
+	Incomplete bool
+	// Truncation reports which limit tripped; non-nil exactly when
+	// Incomplete.
+	Truncation *Truncation
 }
 
 // Rows renders the tuples as strings, one row per answer.
@@ -141,15 +182,35 @@ func (r *Results) Rows() []string {
 // database τ_db(G) over the predicate triple(·,·,·), the query program is
 // validated against the language, and the answers are decoded as RDF terms.
 func Ask(g *Graph, q Query, lang Language, opts Options) (*Results, error) {
+	return AskCtx(context.Background(), g, q, lang, opts)
+}
+
+// AskCtx is Ask under a context. Cancellation and deadlines return typed
+// errors (ErrCanceled, ErrDeadline); budget trips (MaxFacts, MaxRounds)
+// degrade gracefully to a sound partial Results with Incomplete and
+// Truncation set. Panics in the engine are recovered and returned as
+// ErrInternal.
+func AskCtx(ctx context.Context, g *Graph, q Query, lang Language, opts Options) (out *Results, err error) {
+	defer limits.Recover(&err)
 	db, err := chase.FromFacts(owl.GraphToDB(g))
 	if err != nil {
 		return nil, err
 	}
-	res, err := triq.Eval(db, q, lang, opts)
+	res, err := triq.EvalCtx(ctx, db, q, lang, opts)
 	if err != nil {
 		return nil, err
 	}
-	out := &Results{Inconsistent: res.Answers.Inconsistent, Exact: res.Exact}
+	return resultsOf(res), nil
+}
+
+// resultsOf decodes a triq.Result into the facade Results.
+func resultsOf(res *triq.Result) *Results {
+	out := &Results{
+		Inconsistent: res.Answers.Inconsistent,
+		Exact:        res.Exact,
+		Incomplete:   res.Incomplete,
+		Truncation:   res.Truncation,
+	}
 	for _, tup := range res.Answers.Tuples {
 		row := make([]Term, len(tup))
 		for i, t := range tup {
@@ -157,7 +218,7 @@ func Ask(g *Graph, q Query, lang Language, opts Options) (*Results, error) {
 		}
 		out.Tuples = append(out.Tuples, row)
 	}
-	return out, nil
+	return out
 }
 
 // ParseSPARQL parses a SPARQL SELECT or CONSTRUCT query.
@@ -166,6 +227,13 @@ func ParseSPARQL(src string) (*SPARQLQuery, error) { return sparql.ParseQuery(sr
 // EvalSPARQL evaluates a SELECT query directly under the algebraic
 // semantics ⟦·⟧_G of Section 3.1.
 func EvalSPARQL(q *SPARQLQuery, g *Graph) (*MappingSet, error) { return q.Select(g) }
+
+// EvalSPARQLCtx is EvalSPARQL under a context; cancellation and deadlines
+// surface as ErrCanceled / ErrDeadline.
+func EvalSPARQLCtx(ctx context.Context, q *SPARQLQuery, g *Graph) (ms *MappingSet, err error) {
+	defer limits.Recover(&err)
+	return q.SelectCtx(ctx, g)
+}
 
 // Construct evaluates a CONSTRUCT query, producing an RDF graph.
 func Construct(q *SPARQLQuery, g *Graph) (*Graph, error) { return q.Construct(g) }
@@ -181,11 +249,20 @@ func TranslateSPARQL(p Pattern, regime Regime) (*Translation, error) {
 // AskSPARQL evaluates a SELECT query over a graph under the chosen regime by
 // translating it to a TriQ query and running the Datalog machinery.
 func AskSPARQL(q *SPARQLQuery, g *Graph, regime Regime, opts Options) (*MappingSet, bool, error) {
+	return AskSPARQLCtx(context.Background(), q, g, regime, opts)
+}
+
+// AskSPARQLCtx is AskSPARQL under a context. Budget trips degrade to a
+// sound partial MappingSet with ms.Incomplete and ms.Truncation set;
+// cancellation and deadlines return typed errors; panics are recovered as
+// ErrInternal.
+func AskSPARQLCtx(ctx context.Context, q *SPARQLQuery, g *Graph, regime Regime, opts Options) (ms *MappingSet, exact bool, err error) {
+	defer limits.Recover(&err)
 	tr, err := translate.Translate(q.Pattern(), regime)
 	if err != nil {
 		return nil, false, err
 	}
-	return tr.Evaluate(g, opts)
+	return tr.EvaluateCtx(ctx, g, opts)
 }
 
 // NewProver builds a ProofTree decision procedure (Section 6.3) for a
@@ -227,23 +304,24 @@ func TranslateConstruct(q *SPARQLQuery, regime Regime) (*translate.ConstructTran
 // correct even on programs with an infinite chase, and every answer carries
 // a proof.
 func AskExact(g *Graph, q Query, opts Options) (*Results, error) {
+	return AskExactCtx(context.Background(), g, q, opts)
+}
+
+// AskExactCtx is AskExact under a context. A visit-budget trip degrades to
+// the proof-certified partial answer set with Incomplete set (and Exact
+// cleared); cancellation and deadlines return typed errors; panics are
+// recovered as ErrInternal.
+func AskExactCtx(ctx context.Context, g *Graph, q Query, opts Options) (out *Results, err error) {
+	defer limits.Recover(&err)
 	db, err := chase.FromFacts(owl.GraphToDB(g))
 	if err != nil {
 		return nil, err
 	}
-	res, err := triq.EvalExact(db, q, opts)
+	res, err := triq.EvalExactCtx(ctx, db, q, opts)
 	if err != nil {
 		return nil, err
 	}
-	out := &Results{Inconsistent: res.Answers.Inconsistent, Exact: true}
-	for _, tup := range res.Answers.Tuples {
-		row := make([]Term, len(tup))
-		for i, t := range tup {
-			row[i] = translate.DecodeTerm(t.Name)
-		}
-		out.Tuples = append(out.Tuples, row)
-	}
-	return out, nil
+	return resultsOf(res), nil
 }
 
 // Isomorphic reports RDF graph isomorphism (equality up to blank renaming).
