@@ -24,6 +24,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -40,6 +41,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/owl"
 	"repro/internal/rdf"
+	"repro/internal/serve"
 	"repro/internal/triq"
 )
 
@@ -72,6 +74,7 @@ type config struct {
 	trace     string        // JSONL span trace file ("" = off)
 	metrics   bool          // print metrics summary to stderr
 	pprof     string        // pprof listen address ("" = off)
+	jsonOut   bool          // emit the shared JSON wire format on stdout
 }
 
 func main() {
@@ -94,6 +97,7 @@ func main() {
 	flag.StringVar(&cfg.trace, "trace", "", "write a JSONL span trace to this file")
 	flag.BoolVar(&cfg.metrics, "metrics", false, "print the per-rule chase breakdown and metrics registry to stderr")
 	flag.StringVar(&cfg.pprof, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	flag.BoolVar(&cfg.jsonOut, "json", false, "emit results (and errors) as JSON in the same wire format the triqd server uses")
 	flag.Parse()
 	ctx := context.Background()
 	if cfg.timeout > 0 {
@@ -102,6 +106,10 @@ func main() {
 		defer cancel()
 	}
 	if err := run(ctx, cfg); err != nil {
+		if cfg.jsonOut {
+			// The same failure body a triqd error response carries.
+			_ = json.NewEncoder(os.Stdout).Encode(limits.ToWire(err))
+		}
 		fmt.Fprintln(os.Stderr, "triq:", err)
 		if tr, ok := limits.TruncationOf(err); ok {
 			fmt.Fprint(os.Stderr, tr.String())
@@ -316,6 +324,26 @@ func runQuery(ctx context.Context, cfg config, db *chase.Instance, prog *datalog
 	}
 	if err != nil {
 		return err
+	}
+	if cfg.jsonOut {
+		// The same body shape a triqd 200 carries (serve.QueryResponse), so
+		// downstream tooling parses CLI and server output identically.
+		resp := serve.QueryResponse{
+			Rows:         make([]string, 0, len(res.Answers.Tuples)),
+			Inconsistent: res.Answers.Inconsistent,
+			Exact:        res.Exact,
+			Incomplete:   res.Incomplete,
+			Truncation:   res.Truncation,
+			Attempts:     1,
+		}
+		for _, tup := range res.Answers.Tuples {
+			parts := make([]string, len(tup))
+			for i, t := range tup {
+				parts[i] = t.String()
+			}
+			resp.Rows = append(resp.Rows, strings.Join(parts, " "))
+		}
+		return json.NewEncoder(os.Stdout).Encode(resp)
 	}
 	if res.Answers.Inconsistent {
 		fmt.Println("⊤ (the graph is inconsistent with the program's constraints)")

@@ -2,12 +2,16 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/limits"
 	"repro/internal/obs"
+	"repro/internal/serve"
 )
 
 func writeFile(t *testing.T, name, content string) string {
@@ -248,5 +252,76 @@ func TestCLIExitCodeContract(t *testing.T) {
 	usage := base()
 	if err := run(context.Background(), usage); err == nil || exitCode(err) != exitUsage {
 		t.Fatalf("usage: want exit %d, got %v", exitUsage, err)
+	}
+}
+
+// captureStdout redirects os.Stdout around f and returns what it wrote.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	f()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestCLIJSONOutput pins the -json contract: the stdout document is the same
+// serve.QueryResponse shape a triqd 200 carries, truncation included.
+func TestCLIJSONOutput(t *testing.T) {
+	data := writeFile(t, "g.nt", cliData)
+	prog := writeFile(t, "p.dlog", cliProgram)
+
+	cfg := base()
+	cfg.data, cfg.program = data, prog
+	cfg.jsonOut = true
+	out := captureStdout(t, func() {
+		if err := run(context.Background(), cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	var resp serve.QueryResponse
+	if err := json.Unmarshal([]byte(out), &resp); err != nil {
+		t.Fatalf("stdout is not a QueryResponse: %v\n%s", err, out)
+	}
+	if len(resp.Rows) == 0 || resp.Incomplete {
+		t.Fatalf("want complete rows, got %+v", resp)
+	}
+
+	// A budget trip mirrors the server's 200 contract: incomplete body with
+	// the truncation report, not an error document.
+	trunc := cfg
+	trunc.maxFacts = 6
+	out = captureStdout(t, func() {
+		if err := run(context.Background(), trunc); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := json.Unmarshal([]byte(out), &resp); err != nil {
+		t.Fatalf("truncated stdout: %v\n%s", err, out)
+	}
+	if !resp.Incomplete || resp.Truncation == nil {
+		t.Fatalf("want incomplete + truncation, got %+v", resp)
+	}
+	if resp.Truncation.Limit != limits.LimitFacts {
+		t.Fatalf("truncation.limit = %q, want %q", resp.Truncation.Limit, limits.LimitFacts)
+	}
+	// The wire error for hard failures round-trips through limits.WireError.
+	w := limits.ToWire(limits.NewError(limits.ErrDeadline, limits.Truncation{}))
+	buf, _ := json.Marshal(w)
+	var back limits.WireError
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(back.Err(), limits.ErrDeadline) {
+		t.Fatal("wire error lost its sentinel")
 	}
 }

@@ -8,22 +8,40 @@
 //	triqbench            # run everything
 //	triqbench -only E2   # run one experiment
 //	triqbench -json      # machine-readable BENCH JSON (tables + per-stage breakdowns)
+//
+// With -server it switches to concurrent-client mode against a running
+// triqd, reporting throughput and latency quantiles (the serving baseline
+// recorded in EXPERIMENTS.md E10):
+//
+//	triqbench -server http://localhost:8471 -parallel 8 -requests 400
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/serve"
 )
 
 func main() {
 	only := flag.String("only", "", "run a single experiment by id (T1, F1, E1 … E9)")
 	asJSON := flag.Bool("json", false, "emit the tables as JSON (with per-stage engine breakdowns) instead of markdown")
+	server := flag.String("server", "", "concurrent-client mode: base URL of a running triqd (e.g. http://localhost:8471)")
+	endpoint := flag.String("endpoint", "/query", "with -server: endpoint to hit (/query or /sparql)")
+	reqBody := flag.String("body", "", "with -server: JSON request body (default: the transport-closure program)")
+	parallel := flag.Int("parallel", 8, "with -server: number of concurrent clients")
+	requests := flag.Int("requests", 200, "with -server: total requests across all clients")
 	flag.Parse()
+
+	if *server != "" {
+		os.Exit(clientMain(*server, *endpoint, *reqBody, *parallel, *requests, *asJSON))
+	}
 
 	runners := map[string]func() *bench.Table{
 		"T1": bench.RunT1, "F1": bench.RunF1,
@@ -69,4 +87,42 @@ func main() {
 	if !*asJSON {
 		fmt.Printf("all %d experiments reproduced.\n", len(tables))
 	}
+}
+
+// defaultClientBody is the body clientMain posts when -body is empty: the
+// paper's transport-service closure as a /query request.
+const defaultClientBody = `{"program": "triple(?X, partOf, transportService) -> ts(?X). triple(?X, partOf, ?Y), ts(?Y) -> ts(?X). ts(?T), triple(?X, ?T, ?Y) -> conn(?X, ?Y). ts(?T), triple(?X, ?T, ?Z), conn(?Z, ?Y) -> conn(?X, ?Y). conn(?X, ?Y) -> query(?X, ?Y)."}`
+
+// clientMain is the concurrent-client mode: drive a running triqd and
+// report throughput + latency quantiles.
+func clientMain(server, endpoint, body string, parallel, requests int, asJSON bool) int {
+	if body == "" {
+		body = defaultClientBody
+	}
+	res, err := serve.RunLoad(context.Background(), serve.LoadConfig{
+		URL:      strings.TrimRight(server, "/") + endpoint,
+		Body:     []byte(body),
+		Parallel: parallel,
+		Requests: requests,
+		Timeout:  60 * time.Second,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "triqbench:", err)
+		return 1
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "triqbench:", err)
+			return 1
+		}
+	} else {
+		fmt.Printf("triqd load: %s %s parallel=%d\n  %s\n", server, endpoint, parallel, res)
+	}
+	if res.OK == 0 {
+		fmt.Fprintln(os.Stderr, "triqbench: no request succeeded")
+		return 1
+	}
+	return 0
 }

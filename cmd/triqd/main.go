@@ -1,0 +1,171 @@
+// Command triqd is the resilient TriQ query server: it loads an RDF graph
+// once and serves TriQ (Datalog) and SPARQL queries over HTTP with admission
+// control, load shedding, per-request deadlines, transient-fault retries,
+// per-endpoint circuit breakers, and graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	triqd -data graph.nt [-ontology o.owl] [-addr :8471] \
+//	      [-concurrency 4] [-queue 16] [-queue-timeout 1s] \
+//	      [-default-timeout 10s] [-max-timeout 60s] [-drain-timeout 15s] \
+//	      [-retries 3]
+//
+// Endpoints and the status-code contract are documented in the README
+// ("Serving") and in internal/serve. A quick check against a running
+// instance:
+//
+//	curl -s localhost:8471/readyz
+//	curl -s localhost:8471/query -d '{"program":"triple(?X, partOf, ?Y) -> query(?X, ?Y)."}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/obs"
+	"repro/internal/owl"
+	"repro/internal/rdf"
+	"repro/internal/serve"
+)
+
+// config collects the triqd flags.
+type config struct {
+	data     string // N-Triples data file (required)
+	ontology string // OWL 2 QL core ontology merged into the data
+	addr     string // listen address
+
+	concurrency  int           // evaluation slots
+	queue        int           // admission queue length
+	queueTimeout time.Duration // longest queue wait before shedding
+
+	defaultTimeout time.Duration // per-request deadline when unset
+	maxTimeout     time.Duration // cap on client-requested deadlines
+	drainTimeout   time.Duration // graceful-shutdown budget
+	retries        int           // attempts per evaluation (1 = no retries)
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.data, "data", "", "N-Triples data file (required)")
+	flag.StringVar(&cfg.ontology, "ontology", "", "OWL 2 QL core ontology file; its RDF serialization is merged into the data")
+	flag.StringVar(&cfg.addr, "addr", ":8471", "listen address")
+	flag.IntVar(&cfg.concurrency, "concurrency", 4, "concurrent evaluation slots")
+	flag.IntVar(&cfg.queue, "queue", 16, "admission queue length (0 disables queueing)")
+	flag.DurationVar(&cfg.queueTimeout, "queue-timeout", time.Second, "longest a request may queue before it is shed")
+	flag.DurationVar(&cfg.defaultTimeout, "default-timeout", 10*time.Second, "per-request evaluation deadline when the request sets none")
+	flag.DurationVar(&cfg.maxTimeout, "max-timeout", 60*time.Second, "cap on client-requested deadlines")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 15*time.Second, "graceful-shutdown budget; stragglers are canceled when it expires")
+	flag.IntVar(&cfg.retries, "retries", 3, "evaluation attempts per request (1 disables retrying)")
+	flag.Parse()
+	os.Exit(realMain(cfg))
+}
+
+func realMain(cfg config) int {
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "triqd:", err)
+		return 1
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	if err := run(context.Background(), cfg, ln, stop); err != nil {
+		fmt.Fprintln(os.Stderr, "triqd:", err)
+		return 1
+	}
+	return 0
+}
+
+// loadGraph reads the dataset (and optional ontology) from disk.
+func loadGraph(cfg config) (*repro.Graph, error) {
+	f, err := os.Open(cfg.data)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := rdf.ParseNTriples(f)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ontology != "" {
+		src, err := os.ReadFile(cfg.ontology)
+		if err != nil {
+			return nil, err
+		}
+		onto, err := owl.ParseOntology(string(src))
+		if err != nil {
+			return nil, err
+		}
+		g.AddGraph(onto.ToGraph())
+	}
+	return g, nil
+}
+
+// run serves until the context dies, a signal arrives, or the listener
+// fails; then it drains gracefully. Tests drive it directly with a loopback
+// listener and a fake signal channel.
+func run(ctx context.Context, cfg config, ln net.Listener, stop <-chan os.Signal) error {
+	if cfg.data == "" {
+		ln.Close()
+		return errors.New("-data is required")
+	}
+	queue := cfg.queue
+	if queue == 0 {
+		queue = -1 // AdmissionConfig semantics: negative disables queueing
+	}
+	srv := serve.New(serve.Config{
+		Admission: serve.AdmissionConfig{
+			MaxConcurrent: cfg.concurrency,
+			MaxQueue:      queue,
+			QueueTimeout:  cfg.queueTimeout,
+		},
+		Retry:          serve.RetryConfig{MaxAttempts: cfg.retries},
+		DefaultTimeout: cfg.defaultTimeout,
+		MaxTimeout:     cfg.maxTimeout,
+		Obs:            obs.New(),
+	})
+
+	// The graph loads before the listener answers ready: /readyz is 503
+	// until SetGraph, so a rolling deploy doesn't route traffic here early.
+	g, err := loadGraph(cfg)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	srv.SetGraph(g)
+	fmt.Fprintf(os.Stderr, "triqd: %d triples loaded, listening on %s\n", g.Len(), ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	case <-stop:
+		fmt.Fprintln(os.Stderr, "triqd: signal received, draining")
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "triqd: context done, draining")
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- hs.Shutdown(dctx) }() // stop accepting now
+	if err := srv.Drain(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "triqd:", err)
+	}
+	if err := <-shutdownDone; err != nil {
+		hs.Close()
+	}
+	fmt.Fprintln(os.Stderr, "triqd: drained, bye")
+	return nil
+}

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+const testData = `
+TheAirline partOf transportService .
+A311 partOf TheAirline .
+Oxford A311 London .
+`
+
+const testProgram = `
+	triple(?X, partOf, transportService) -> ts(?X).
+	triple(?X, partOf, ?Y), ts(?Y) -> ts(?X).
+	ts(?X) -> query(?X).
+`
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// startTriqd runs the server loop on a loopback listener and returns its
+// base URL, the fake signal channel, and the run error channel.
+func startTriqd(t *testing.T, cfg config) (string, chan os.Signal, chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(context.Background(), cfg, ln, stop) }()
+	return "http://" + ln.Addr().String(), stop, done
+}
+
+func waitReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never became ready")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestTriqdServeQueryDrain is the full lifecycle smoke test: start, wait
+// ready, query, signal, assert a clean drain.
+func TestTriqdServeQueryDrain(t *testing.T) {
+	cfg := config{
+		data:           writeFile(t, "g.nt", testData),
+		concurrency:    2,
+		queue:          4,
+		queueTimeout:   time.Second,
+		defaultTimeout: 5 * time.Second,
+		maxTimeout:     10 * time.Second,
+		drainTimeout:   5 * time.Second,
+		retries:        3,
+	}
+	base, stop, done := startTriqd(t, cfg)
+	waitReady(t, base)
+
+	body, _ := json.Marshal(map[string]string{"program": testProgram})
+	resp, err := http.Post(base+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d, body %s", resp.StatusCode, raw)
+	}
+	var qr struct {
+		Rows []string `json:"rows"`
+	}
+	if err := json.Unmarshal(raw, &qr); err != nil || len(qr.Rows) != 2 {
+		t.Fatalf("rows = %v (err %v), want 2", qr.Rows, err)
+	}
+
+	// SPARQL endpoint over the same graph.
+	body, _ = json.Marshal(map[string]string{"query": "SELECT ?x WHERE { ?x partOf TheAirline }"})
+	resp, err = http.Post(base+"/sparql", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sparql status = %d", resp.StatusCode)
+	}
+
+	// Graceful drain on signal: run returns nil within the drain budget.
+	stop <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want clean exit", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain did not complete in time")
+	}
+	// The listener is really closed.
+	if resp, err := http.Get(base + "/healthz"); err == nil {
+		resp.Body.Close()
+		t.Fatal("server still answering after drain")
+	}
+}
+
+func TestTriqdRequiresData(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), config{}, ln, make(chan os.Signal)); err == nil {
+		t.Fatal("want an error without -data")
+	}
+	badPath := config{data: filepath.Join(t.TempDir(), "missing.nt")}
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), badPath, ln2, make(chan os.Signal)); err == nil {
+		t.Fatal("want an error for a missing data file")
+	}
+}
+
+// TestTriqdContextStop checks the ctx-driven shutdown path used when triqd
+// is embedded (and by this test harness).
+func TestTriqdContextStop(t *testing.T) {
+	cfg := config{
+		data:         writeFile(t, "g.nt", testData),
+		drainTimeout: 2 * time.Second,
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, cfg, ln, make(chan os.Signal)) }()
+	waitReady(t, "http://"+ln.Addr().String())
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ctx cancel did not stop the server")
+	}
+}
+
+// TestTriqdOntologyFlag boots with an ontology merged into the data.
+func TestTriqdOntologyFlag(t *testing.T) {
+	cfg := config{
+		data:         writeFile(t, "g.nt", "rex rdf:type dog .\n"),
+		ontology:     writeFile(t, "o.owl", "SubClassOf(dog, animal)\n"),
+		drainTimeout: 2 * time.Second,
+	}
+	base, stop, done := startTriqd(t, cfg)
+	waitReady(t, base)
+	body, _ := json.Marshal(map[string]string{
+		"query":  "SELECT ?x WHERE { ?x rdf:type animal }",
+		"regime": "active-domain",
+	})
+	resp, err := http.Post(base+"/sparql", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, raw)
+	}
+	var qr struct {
+		Rows []string `json:"rows"`
+	}
+	if err := json.Unmarshal(raw, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Rows) != 1 {
+		t.Fatalf("rows = %v, want rex entailed as an animal", qr.Rows)
+	}
+	stop <- os.Interrupt
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

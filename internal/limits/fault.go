@@ -36,8 +36,16 @@ type Fault struct {
 	// Point is the site name, e.g. "chase.round".
 	Point string
 	// After skips the first After hits of the site; the fault fires on every
-	// hit from the After+1-th on.
+	// hit from the After+1-th on (subject to Every and Times).
 	After int
+	// Every makes the fault intermittent: when > 1 it fires only on every
+	// Every-th eligible hit (hits past After). 0 or 1 fires on every eligible
+	// hit. Intermittent faults model transient failures — the kind a serving
+	// layer is expected to absorb by retrying.
+	Every int
+	// Times caps how often the fault fires; 0 means no cap. Times=1 yields a
+	// fail-once-then-recover fault, the canonical retry test case.
+	Times int
 	// Action selects error / panic / hook.
 	Action Action
 	// Err overrides the injected error for ActError (default: a typed
@@ -56,8 +64,9 @@ type Plan struct {
 }
 
 type armedFault struct {
-	f    Fault
-	hits int
+	f     Fault
+	hits  int
+	fired int
 }
 
 // NewPlan builds a plan with the given faults armed.
@@ -99,10 +108,19 @@ func (p *Plan) Check(point string) error {
 	var fire []*Fault
 	for _, a := range p.armed[point] {
 		a.hits++
-		if a.hits > a.f.After {
-			p.fires++
-			fire = append(fire, &a.f)
+		eligible := a.hits - a.f.After
+		if eligible <= 0 {
+			continue
 		}
+		if a.f.Every > 1 && eligible%a.f.Every != 0 {
+			continue
+		}
+		if a.f.Times > 0 && a.fired >= a.f.Times {
+			continue
+		}
+		a.fired++
+		p.fires++
+		fire = append(fire, &a.f)
 	}
 	p.mu.Unlock()
 	for _, f := range fire {
@@ -162,10 +180,13 @@ func SetGlobal(p *Plan) (restore func()) {
 }
 
 // ParsePlan parses the TRIQ_FAULTS syntax: comma-separated entries of the
-// form "point=action" or "point@N=action" where action is "error" or
-// "panic" and N is the number of hits to skip first, e.g.
+// form "point=action", "point@N=action", or "point%M=action" (combinable as
+// "point@N%M=action") where action is "error" or "panic", N is the number of
+// hits to skip first, and M makes the fault intermittent — it fires only on
+// every M-th eligible hit, e.g.
 //
 //	TRIQ_FAULTS="chase.round@3=error,prover.expand=panic"
+//	TRIQ_FAULTS="chase.rule%997=error"   # transient: one failure per 997 hits
 //
 // (Hooks are code, not syntax, so they cannot be armed from the
 // environment.)
@@ -178,10 +199,18 @@ func ParsePlan(spec string) (*Plan, error) {
 		}
 		site, action, ok := strings.Cut(entry, "=")
 		if !ok {
-			return nil, fmt.Errorf("limits: fault entry %q: want point[@N]=action", entry)
+			return nil, fmt.Errorf("limits: fault entry %q: want point[@N][%%M]=action", entry)
 		}
 		f := Fault{Point: site}
-		if point, after, hasAt := strings.Cut(site, "@"); hasAt {
+		if point, every, hasPct := strings.Cut(f.Point, "%"); hasPct {
+			m, err := strconv.Atoi(every)
+			if err != nil || m < 1 {
+				return nil, fmt.Errorf("limits: fault entry %q: bad every count %q", entry, every)
+			}
+			f.Point = point
+			f.Every = m
+		}
+		if point, after, hasAt := strings.Cut(f.Point, "@"); hasAt {
 			n, err := strconv.Atoi(after)
 			if err != nil || n < 0 {
 				return nil, fmt.Errorf("limits: fault entry %q: bad hit count %q", entry, after)

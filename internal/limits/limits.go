@@ -99,39 +99,44 @@ func kindFor(limit string) error {
 }
 
 // RuleStat is the per-rule slice of a Truncation: how much work each rule of
-// the aborted chase had done when the limit tripped.
+// the aborted chase had done when the limit tripped. The JSON field names are
+// part of the wire format shared by the triqd server and the CLI -json modes;
+// treat them as frozen.
 type RuleStat struct {
 	// Index is the rule's position in stratum evaluation order.
-	Index int
+	Index int `json:"index"`
 	// Rule is the rule's source rendering.
-	Rule              string
-	TriggersAttempted int
-	TriggersFired     int
-	FactsDerived      int
+	Rule              string `json:"rule"`
+	TriggersAttempted int    `json:"triggers_attempted"`
+	TriggersFired     int    `json:"triggers_fired"`
+	FactsDerived      int    `json:"facts_derived"`
 }
 
 // Truncation reports what limit cut an evaluation short and how far the
 // evaluation got. It rides on every *Error and is surfaced to callers of the
 // degrading entry points through the Incomplete/Truncation result fields.
+// The JSON field names are part of the wire format shared by the triqd server
+// and the CLI -json modes; treat them as frozen. Elapsed serializes as
+// nanoseconds (Go's time.Duration integer form), so the report round-trips.
 type Truncation struct {
 	// Limit names the limit that tripped (one of the Limit* constants).
-	Limit string
+	Limit string `json:"limit"`
 	// Budget is the configured limit value (facts, rounds, visits, or the
 	// deadline in nanoseconds), 0 when not applicable.
-	Budget int64
+	Budget int64 `json:"budget,omitempty"`
 	// Reached is the value observed when the limit tripped.
-	Reached int64
+	Reached int64 `json:"reached,omitempty"`
 	// Rounds is the number of chase rounds completed or started.
-	Rounds int
+	Rounds int `json:"rounds,omitempty"`
 	// Facts is the instance size (database + derived) at abort.
-	Facts int
+	Facts int `json:"facts,omitempty"`
 	// Visits is the number of proof-search component visits at abort.
-	Visits int
+	Visits int `json:"visits,omitempty"`
 	// Elapsed is the wall-clock time spent before the abort.
-	Elapsed time.Duration
+	Elapsed time.Duration `json:"elapsed_ns,omitempty"`
 	// PerRule breaks the aborted chase down by rule (empty for prover
 	// aborts).
-	PerRule []RuleStat
+	PerRule []RuleStat `json:"per_rule,omitempty"`
 }
 
 // Err packages the truncation back into a typed *Error whose sentinel

@@ -1,0 +1,61 @@
+package limits
+
+import "errors"
+
+// This file defines the JSON wire form of the error taxonomy. The triqd
+// server error bodies and the CLI -json modes both emit a WireError, so a
+// client can dispatch on the same limit names (Truncation.Limit constants)
+// regardless of which surface produced the error, and can reconstruct a
+// typed error — errors.Is against the sentinels keeps working — from the
+// decoded form.
+
+// WireError is the JSON rendering of an engine error. For typed limits
+// errors Limit holds the taxonomy name and Truncation the progress report;
+// for untyped errors only Error is set. The field names are frozen.
+type WireError struct {
+	// Error is the human-readable message.
+	Error string `json:"error"`
+	// Limit is the taxonomy name (one of the Limit* constants), empty for
+	// errors outside the taxonomy.
+	Limit string `json:"limit,omitempty"`
+	// Truncation is the progress report attached to the abort, when any.
+	Truncation *Truncation `json:"truncation,omitempty"`
+}
+
+// ToWire renders an error in the wire form. A nil error yields the zero
+// WireError.
+func ToWire(err error) WireError {
+	if err == nil {
+		return WireError{}
+	}
+	w := WireError{Error: err.Error(), Limit: LimitName(err)}
+	if tr, ok := TruncationOf(err); ok {
+		t := *tr
+		w.Truncation = &t
+		if w.Limit == "" {
+			w.Limit = tr.Limit
+		}
+	}
+	return w
+}
+
+// Err reconstructs a typed error from the wire form: when Limit names a
+// taxonomy sentinel the result wraps it (errors.Is matches and TruncationOf
+// recovers the report); otherwise a plain error with the message is
+// returned. A zero WireError yields nil.
+func (w WireError) Err() error {
+	if w.Error == "" && w.Limit == "" && w.Truncation == nil {
+		return nil
+	}
+	if w.Limit == "" {
+		return errors.New(w.Error)
+	}
+	t := Truncation{Limit: w.Limit}
+	if w.Truncation != nil {
+		t = *w.Truncation
+		if t.Limit == "" {
+			t.Limit = w.Limit
+		}
+	}
+	return NewError(kindFor(w.Limit), t)
+}

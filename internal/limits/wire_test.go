@@ -1,0 +1,156 @@
+package limits
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestWireErrorRoundTrip pins the wire format: a typed limits error survives
+// error → WireError → JSON → WireError → error with its sentinel (errors.Is)
+// and its full Truncation report intact.
+func TestWireErrorRoundTrip(t *testing.T) {
+	orig := NewError(ErrFactBudget, Truncation{
+		Budget:  1000,
+		Reached: 1000,
+		Rounds:  7,
+		Facts:   1000,
+		Elapsed: 1500 * time.Microsecond,
+		PerRule: []RuleStat{{
+			Index: 2, Rule: "a(?X) -> b(?X).",
+			TriggersAttempted: 40, TriggersFired: 12, FactsDerived: 12,
+		}},
+	})
+
+	buf, err := json.Marshal(ToWire(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w WireError
+	if err := json.Unmarshal(buf, &w); err != nil {
+		t.Fatal(err)
+	}
+	back := w.Err()
+	if !errors.Is(back, ErrFactBudget) {
+		t.Fatalf("round-trip lost the sentinel: %v", back)
+	}
+	tr, ok := TruncationOf(back)
+	if !ok {
+		t.Fatal("round-trip lost the Truncation report")
+	}
+	if !reflect.DeepEqual(*tr, orig.Trunc) {
+		t.Fatalf("truncation mismatch:\n got %+v\nwant %+v", *tr, orig.Trunc)
+	}
+}
+
+// TestWireErrorStableFieldNames pins the JSON key names: they are the shared
+// contract between triqd error bodies and the CLI -json output.
+func TestWireErrorStableFieldNames(t *testing.T) {
+	w := ToWire(NewError(ErrDeadline, Truncation{
+		Rounds: 1, Facts: 2, Visits: 3, Elapsed: time.Millisecond,
+		PerRule: []RuleStat{{Rule: "r", TriggersAttempted: 1, TriggersFired: 1, FactsDerived: 1}},
+	}))
+	buf, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["limit"] != LimitDeadline {
+		t.Fatalf("limit field: got %v", m["limit"])
+	}
+	tr, ok := m["truncation"].(map[string]any)
+	if !ok {
+		t.Fatalf("truncation field missing: %v", m)
+	}
+	for _, key := range []string{"limit", "rounds", "facts", "visits", "elapsed_ns", "per_rule"} {
+		if _, ok := tr[key]; !ok {
+			t.Errorf("truncation.%s missing (got %v)", key, tr)
+		}
+	}
+	rules, ok := tr["per_rule"].([]any)
+	if !ok || len(rules) != 1 {
+		t.Fatalf("per_rule: got %v", tr["per_rule"])
+	}
+	rule := rules[0].(map[string]any)
+	for _, key := range []string{"index", "rule", "triggers_attempted", "triggers_fired", "facts_derived"} {
+		if _, ok := rule[key]; !ok {
+			t.Errorf("per_rule[0].%s missing (got %v)", key, rule)
+		}
+	}
+}
+
+// TestWireErrorUntyped checks that non-taxonomy errors survive with their
+// message and no limit name, and that nil maps to the zero value and back.
+func TestWireErrorUntyped(t *testing.T) {
+	w := ToWire(errors.New("boom"))
+	if w.Limit != "" || w.Error != "boom" {
+		t.Fatalf("got %+v", w)
+	}
+	if got := w.Err(); got == nil || got.Error() != "boom" {
+		t.Fatalf("got %v", got)
+	}
+	if got := ToWire(nil).Err(); got != nil {
+		t.Fatalf("nil round-trip: got %v", got)
+	}
+}
+
+// TestFaultEvery checks intermittent firing: After skips, then every M-th
+// eligible hit fires.
+func TestFaultEvery(t *testing.T) {
+	p := NewPlan(Fault{Point: "x", After: 2, Every: 3})
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if p.Check("x") != nil {
+			fired = append(fired, i)
+		}
+	}
+	// Eligible hits are 3..12 (skip 2); every 3rd eligible hit fires: 5, 8, 11.
+	want := []int{5, 8, 11}
+	if !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired on hits %v, want %v", fired, want)
+	}
+}
+
+// TestFaultTimes checks the fire cap: a Times=1 fault fails once and then
+// recovers — the canonical transient fault a retrying caller absorbs.
+func TestFaultTimes(t *testing.T) {
+	p := NewPlan(Fault{Point: "x", Times: 1})
+	if p.Check("x") == nil {
+		t.Fatal("first hit should fire")
+	}
+	for i := 0; i < 5; i++ {
+		if p.Check("x") != nil {
+			t.Fatal("capped fault fired again")
+		}
+	}
+	if p.Fires() != 1 {
+		t.Fatalf("fires = %d, want 1", p.Fires())
+	}
+}
+
+// TestParsePlanEvery pins the %M spec syntax, alone and combined with @N.
+func TestParsePlanEvery(t *testing.T) {
+	p, err := ParsePlan("a%4=error, b@2%3=panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aFired []int
+	for i := 1; i <= 8; i++ {
+		if p.Check("a") != nil {
+			aFired = append(aFired, i)
+		}
+	}
+	if want := []int{4, 8}; !reflect.DeepEqual(aFired, want) {
+		t.Fatalf("a fired on %v, want %v", aFired, want)
+	}
+	for _, bad := range []string{"a%0=error", "a%x=error", "a%-1=panic"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q): expected error", bad)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionImmediateSlots(t *testing.T) {
+	a := newAdmission(AdmissionConfig{MaxConcurrent: 2, MaxQueue: 1, QueueTimeout: time.Second})
+	r1, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.inflight(); got != 2 {
+		t.Fatalf("inflight = %d, want 2", got)
+	}
+	r1()
+	r2()
+	if got := a.inflight(); got != 0 {
+		t.Fatalf("inflight after release = %d, want 0", got)
+	}
+}
+
+func TestAdmissionQueueFullSheds(t *testing.T) {
+	a := newAdmission(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 1, QueueTimeout: time.Second})
+	release, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	// One waiter fills the queue.
+	waiterErr := make(chan error, 1)
+	go func() {
+		r, err := a.acquire(context.Background())
+		if r != nil {
+			defer r()
+		}
+		waiterErr <- err
+	}()
+	// Wait until it is actually queued.
+	for i := 0; a.depth() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if a.depth() != 1 {
+		t.Fatal("waiter never queued")
+	}
+
+	// The next request must shed immediately.
+	t0 := time.Now()
+	_, err = a.acquire(context.Background())
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	if since := time.Since(t0); since > 100*time.Millisecond {
+		t.Fatalf("queue-full shed took %s; must be immediate", since)
+	}
+
+	release()
+	if err := <-waiterErr; err != nil {
+		t.Fatalf("queued waiter should have inherited the slot: %v", err)
+	}
+}
+
+func TestAdmissionQueueTimeout(t *testing.T) {
+	a := newAdmission(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 4, QueueTimeout: 30 * time.Millisecond})
+	release, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	t0 := time.Now()
+	_, err = a.acquire(context.Background())
+	if !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("want ErrQueueTimeout, got %v", err)
+	}
+	if waited := time.Since(t0); waited < 25*time.Millisecond {
+		t.Fatalf("shed after only %s; must wait the queue deadline", waited)
+	}
+	// The abandoned waiter must not leak queue capacity.
+	if a.depth() != 1 { // still recorded until a release sweeps it
+		t.Logf("queue depth after timeout: %d", a.depth())
+	}
+	release()
+	if got := a.inflight(); got != 0 {
+		t.Fatalf("inflight after sweeping release = %d, want 0", got)
+	}
+}
+
+func TestAdmissionContextCancelWhileQueued(t *testing.T) {
+	a := newAdmission(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 4, QueueTimeout: time.Second})
+	release, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(ctx)
+		errCh <- err
+	}()
+	for i := 0; a.depth() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestAdmissionFIFOHandoff checks that released slots go to the
+// longest-waiting request, not the newest.
+func TestAdmissionFIFOHandoff(t *testing.T) {
+	a := newAdmission(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 8, QueueTimeout: time.Second})
+	release, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const waiters = 4
+	order := make(chan int, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := a.acquire(context.Background())
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			order <- i
+			r()
+		}()
+		// Serialize enqueue order.
+		for a.depth() != i+1 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	release()
+	wg.Wait()
+	close(order)
+	want := 0
+	for got := range order {
+		if got != want {
+			t.Fatalf("handoff order: got waiter %d before waiter %d", got, want)
+		}
+		want++
+	}
+}
+
+// TestAdmissionStress hammers the pool and checks the slot invariant holds.
+func TestAdmissionStress(t *testing.T) {
+	a := newAdmission(AdmissionConfig{MaxConcurrent: 3, MaxQueue: 8, QueueTimeout: 20 * time.Millisecond})
+	var running, peak, violations int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := a.acquire(context.Background())
+			if err != nil {
+				return // shed is fine under stress
+			}
+			mu.Lock()
+			running++
+			if running > peak {
+				peak = running
+			}
+			if running > 3 {
+				violations++
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			running--
+			mu.Unlock()
+			release()
+		}()
+	}
+	wg.Wait()
+	if violations > 0 {
+		t.Fatalf("%d concurrency violations (peak %d > MaxConcurrent 3)", violations, peak)
+	}
+	if a.inflight() != 0 {
+		t.Fatalf("slots leaked: inflight = %d", a.inflight())
+	}
+}

@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// A circuit breaker per endpoint keeps a persistently failing evaluation
+// path from burning evaluation slots on requests that will fail anyway.
+// Standard three-state machine:
+//
+//	closed    — outcomes are recorded in a sliding window; when the window
+//	            holds enough samples and the failure ratio crosses the
+//	            threshold, the breaker opens.
+//	open      — every request is shed (ErrBreakerOpen) until OpenFor has
+//	            elapsed, then the breaker moves to half-open.
+//	half-open — up to HalfOpenProbes requests are let through as probes; one
+//	            failed probe reopens the breaker, a full set of successful
+//	            probes closes it and resets the window.
+//
+// Only failures the server itself caused count toward the ratio — internal
+// errors and deadline blowouts. Shed requests never reach the breaker, and
+// client errors (400s) and graceful truncation record as successes.
+
+// BreakerConfig tunes the circuit breaker.
+type BreakerConfig struct {
+	// Disabled turns the breaker off entirely (every Allow succeeds).
+	Disabled bool
+	// Window is the sliding outcome window size (default 32).
+	Window int
+	// MinSamples is the minimum number of recorded outcomes before the
+	// breaker may trip (default 8).
+	MinSamples int
+	// FailureRatio opens the breaker when failures/window ≥ ratio
+	// (default 0.5).
+	FailureRatio float64
+	// OpenFor is how long the breaker stays open before probing
+	// (default 2s). It doubles on every consecutive reopen, capped at 8×.
+	OpenFor time.Duration
+	// HalfOpenProbes is how many successful probes close the breaker
+	// (default 2).
+	HalfOpenProbes int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 32
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 8
+	}
+	if c.FailureRatio <= 0 || c.FailureRatio > 1 {
+		c.FailureRatio = 0.5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 2 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 2
+	}
+	return c
+}
+
+type breakerState int
+
+const (
+	stClosed breakerState = iota
+	stOpen
+	stHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case stOpen:
+		return "open"
+	case stHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is one endpoint's circuit breaker. The clock is injectable so the
+// state machine is testable without sleeping.
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    breakerState
+	ring     []bool // true = failure
+	idx      int
+	filled   int
+	failures int
+	openedAt time.Time
+	reopens  int // consecutive open transitions, for backoff of OpenFor
+	probes   int // probes admitted in half-open
+	probeOK  int // successful probes in half-open
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	cfg = cfg.withDefaults()
+	return &breaker{cfg: cfg, now: time.Now, ring: make([]bool, cfg.Window)}
+}
+
+// allow asks the breaker whether a request may proceed. It returns a done
+// callback to report the outcome (done(false) = server-fault failure), or
+// ErrBreakerOpen. done is nil exactly when err is non-nil.
+func (b *breaker) allow() (done func(failure bool), err error) {
+	if b == nil || b.cfg.Disabled {
+		return func(bool) {}, nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stOpen:
+		if b.now().Sub(b.openedAt) < b.openFor() {
+			return nil, ErrBreakerOpen
+		}
+		b.state = stHalfOpen
+		b.probes, b.probeOK = 0, 0
+		fallthrough
+	case stHalfOpen:
+		if b.probes >= b.cfg.HalfOpenProbes {
+			return nil, ErrBreakerOpen
+		}
+		b.probes++
+		return b.recordProbe, nil
+	default:
+		return b.record, nil
+	}
+}
+
+// openFor is the current open interval: the configured OpenFor doubled per
+// consecutive reopen, capped at 8×. Called under b.mu.
+func (b *breaker) openFor() time.Duration {
+	d := b.cfg.OpenFor
+	for i := 1; i < b.reopens && d < 8*b.cfg.OpenFor; i++ {
+		d *= 2
+	}
+	if d > 8*b.cfg.OpenFor {
+		d = 8 * b.cfg.OpenFor
+	}
+	return d
+}
+
+// record folds a closed-state outcome into the window and trips the breaker
+// when the failure ratio crosses the threshold.
+func (b *breaker) record(failure bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != stClosed {
+		// A stale outcome from before a transition; half-open accounting is
+		// handled by recordProbe.
+		return
+	}
+	if b.filled == len(b.ring) && b.ring[b.idx] {
+		b.failures--
+	}
+	b.ring[b.idx] = failure
+	b.idx = (b.idx + 1) % len(b.ring)
+	if b.filled < len(b.ring) {
+		b.filled++
+	}
+	if failure {
+		b.failures++
+	}
+	if b.filled >= b.cfg.MinSamples &&
+		float64(b.failures) >= b.cfg.FailureRatio*float64(b.filled) {
+		b.trip()
+	}
+}
+
+// recordProbe folds a half-open probe outcome: any failure reopens, a full
+// set of successes closes and resets the window.
+func (b *breaker) recordProbe(failure bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != stHalfOpen {
+		return
+	}
+	if failure {
+		b.trip()
+		return
+	}
+	b.probeOK++
+	if b.probeOK >= b.cfg.HalfOpenProbes {
+		b.state = stClosed
+		b.reopens = 0
+		b.reset()
+	}
+}
+
+// trip opens the breaker and clears the window. Called under b.mu.
+func (b *breaker) trip() {
+	b.state = stOpen
+	b.openedAt = b.now()
+	b.reopens++
+	b.reset()
+}
+
+// reset clears the outcome window. Called under b.mu.
+func (b *breaker) reset() {
+	for i := range b.ring {
+		b.ring[i] = false
+	}
+	b.idx, b.filled, b.failures = 0, 0, 0
+}
+
+// snapshot reports the state name (for /metrics).
+func (b *breaker) snapshot() string {
+	if b == nil || b.cfg.Disabled {
+		return "disabled"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}

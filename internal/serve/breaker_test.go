@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestBreaker(cfg BreakerConfig) (*breaker, *fakeClock) {
+	b := newBreaker(cfg)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+func mustAllow(t *testing.T, b *breaker) func(bool) {
+	t.Helper()
+	done, err := b.allow()
+	if err != nil {
+		t.Fatalf("allow: %v (state %s)", err, b.snapshot())
+	}
+	return done
+}
+
+func TestBreakerOpensOnFailureRatio(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{Window: 8, MinSamples: 4, FailureRatio: 0.5, OpenFor: time.Second, HalfOpenProbes: 1})
+	// Three failures out of four samples: 0.75 ≥ 0.5 → open.
+	mustAllow(t, b)(false)
+	mustAllow(t, b)(true)
+	mustAllow(t, b)(true)
+	if b.snapshot() == "open" {
+		t.Fatal("breaker tripped before MinSamples")
+	}
+	mustAllow(t, b)(true)
+	if got := b.snapshot(); got != "open" {
+		t.Fatalf("state = %s, want open", got)
+	}
+	if _, err := b.allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker must shed, got %v", err)
+	}
+}
+
+func TestBreakerHalfOpenThenCloses(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{Window: 8, MinSamples: 2, FailureRatio: 0.5, OpenFor: time.Second, HalfOpenProbes: 2})
+	mustAllow(t, b)(true)
+	mustAllow(t, b)(true)
+	if got := b.snapshot(); got != "open" {
+		t.Fatalf("state = %s, want open", got)
+	}
+
+	// Before OpenFor elapses: still shedding.
+	clk.advance(500 * time.Millisecond)
+	if _, err := b.allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("breaker probed too early: %v", err)
+	}
+
+	// After OpenFor: exactly HalfOpenProbes probes pass, the rest shed.
+	clk.advance(600 * time.Millisecond)
+	p1 := mustAllow(t, b)
+	p2 := mustAllow(t, b)
+	if _, err := b.allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("breaker admitted more than HalfOpenProbes probes: %v", err)
+	}
+	p1(false)
+	if got := b.snapshot(); got != "half-open" {
+		t.Fatalf("state after one good probe = %s, want half-open", got)
+	}
+	p2(false)
+	if got := b.snapshot(); got != "closed" {
+		t.Fatalf("state after full probe set = %s, want closed", got)
+	}
+	mustAllow(t, b)(false) // closed again: traffic flows
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{Window: 8, MinSamples: 2, FailureRatio: 0.5, OpenFor: time.Second, HalfOpenProbes: 1})
+	mustAllow(t, b)(true)
+	mustAllow(t, b)(true)
+	clk.advance(1100 * time.Millisecond)
+	probe := mustAllow(t, b)
+	probe(true)
+	if got := b.snapshot(); got != "open" {
+		t.Fatalf("state after failed probe = %s, want open", got)
+	}
+	// Reopen backs off: 1s was not enough the second time (OpenFor doubled).
+	clk.advance(1100 * time.Millisecond)
+	if _, err := b.allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("reopened breaker must back off longer than the first open")
+	}
+	clk.advance(time.Second)
+	if done, err := b.allow(); err != nil {
+		t.Fatalf("probe after backoff: %v", err)
+	} else {
+		done(false)
+	}
+	if got := b.snapshot(); got != "closed" {
+		t.Fatalf("state = %s, want closed", got)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(BreakerConfig{Disabled: true})
+	for i := 0; i < 100; i++ {
+		done, err := b.allow()
+		if err != nil {
+			t.Fatal(err)
+		}
+		done(true)
+	}
+	if got := b.snapshot(); got != "disabled" {
+		t.Fatalf("state = %s, want disabled", got)
+	}
+}

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// loadgen drives a running triqd from N parallel clients and reports
+// throughput and latency quantiles. cmd/triqbench -server/-parallel wraps
+// RunLoad; the serve tests use it as a miniature soak client.
+
+// LoadConfig describes one load run.
+type LoadConfig struct {
+	// URL is the endpoint to POST, e.g. http://127.0.0.1:8471/query.
+	URL string
+	// Body is the JSON request body every client sends.
+	Body []byte
+	// Parallel is the number of concurrent clients (default 4).
+	Parallel int
+	// Requests is the total number of requests across all clients
+	// (default 100).
+	Requests int
+	// Timeout bounds each individual HTTP request (default 30s).
+	Timeout time.Duration
+}
+
+// LoadResult aggregates a load run.
+type LoadResult struct {
+	// Total / OK / Shed / Failed partition the requests: 200s, 503s, and
+	// everything else (including transport errors).
+	Total, OK, Shed, Failed int
+	// Elapsed is the wall-clock span of the run.
+	Elapsed time.Duration
+	// Throughput is requests per second over the run.
+	Throughput float64
+	// P50/P95/P99 are latency quantiles over all requests.
+	P50, P95, P99 time.Duration
+}
+
+func (r *LoadResult) String() string {
+	return fmt.Sprintf("total=%d ok=%d shed=%d failed=%d elapsed=%s throughput=%.1f req/s p50=%s p95=%s p99=%s",
+		r.Total, r.OK, r.Shed, r.Failed, r.Elapsed.Round(time.Millisecond), r.Throughput,
+		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond))
+}
+
+// RunLoad fires cfg.Requests POSTs at cfg.URL from cfg.Parallel goroutines
+// and aggregates outcomes. Shed (503) responses are expected under overload
+// and counted separately from failures.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
+	if cfg.Parallel <= 0 {
+		cfg.Parallel = 4
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 100
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	client := &http.Client{Timeout: cfg.Timeout}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		res       LoadResult
+	)
+	jobs := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range jobs {
+				t0 := time.Now()
+				status, err := post(ctx, client, cfg.URL, cfg.Body)
+				lat := time.Since(t0)
+				mu.Lock()
+				res.Total++
+				latencies = append(latencies, lat)
+				switch {
+				case err == nil && status == http.StatusOK:
+					res.OK++
+				case err == nil && status == http.StatusServiceUnavailable:
+					res.Shed++
+				default:
+					res.Failed++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < cfg.Requests; i++ {
+		select {
+		case jobs <- struct{}{}:
+		case <-ctx.Done():
+			i = cfg.Requests
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	res.Elapsed = time.Since(start)
+	if res.Elapsed > 0 {
+		res.Throughput = float64(res.Total) / res.Elapsed.Seconds()
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	res.P50 = quantileDur(latencies, 0.50)
+	res.P95 = quantileDur(latencies, 0.95)
+	res.P99 = quantileDur(latencies, 0.99)
+	if res.Total == 0 {
+		return &res, ctx.Err()
+	}
+	return &res, nil
+}
+
+func post(ctx context.Context, client *http.Client, url string, body []byte) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// quantileDur picks the q-th quantile of a sorted slice (nearest-rank).
+func quantileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

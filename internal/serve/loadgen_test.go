@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestRunLoadAgainstServer drives the load generator at a live handler with
+// a tight admission bound, checking the partition (ok + shed + failed =
+// total) and that quantiles come back sane.
+func TestRunLoadAgainstServer(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{
+		Admission: AdmissionConfig{MaxConcurrent: 2, MaxQueue: 2, QueueTimeout: 50 * time.Millisecond},
+	})
+	body, _ := json.Marshal(QueryRequest{Program: testProgram})
+	res, err := RunLoad(context.Background(), LoadConfig{
+		URL:      ts.URL + "/query",
+		Body:     body,
+		Parallel: 8,
+		Requests: 48,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 48 {
+		t.Fatalf("total = %d, want 48", res.Total)
+	}
+	if res.OK+res.Shed+res.Failed != res.Total {
+		t.Fatalf("partition leak: %+v", res)
+	}
+	if res.OK == 0 {
+		t.Fatalf("no request succeeded: %+v", res)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("unexpected hard failures: %+v", res)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 {
+		t.Fatalf("bad quantiles: %+v", res)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("bad throughput: %+v", res)
+	}
+	t.Logf("load: %s", res)
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/limits"
+)
+
+// Transient faults (limits.ErrInjected — the taxonomy's stand-in for "the
+// dependency hiccupped") are retried inside the server while the request
+// holds its admission slot, with exponential backoff and full jitter so
+// synchronized retries don't stampede. Everything else — deadlines, budget
+// trips, internal errors, real answers — is never retried: deadlines have no
+// time left, budgets would trip again, and internal errors are bugs, not
+// weather.
+
+// RetryConfig tunes in-server retries of transiently failing evaluations.
+type RetryConfig struct {
+	// MaxAttempts is the total number of tries, first included (default 3;
+	// negative disables retrying).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 5ms).
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep (default 100ms).
+	MaxDelay time.Duration
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 3
+	}
+	if c.MaxAttempts < 0 {
+		c.MaxAttempts = 1
+	}
+	if c.BaseDelay <= 0 {
+		c.BaseDelay = 5 * time.Millisecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 100 * time.Millisecond
+	}
+	return c
+}
+
+// jitter is a lock-protected source for backoff jitter; math/rand's global
+// is fine too, but a private source keeps tests free to seed it.
+type jitter struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newJitter(seed int64) *jitter {
+	return &jitter{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (j *jitter) scale() float64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rng.Float64()
+}
+
+// retryable reports whether the evaluation error is worth retrying.
+func retryable(err error) bool {
+	return errors.Is(err, limits.ErrInjected)
+}
+
+// withRetry runs eval up to cfg.MaxAttempts times, backing off between
+// attempts (full jitter: sleep a uniform fraction of the exponential step).
+// It returns the attempt count alongside the final outcome; a context
+// cancellation during backoff surfaces as the context's typed error.
+func withRetry(ctx context.Context, cfg RetryConfig, j *jitter, eval func() error) (attempts int, err error) {
+	cfg = cfg.withDefaults()
+	for attempts = 1; ; attempts++ {
+		err = eval()
+		if err == nil || !retryable(err) || attempts >= cfg.MaxAttempts {
+			return attempts, err
+		}
+		step := cfg.BaseDelay << (attempts - 1)
+		if step > cfg.MaxDelay {
+			step = cfg.MaxDelay
+		}
+		sleep := time.Duration(j.scale() * float64(step))
+		timer := time.NewTimer(sleep)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return attempts, limits.NewError(limits.CtxKind(ctx), limits.Truncation{})
+		}
+	}
+}

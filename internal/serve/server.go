@@ -1,0 +1,461 @@
+// Package serve is the resilient query-serving layer over the repro facade:
+// bounded-concurrency admission control with FIFO queueing and load
+// shedding, per-request deadlines mapped onto the limits error taxonomy,
+// in-server retries for transient faults, a per-endpoint circuit breaker,
+// and graceful drain. cmd/triqd is the thin binary around it.
+//
+// The HTTP status contract (also documented in the README):
+//
+//	200 — answers, including budget-truncated partial answers (Incomplete
+//	      plus a Truncation report in the body)
+//	400 — malformed request: bad JSON, unparseable program/query, unknown
+//	      lang/regime, dialect validation failure
+//	500 — internal error (recovered panic) or a transient fault that
+//	      survived every retry
+//	503 — load shed: queue full, queue deadline exceeded, circuit open, or
+//	      draining; always carries Retry-After
+//	504 — the per-request evaluation deadline expired
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/limits"
+	"repro/internal/obs"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Admission bounds concurrent evaluations and the wait queue.
+	Admission AdmissionConfig
+	// Breaker tunes the per-endpoint circuit breakers.
+	Breaker BreakerConfig
+	// Retry tunes in-server retries of transient faults.
+	Retry RetryConfig
+	// DefaultTimeout is the per-request evaluation deadline when the request
+	// does not set one (default 10s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines (default 60s).
+	MaxTimeout time.Duration
+	// Obs receives server metrics (and is dumped by /metrics). Nil disables.
+	Obs *obs.Obs
+	// Seed seeds the retry jitter; 0 uses a fixed seed (fine for a server,
+	// handy for tests).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	return c
+}
+
+// Server is the query service. Build with New, install a graph with
+// SetGraph (readiness flips only then), mount Handler on an http.Server,
+// and stop with Drain.
+type Server struct {
+	cfg Config
+	adm *admission
+	jit *jitter
+	obs *obs.Obs
+
+	mu    sync.RWMutex
+	graph *repro.Graph
+
+	draining  chan struct{} // closed by Drain
+	drainOnce sync.Once
+	hardStop  context.Context // canceled when drain gives up on stragglers
+	hardKill  context.CancelFunc
+
+	// In-flight evaluation tracking. A plain WaitGroup would race Add
+	// against Drain's Wait (requests that passed the draining check are
+	// still arriving); a counter under a mutex with a condvar has no such
+	// constraint.
+	trackMu   sync.Mutex
+	trackCond *sync.Cond
+	trackN    int
+
+	breakers map[string]*breaker
+}
+
+// New builds a Server; it is not ready until SetGraph is called.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	hardStop, hardKill := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		adm:      newAdmission(cfg.Admission),
+		jit:      newJitter(cfg.Seed + 1),
+		obs:      cfg.Obs,
+		draining: make(chan struct{}),
+		hardStop: hardStop,
+		hardKill: hardKill,
+		breakers: map[string]*breaker{
+			"query":  newBreaker(cfg.Breaker),
+			"sparql": newBreaker(cfg.Breaker),
+		},
+	}
+	s.trackCond = sync.NewCond(&s.trackMu)
+	return s
+}
+
+// trackBegin / trackEnd bracket one in-flight evaluation.
+func (s *Server) trackBegin() {
+	s.trackMu.Lock()
+	s.trackN++
+	s.trackMu.Unlock()
+}
+
+func (s *Server) trackEnd() {
+	s.trackMu.Lock()
+	s.trackN--
+	if s.trackN == 0 {
+		s.trackCond.Broadcast()
+	}
+	s.trackMu.Unlock()
+}
+
+// SetGraph installs the dataset and marks the server ready. It may be called
+// again to swap datasets; in-flight evaluations keep the graph they started
+// with (a Graph is immutable).
+func (s *Server) SetGraph(g *repro.Graph) {
+	s.mu.Lock()
+	s.graph = g
+	s.mu.Unlock()
+}
+
+func (s *Server) graphNow() *repro.Graph {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.graph
+}
+
+// isDraining reports whether Drain has begun.
+func (s *Server) isDraining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// Drain begins graceful shutdown: readiness flips to 503, new queries are
+// shed, and Drain blocks until in-flight evaluations finish. If ctx expires
+// first, stragglers are canceled (they abort with the taxonomy's canceled
+// error) and Drain waits for them to unwind. The caller still owns the
+// http.Server and should run its Shutdown alongside.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainOnce.Do(func() { close(s.draining) })
+	done := make(chan struct{})
+	go func() {
+		s.trackMu.Lock()
+		for s.trackN > 0 {
+			s.trackCond.Wait()
+		}
+		s.trackMu.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.hardKill()
+		<-done // cancellation unwinds evaluations promptly
+		return errors.New("serve: drain deadline expired; stragglers were canceled")
+	}
+}
+
+// Handler mounts the service endpoints:
+//
+//	POST /query   — Datalog (TriQ) evaluation
+//	POST /sparql  — SPARQL evaluation under a regime
+//	GET  /healthz — liveness (200 while the process runs)
+//	GET  /readyz  — readiness (200 only with a graph loaded and not draining)
+//	GET  /metrics — obs registry dump (counters, gauges, histograms)
+//	     /debug/pprof/ — runtime profiles
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
+		s.serveQuery(w, r, "query")
+	})
+	mux.HandleFunc("POST /sparql", func(w http.ResponseWriter, r *http.Request) {
+		s.serveQuery(w, r, "sparql")
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		switch {
+		case s.isDraining():
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+		case s.graphNow() == nil:
+			http.Error(w, "no graph loaded", http.StatusServiceUnavailable)
+		default:
+			fmt.Fprintln(w, "ready")
+		}
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for name, b := range s.breakers {
+			fmt.Fprintf(w, "serve.breaker.%s\tstate=%s\n", name, b.snapshot())
+		}
+		fmt.Fprintf(w, "serve.inflight\t%d\n", s.adm.inflight())
+		fmt.Fprintf(w, "serve.queue_depth\t%d\n", s.adm.depth())
+		if s.obs.Enabled() {
+			fmt.Fprint(w, s.obs.Summary())
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// count is a nil-safe metrics increment.
+func (s *Server) count(name string) {
+	if s.obs.Enabled() {
+		s.obs.Count(name, 1)
+	}
+}
+
+// serveQuery is the shared admission → parse → evaluate → respond flow of
+// the two query endpoints.
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint string) {
+	s.count("serve.requests")
+	start := time.Now()
+
+	if s.isDraining() {
+		s.count("serve.shed.draining")
+		s.shed(w, ErrDraining)
+		return
+	}
+	done, err := s.breakers[endpoint].allow()
+	if err != nil {
+		s.count("serve.shed.breaker")
+		s.shed(w, err)
+		return
+	}
+	release, err := s.adm.acquire(r.Context())
+	if err != nil {
+		done(false) // an admission shed is not the endpoint's fault
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			s.count("serve.shed.queue_full")
+			s.shed(w, err)
+		case errors.Is(err, ErrQueueTimeout):
+			s.count("serve.shed.queue_timeout")
+			s.shed(w, err)
+		default: // client went away while queued
+			s.count("serve.client_gone")
+			s.fail(w, http.StatusServiceUnavailable, limits.NewError(limits.ErrCanceled, limits.Truncation{}), 0)
+		}
+		return
+	}
+	defer release()
+
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		done(false)
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err), 0)
+		return
+	}
+	g := s.graphNow()
+	if g == nil {
+		done(false)
+		s.shed(w, errors.New("serve: no graph loaded"))
+		return
+	}
+
+	// The evaluation context: the client's own context (disconnect cancels
+	// the evaluation) bounded by the per-request deadline, with a hard-stop
+	// hook so an expiring drain cancels stragglers.
+	ctx, cancel := context.WithTimeout(r.Context(), req.timeoutOf(s.cfg.DefaultTimeout, s.cfg.MaxTimeout))
+	defer cancel()
+	stop := context.AfterFunc(s.hardStop, cancel)
+	defer stop()
+
+	s.trackBegin()
+	defer s.trackEnd()
+
+	resp, evalErr := s.evaluate(ctx, g, endpoint, &req)
+	if evalErr != nil {
+		status := statusOf(evalErr)
+		// Only server faults count against the breaker.
+		done(status == http.StatusInternalServerError || status == http.StatusGatewayTimeout)
+		if status == http.StatusGatewayTimeout {
+			s.count("serve.timeouts")
+		}
+		if status == http.StatusInternalServerError {
+			s.count("serve.internal_errors")
+		}
+		if errors.Is(evalErr, limits.ErrCanceled) {
+			s.count("serve.canceled")
+		}
+		s.fail(w, status, evalErr, 0)
+		return
+	}
+	done(false)
+	if resp.Attempts > 1 {
+		s.obs.Count("serve.retries", int64(resp.Attempts-1))
+	}
+	if resp.Incomplete {
+		s.count("serve.truncated")
+	}
+	s.count("serve.ok")
+	resp.ElapsedUS = time.Since(start).Microseconds()
+	if s.obs.Enabled() {
+		s.obs.Observe("serve.latency_us", float64(resp.ElapsedUS))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// evaluate parses the request payload and runs the evaluation with retries.
+// Parse and validation failures come back wrapped in errBadRequest.
+func (s *Server) evaluate(ctx context.Context, g *repro.Graph, endpoint string, req *QueryRequest) (*QueryResponse, error) {
+	opts := repro.Options{}
+	opts.Chase.MaxFacts = req.MaxFacts
+	opts.Chase.MaxRounds = req.MaxRounds
+
+	var eval func() (*QueryResponse, error)
+	switch endpoint {
+	case "query":
+		lang, err := parseLang(req.Lang)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		output := req.Output
+		if output == "" {
+			output = "query"
+		}
+		q, err := repro.ParseQuery(req.Program, output)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		if err := repro.Validate(q, lang); err != nil {
+			return nil, badRequest(err)
+		}
+		eval = func() (*QueryResponse, error) {
+			res, err := repro.AskCtx(ctx, g, q, lang, opts)
+			if err != nil {
+				return nil, err
+			}
+			return &QueryResponse{
+				Rows:         res.Rows(),
+				Inconsistent: res.Inconsistent,
+				Exact:        res.Exact,
+				Incomplete:   res.Incomplete,
+				Truncation:   res.Truncation,
+			}, nil
+		}
+	default:
+		regime, err := parseRegime(req.Regime)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		sq, err := repro.ParseSPARQL(req.Query)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		eval = func() (*QueryResponse, error) {
+			ms, exact, err := repro.AskSPARQLCtx(ctx, sq, g, regime, opts)
+			if err != nil {
+				return nil, err
+			}
+			rows := make([]string, 0, ms.Len())
+			for _, m := range ms.Mappings() {
+				rows = append(rows, m.String())
+			}
+			return &QueryResponse{
+				Rows:       rows,
+				Exact:      exact,
+				Incomplete: ms.Incomplete,
+				Truncation: ms.Truncation,
+			}, nil
+		}
+	}
+
+	var resp *QueryResponse
+	attempts, err := withRetry(ctx, s.cfg.Retry, s.jit, func() error {
+		var evalErr error
+		resp, evalErr = eval()
+		return evalErr
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp.Attempts = attempts
+	return resp, nil
+}
+
+// errBadRequest marks parse/validation failures for the 400 mapping.
+type errBadRequest struct{ err error }
+
+func (e errBadRequest) Error() string { return e.err.Error() }
+func (e errBadRequest) Unwrap() error { return e.err }
+
+func badRequest(err error) error { return errBadRequest{err: err} }
+
+// statusOf maps an evaluation error to the HTTP contract.
+func statusOf(err error) int {
+	var br errBadRequest
+	switch {
+	case errors.As(err, &br):
+		return http.StatusBadRequest
+	case errors.Is(err, limits.ErrDeadline):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, limits.ErrCanceled):
+		// Client went away or drain canceled us; the body likely goes
+		// nowhere, but a retryable 503 is the honest answer either way.
+		return http.StatusServiceUnavailable
+	default:
+		// Internal errors, retries-exhausted injected faults, and any budget
+		// error that somehow escaped graceful degradation.
+		return http.StatusInternalServerError
+	}
+}
+
+// shed writes the 503 + Retry-After response for load-shedding rejections.
+func (s *Server) shed(w http.ResponseWriter, err error) {
+	retryAfter := time.Second
+	w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter.Seconds())))
+	writeJSON(w, http.StatusServiceUnavailable, Failure{
+		WireError:    limits.ToWire(err),
+		RetryAfterMS: retryAfter.Milliseconds(),
+	})
+}
+
+// fail writes a non-200 taxonomy error body.
+func (s *Server) fail(w http.ResponseWriter, status int, err error, retryAfter time.Duration) {
+	f := Failure{WireError: limits.ToWire(err)}
+	if status == http.StatusServiceUnavailable {
+		if retryAfter <= 0 {
+			retryAfter = time.Second
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter.Seconds())))
+		f.RetryAfterMS = retryAfter.Milliseconds()
+	}
+	writeJSON(w, status, f)
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}

@@ -1,0 +1,84 @@
+package triq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/datalog"
+	"repro/internal/limits"
+)
+
+// TestProverConcurrentProve hammers one shared Prover from many goroutines.
+// The memo table, visit counters, and in-flight context are shared state;
+// this test (run under -race in CI) proves the serialization makes them
+// safe, and checks every goroutine still gets the right answer.
+func TestProverConcurrentProve(t *testing.T) {
+	db := chase.NewInstance()
+	for i := 0; i < 20; i++ {
+		db.Add(datalog.NewAtom("e", datalog.C(fmt.Sprintf("v%d", i)), datalog.C(fmt.Sprintf("v%d", i+1))))
+	}
+	prog := datalog.MustParse(`
+		e(?X, ?Y) -> r(?X, ?Y).
+		e(?X, ?Y), r(?Y, ?Z) -> r(?X, ?Z).
+	`)
+	pv, err := NewProver(db, prog, ProofOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				from := (w + i) % 15
+				to := from + 1 + (w % 5)
+				goal := datalog.NewAtom("r",
+					datalog.C(fmt.Sprintf("v%d", from)), datalog.C(fmt.Sprintf("v%d", to)))
+				ok, err := pv.ProvesCtx(context.Background(), goal)
+				if err != nil {
+					// CI arms sparse process-global faults (TRIQ_FAULTS); an
+					// injected typed error is a legal concurrent outcome.
+					if errors.Is(err, limits.ErrInjected) {
+						continue
+					}
+					errs <- fmt.Errorf("prove %v: %w", goal, err)
+					return
+				}
+				if !ok {
+					errs <- fmt.Errorf("prove %v: expected provable", goal)
+					return
+				}
+				// A non-fact: reachability never goes backwards.
+				bad := datalog.NewAtom("r",
+					datalog.C(fmt.Sprintf("v%d", to)), datalog.C(fmt.Sprintf("v%d", from)))
+				ok, err = pv.ProvesCtx(context.Background(), bad)
+				if err != nil {
+					if errors.Is(err, limits.ErrInjected) {
+						continue
+					}
+					errs <- fmt.Errorf("prove %v: %w", bad, err)
+					return
+				}
+				if ok {
+					errs <- fmt.Errorf("prove %v: expected unprovable", bad)
+					return
+				}
+				// Metrics may be read concurrently with in-flight proofs.
+				_ = pv.Metrics()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

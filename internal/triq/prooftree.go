@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/chase"
@@ -123,6 +124,15 @@ type ProofMetrics struct {
 
 // Prover decides membership of ground atoms in Π(D) for a positive warded
 // Datalog^∃ program Π.
+//
+// A Prover is safe for concurrent use: Prove/ProveCtx calls from multiple
+// goroutines serialize on an internal mutex. The search state (the canonical
+// memo table, visit counters, the in-flight context) is deliberately shared
+// across calls — that cross-goal memo reuse is what keeps ExactGround
+// polynomial — so concurrent searches cannot safely interleave; serializing
+// them preserves both safety and the memo benefit. Callers needing parallel
+// proof search should build one Prover per goroutine over the shared
+// (read-only) database instance.
 type Prover struct {
 	db     *chase.Instance
 	orig   *datalog.Program
@@ -132,6 +142,9 @@ type Prover struct {
 	domain []datalog.Term // dom(D) ∪ constants of Π
 	opts   ProofOptions
 
+	// mu serializes Prove calls: everything below it is per-call or
+	// cross-call mutable state.
+	mu     sync.Mutex
 	memo   map[string]*memoEntry
 	visits int
 	fresh  int
@@ -176,8 +189,16 @@ func (pv *Prover) interrupted() bool {
 	return false
 }
 
-// Metrics snapshots the prover's cumulative search-space accounting.
+// Metrics snapshots the prover's cumulative search-space accounting. It
+// blocks while a Prove call is in flight on another goroutine.
 func (pv *Prover) Metrics() ProofMetrics {
+	pv.mu.Lock()
+	defer pv.mu.Unlock()
+	return pv.metricsLocked()
+}
+
+// metricsLocked is Metrics for callers already holding pv.mu.
+func (pv *Prover) metricsLocked() ProofMetrics {
 	m := pv.m
 	m.Components = pv.visits
 	m.FreshNulls = pv.fresh
@@ -327,8 +348,12 @@ func (pv *Prover) ProveCtx(ctx context.Context, goal datalog.Atom) (*ProofNode, 
 	if !goal.IsConstantGround() {
 		return nil, false, fmt.Errorf("triq: goal %v must be a constant-ground atom", goal)
 	}
+	// Serialize concurrent Prove calls: the memo table and counters are
+	// shared across calls by design (see the Prover doc comment).
+	pv.mu.Lock()
+	defer pv.mu.Unlock()
 	o := pv.opts.Obs
-	before := pv.Metrics()
+	before := pv.metricsLocked()
 	sp := o.Span("prover.prove", obs.F("goal", goal.String()))
 	pv.err = nil
 	pv.ctx = ctx
@@ -336,7 +361,7 @@ func (pv *Prover) ProveCtx(ctx context.Context, goal datalog.Atom) (*ProofNode, 
 	defer func() { pv.ctx = nil }()
 	nodes, ok := pv.proveComponent([]datalog.Atom{goal}, map[string]datalog.Atom{}, map[string]bool{})
 	if o != nil {
-		after := pv.Metrics()
+		after := pv.metricsLocked()
 		sp.End(
 			obs.F("ok", ok && pv.err == nil),
 			obs.F("components", after.Components-before.Components),

@@ -23,6 +23,21 @@
 //	`, "query")
 //	res, _ := repro.Ask(g, q, repro.TriQLite10, repro.Options{})
 //	for _, row := range res.Rows() { fmt.Println(row) }
+//
+// # Concurrency
+//
+// A Graph is immutable after parsing and safe for any number of concurrent
+// readers, and every evaluation entry point (Ask, AskSPARQL, AskExact and
+// their Ctx variants) builds its own working state per call — the chase
+// clones the database, the translation materializes a fresh instance, and
+// the exact enumeration builds a private prover. Many goroutines may
+// therefore evaluate queries over one shared Graph (and shared parsed Query
+// / SPARQLQuery / Translation values) without external locking; this is the
+// contract the triqd server (cmd/triqd, internal/serve) relies on. The one
+// stateful object is a Prover obtained from NewProver: it carries a memo
+// table across calls, so its Prove methods serialize on an internal mutex —
+// concurrent use is safe but not parallel; build one Prover per goroutine
+// for parallel proof search.
 package repro
 
 import (
