@@ -71,6 +71,7 @@ type config struct {
 	maxFacts  int           // chase fact budget (0 = none)
 	maxRounds int           // chase round budget (0 = none)
 	maxVisits int           // proof-search visit budget (0 = default)
+	workers   int           // chase worker count (0 = GOMAXPROCS)
 	trace     string        // JSONL span trace file ("" = off)
 	metrics   bool          // print metrics summary to stderr
 	pprof     string        // pprof listen address ("" = off)
@@ -94,6 +95,7 @@ func main() {
 	flag.IntVar(&cfg.maxFacts, "max-facts", 0, "abort the chase once the instance holds this many facts (0 = unlimited; partial answers + exit 3)")
 	flag.IntVar(&cfg.maxRounds, "max-rounds", 0, "abort the chase after this many rounds per stratum (0 = unlimited; partial answers + exit 3)")
 	flag.IntVar(&cfg.maxVisits, "max-visits", 0, "proof-search component-visit budget for -prove/-exact (0 = default; exit 3 on trip)")
+	flag.IntVar(&cfg.workers, "parallelism", 0, "chase worker count (0 = GOMAXPROCS, 1 = sequential; answers are identical at every setting)")
 	flag.StringVar(&cfg.trace, "trace", "", "write a JSONL span trace to this file")
 	flag.BoolVar(&cfg.metrics, "metrics", false, "print the per-rule chase breakdown and metrics registry to stderr")
 	flag.StringVar(&cfg.pprof, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -313,6 +315,7 @@ func runQuery(ctx context.Context, cfg config, db *chase.Instance, prog *datalog
 	}
 	opts.Chase.MaxFacts = cfg.maxFacts
 	opts.Chase.MaxRounds = cfg.maxRounds
+	opts.Chase.Parallelism = cfg.workers
 	opts.Chase.Obs = o
 	var res *triq.Result
 	var err error

@@ -8,7 +8,7 @@
 //	triqd -data graph.nt [-ontology o.owl] [-addr :8471] \
 //	      [-concurrency 4] [-queue 16] [-queue-timeout 1s] \
 //	      [-default-timeout 10s] [-max-timeout 60s] [-drain-timeout 15s] \
-//	      [-retries 3]
+//	      [-retries 3] [-parallelism 1]
 //
 // Endpoints and the status-code contract are documented in the README
 // ("Serving") and in internal/serve. A quick check against a running
@@ -51,6 +51,7 @@ type config struct {
 	maxTimeout     time.Duration // cap on client-requested deadlines
 	drainTimeout   time.Duration // graceful-shutdown budget
 	retries        int           // attempts per evaluation (1 = no retries)
+	parallelism    int           // chase workers per evaluation (0 = GOMAXPROCS)
 }
 
 func main() {
@@ -65,6 +66,7 @@ func main() {
 	flag.DurationVar(&cfg.maxTimeout, "max-timeout", 60*time.Second, "cap on client-requested deadlines")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 15*time.Second, "graceful-shutdown budget; stragglers are canceled when it expires")
 	flag.IntVar(&cfg.retries, "retries", 3, "evaluation attempts per request (1 disables retrying)")
+	flag.IntVar(&cfg.parallelism, "parallelism", 1, "chase workers per evaluation (0 = GOMAXPROCS, 1 = sequential; keep slots × workers ≈ cores)")
 	flag.Parse()
 	os.Exit(realMain(cfg))
 }
@@ -131,6 +133,7 @@ func run(ctx context.Context, cfg config, ln net.Listener, stop <-chan os.Signal
 		DefaultTimeout: cfg.defaultTimeout,
 		MaxTimeout:     cfg.maxTimeout,
 		Obs:            obs.New(),
+		Parallelism:    cfg.parallelism,
 	})
 
 	// The graph loads before the listener answers ready: /readyz is 503

@@ -1,0 +1,186 @@
+package repro
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/triq"
+)
+
+// The golden corpus pins end-to-end behavior: each fixture under
+// testdata/golden/<name>/ is a graph (or ontology), a query (Datalog or
+// SPARQL), and the expected answers in expected.txt. Every fixture is
+// evaluated twice — sequentially and on the 8-worker parallel chase — and
+// both runs must reproduce the golden file byte for byte. Regenerate after
+// an intentional behavior change with:
+//
+//	go test -run TestGolden . -update
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden/*/expected.txt")
+
+// goldenCase configures one fixture directory. Files:
+//
+//	graph.nt     — N-Triples database (or ontology.owl, functional syntax)
+//	program.dlog — Datalog^{∃,¬s,⊥} program answered at `output`, or
+//	query.rq     — SPARQL SELECT evaluated under `regime`
+//	expected.txt — the golden answers
+type goldenCase struct {
+	name   string
+	lang   Language // Datalog fixtures: dialect the program must pass
+	output string   // Datalog fixtures: output predicate
+	regime Regime   // SPARQL fixtures
+}
+
+var goldenCases = []goldenCase{
+	{name: "transport", lang: TriQLite10, output: "query"},
+	{name: "triangle", lang: TriQLite10, output: "query"},
+	{name: "negation", lang: TriQLite10, output: "query"},
+	{name: "anonymize", lang: TriQLite10, output: "query"},
+	{name: "coauthors-opt", regime: PlainRegime},
+	{name: "union-filter", regime: PlainRegime},
+	{name: "university-person", regime: AllRegime},
+	{name: "university-worksfor", regime: ActiveDomainRegime},
+	{name: "university-teaches", regime: AllRegime},
+	{name: "university-inconsistent", regime: ActiveDomainRegime},
+}
+
+// goldenGraph loads the fixture database: graph.nt, ontology.owl, or both
+// merged (ABox triples alongside an ontology's RDF encoding).
+func goldenGraph(t *testing.T, dir string) *Graph {
+	t.Helper()
+	var g *Graph
+	if src, err := os.ReadFile(filepath.Join(dir, "ontology.owl")); err == nil {
+		onto, err := ParseOntology(string(src))
+		if err != nil {
+			t.Fatalf("%s: parse ontology: %v", dir, err)
+		}
+		g = onto.ToGraph()
+	}
+	if src, err := os.ReadFile(filepath.Join(dir, "graph.nt")); err == nil {
+		h, err := ParseGraph(string(src))
+		if err != nil {
+			t.Fatalf("%s: parse graph: %v", dir, err)
+		}
+		if g == nil {
+			g = h
+		} else {
+			for _, tr := range h.Triples() {
+				g.Add(tr)
+			}
+		}
+	}
+	if g == nil {
+		t.Fatalf("%s: no graph.nt or ontology.owl", dir)
+	}
+	return g
+}
+
+// goldenRun evaluates the fixture at the given worker count and renders the
+// answers in the canonical golden format.
+func goldenRun(t *testing.T, c goldenCase, dir string, parallelism int) string {
+	t.Helper()
+	g := goldenGraph(t, dir)
+	opts := Options{Chase: chase.Options{Parallelism: parallelism}}
+	var b strings.Builder
+	if src, err := os.ReadFile(filepath.Join(dir, "program.dlog")); err == nil {
+		q, err := ParseQuery(string(src), c.output)
+		if err != nil {
+			t.Fatalf("%s: parse program: %v", dir, err)
+		}
+		res, err := Ask(g, q, c.lang, opts)
+		if err != nil {
+			t.Fatalf("%s: ask: %v", dir, err)
+		}
+		fmt.Fprintf(&b, "inconsistent: %v\n", res.Inconsistent)
+		for _, row := range res.Rows() {
+			b.WriteString(row)
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	src, err := os.ReadFile(filepath.Join(dir, "query.rq"))
+	if err != nil {
+		t.Fatalf("%s: no program.dlog or query.rq", dir)
+	}
+	q, err := ParseSPARQL(string(src))
+	if err != nil {
+		t.Fatalf("%s: parse query: %v", dir, err)
+	}
+	ms, inconsistent, err := AskSPARQL(q, g, c.regime, opts)
+	if err != nil {
+		t.Fatalf("%s: ask sparql: %v", dir, err)
+	}
+	fmt.Fprintf(&b, "inconsistent: %v\n", inconsistent)
+	if ms != nil && ms.Len() > 0 {
+		b.WriteString(ms.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestGolden(t *testing.T) {
+	for _, c := range goldenCases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "golden", c.name)
+			seq := goldenRun(t, c, dir, 1)
+			par := goldenRun(t, c, dir, 8)
+			if seq != par {
+				t.Fatalf("%s: sequential and parallel runs disagree:\n--- P=1\n%s--- P=8\n%s", c.name, seq, par)
+			}
+			expPath := filepath.Join(dir, "expected.txt")
+			if *updateGolden {
+				if err := os.WriteFile(expPath, []byte(seq), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(expPath)
+			if err != nil {
+				t.Fatalf("%s: %v (run with -update to create)", c.name, err)
+			}
+			if string(want) != seq {
+				t.Errorf("%s: answers changed:\n--- want\n%s--- got\n%s", c.name, want, seq)
+			}
+		})
+	}
+}
+
+// TestGoldenDialects pins that the Datalog fixtures stay inside the language
+// the paper assigns them (TriQ-Lite 1.0 ⇒ PTime data complexity), and that
+// the SPARQL fixtures translate into it (Corollary 6.2).
+func TestGoldenDialects(t *testing.T) {
+	for _, c := range goldenCases {
+		dir := filepath.Join("testdata", "golden", c.name)
+		if src, err := os.ReadFile(filepath.Join(dir, "program.dlog")); err == nil {
+			q, err := ParseQuery(string(src), c.output)
+			if err != nil {
+				t.Fatalf("%s: %v", c.name, err)
+			}
+			if err := Validate(q, c.lang); err != nil {
+				t.Errorf("%s: program left its dialect: %v", c.name, err)
+			}
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, "query.rq"))
+		if err != nil {
+			continue
+		}
+		q, err := ParseSPARQL(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		tr, err := TranslateSPARQL(q.Pattern(), c.regime)
+		if err != nil {
+			t.Fatalf("%s: translate: %v", c.name, err)
+		}
+		if err := triq.Validate(tr.Query, triq.TriQLite10); err != nil {
+			t.Errorf("%s: translation left TriQ-Lite 1.0: %v", c.name, err)
+		}
+	}
+}

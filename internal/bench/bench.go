@@ -47,10 +47,26 @@ type StageMetric struct {
 	Value  string `json:"value"`
 }
 
-// chaseBreakdown summarizes chase.Stats as StageMetric rows.
+// parallelism is the chase worker count every runner uses (0 = GOMAXPROCS,
+// the chase default). cmd/triqbench sets it from -parallelism so a whole
+// harness run can be pinned to one worker count; RunE11 sweeps its own.
+var parallelism int
+
+// SetParallelism pins the chase worker count used by the runners.
+func SetParallelism(n int) { parallelism = n }
+
+// par applies the harness-wide worker count to a chase option block.
+func par(o chase.Options) chase.Options {
+	o.Parallelism = parallelism
+	return o
+}
+
+// chaseBreakdown summarizes chase.Stats as StageMetric rows. Every point
+// carries its round count and worker count so BENCH JSON is self-describing.
 func chaseBreakdown(stage string, s chase.Stats) []StageMetric {
 	rows := []StageMetric{
 		{stage, "rounds", fmt.Sprintf("%d", s.Rounds)},
+		{stage, "parallelism", fmt.Sprintf("%d", s.Parallelism)},
 		{stage, "triggers_fired", fmt.Sprintf("%d", s.TriggersFired)},
 		{stage, "facts_derived", fmt.Sprintf("%d", s.FactsDerived)},
 		{stage, "nulls_invented", fmt.Sprintf("%d", s.NullsInvented)},
@@ -206,7 +222,7 @@ func RunE1() *Table {
 		db := workload.CliqueDB(cfg.k, nodes, edges)
 		start := time.Now()
 		res, err := triq.Eval(db, q, triq.TriQ10, triq.Options{
-			Chase: chase.Options{MaxFacts: 10_000_000},
+			Chase: par(chase.Options{MaxFacts: 10_000_000}),
 		})
 		elapsed := time.Since(start)
 		if err != nil {
@@ -250,7 +266,7 @@ func RunE2() *Table {
 	for _, lines := range []int{4, 8, 16, 32} {
 		db := workload.Transport(lines, 3, 6)
 		start := time.Now()
-		res, err := triq.Eval(db, q, triq.TriQLite10, triq.Options{})
+		res, err := triq.Eval(db, q, triq.TriQLite10, triq.Options{Chase: par(chase.Options{})})
 		elapsed := time.Since(start)
 		if err != nil {
 			t.OK = false
@@ -343,7 +359,7 @@ func RunE3() *Table {
 			continue
 		}
 		start = time.Now()
-		got, evalRes, err := tr.EvaluateFull(g, triq.Options{})
+		got, evalRes, err := tr.EvaluateFull(g, triq.Options{Chase: par(chase.Options{})})
 		transTime := time.Since(start)
 		if err != nil {
 			t.OK = false
@@ -394,7 +410,7 @@ func RunE4() *Table {
 				continue
 			}
 			start := time.Now()
-			regime, evalRes, err := tr.EvaluateFull(g, triq.Options{Chase: chase.Options{MaxDepth: 10}})
+			regime, evalRes, err := tr.EvaluateFull(g, triq.Options{Chase: par(chase.Options{MaxDepth: 10})})
 			elapsed := time.Since(start)
 			if err != nil {
 				t.OK = false
@@ -443,7 +459,7 @@ func RunE5() *Table {
 			t.OK = false
 			continue
 		}
-		res, err := chase.Run(db, owl.Program().Positive(), chase.Options{MaxDepth: 6})
+		res, err := chase.Run(db, owl.Program().Positive(), par(chase.Options{MaxDepth: 6}))
 		if err != nil {
 			t.OK = false
 			continue
@@ -463,11 +479,11 @@ func RunE5() *Table {
 			t.OK = false
 			continue
 		}
-		ans, _, err := tr.Evaluate(o.ToGraph(), triq.Options{Chase: chase.Options{MaxDepth: 10}})
+		ans, _, err := tr.Evaluate(o.ToGraph(), triq.Options{Chase: par(chase.Options{MaxDepth: 10})})
 		if err != nil || ans.Len() != 1 {
 			t.OK = false
 		}
-		nfgRes, err := chase.Run(workload.Chain(n), nfg, chase.Options{})
+		nfgRes, err := chase.Run(workload.Chain(n), nfg, par(chase.Options{}))
 		if err != nil {
 			t.OK = false
 			continue
@@ -505,9 +521,9 @@ func RunE6() *Table {
 		db := m.ATMDatabase(input)
 		depth := len(input) + 4
 		start := time.Now()
-		res, err := chase.Run(db, q.Program, chase.Options{
+		res, err := chase.Run(db, q.Program, par(chase.Options{
 			MaxDepth: depth, MaxFacts: 10_000_000,
-		})
+		}))
 		elapsed := time.Since(start)
 		if err != nil {
 			t.OK = false
@@ -600,7 +616,7 @@ func RunE8() *Table {
 			t.OK = false
 			continue
 		}
-		_, _, err = tr.Evaluate(g, triq.Options{Chase: chase.Options{MaxDepth: 8}})
+		_, _, err = tr.Evaluate(g, triq.Options{Chase: par(chase.Options{MaxDepth: 8})})
 		elapsed := time.Since(start)
 		if err != nil {
 			t.OK = false
@@ -619,7 +635,7 @@ func RunE8() *Table {
 // RunAll executes every experiment in order.
 func RunAll() []*Table {
 	return []*Table{
-		RunT1(), RunF1(), RunE1(), RunE2(), RunE3(), RunE4(), RunE5(), RunE6(), RunE7(), RunE8(), RunE9(),
+		RunT1(), RunF1(), RunE1(), RunE2(), RunE3(), RunE4(), RunE5(), RunE6(), RunE7(), RunE8(), RunE9(), RunE11(),
 	}
 }
 
@@ -703,7 +719,7 @@ func transportPairs(t *Table, g *rdf.Graph) sparql.PairSet {
 		t.OK = false
 		return nil
 	}
-	res, err := triq.Eval(db, workload.TransportQuery(), triq.TriQLite10, triq.Options{})
+	res, err := triq.Eval(db, workload.TransportQuery(), triq.TriQLite10, triq.Options{Chase: par(chase.Options{})})
 	if err != nil {
 		t.OK = false
 		return nil

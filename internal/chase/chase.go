@@ -3,6 +3,7 @@ package chase
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -57,6 +58,13 @@ type Options struct {
 	// every rule against the full instance each round. Exposed for the
 	// ablation benchmarks; results are identical, only slower.
 	NaiveEvaluation bool
+	// Parallelism is the number of workers enumerating rule triggers within
+	// a round (0 = GOMAXPROCS, 1 = fully sequential). Trigger enumeration is
+	// read-only against the instance as of the rule's turn; derivations are
+	// applied afterwards in one canonical order on a single goroutine, so the
+	// resulting instance, invented null names, and Stats are bit-identical
+	// for every Parallelism value.
+	Parallelism int
 	// Obs attaches the observability layer: when non-nil the engine emits
 	// chase.run / chase.round / chase.rule spans and registry counters. A nil
 	// Obs (the default) adds no tracing work and no I/O.
@@ -80,6 +88,12 @@ func (o Options) withDefaults() Options {
 	if o.MaxRounds == 0 {
 		o.MaxRounds = 1_000_000
 	}
+	if o.Parallelism == 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.Parallelism < 1 {
+		o.Parallelism = 1
+	}
 	return o
 }
 
@@ -90,6 +104,9 @@ type Stats struct {
 	FactsDerived   int
 	NullsInvented  int
 	DepthTruncated bool
+	// Parallelism is the worker count the run was configured with (after
+	// defaulting); it never changes the other counters.
+	Parallelism int
 	// PerRule breaks the run down by rule, in stratum evaluation order.
 	PerRule []RuleStats
 }
@@ -326,16 +343,19 @@ func (e *engine) freshNull(key string, d int) datalog.Term {
 // engine instance. Negated atoms are evaluated against the current instance,
 // which is correct under stratification: their predicates belong to lower
 // strata and are already final.
+//
+// Each rule's turn within a round runs in two phases (see parallel.go):
+// enumerate matches the rule against the instance as of the start of its
+// turn (read-only, optionally on Options.Parallelism workers), then apply
+// fires the buffered triggers sequentially in canonical order. Rules earlier
+// in the round feed the instance that later rules enumerate against, and the
+// round reaches its fixpoint when no rule derives a new fact.
 func (e *engine) chaseStratum(rules []datalog.Rule) error {
 	comp := make([]*compiledRule, len(rules))
 	ruleStats := make([]*RuleStats, len(rules))
 	for i, r := range rules {
 		comp[i] = compileRule(r, i)
 		ruleStats[i] = e.newRuleStats(r)
-	}
-	envs := make([]*env, len(rules))
-	for i, c := range comp {
-		envs[i] = newEnv(len(c.st.vars))
 	}
 	var delta *Instance // nil on the first round = match everything
 	for round := 0; ; round++ {
@@ -358,12 +378,12 @@ func (e *engine) chaseStratum(rules []datalog.Rule) error {
 			roundSpan = e.span.Span("chase.round",
 				obs.F("round", e.stats.Rounds),
 				obs.F("delta", deltaSize),
-				obs.F("instance", e.inst.Len()))
+				obs.F("instance", e.inst.Len()),
+				obs.F("workers", e.opts.Parallelism))
 		}
 		roundFacts := e.stats.FactsDerived
 		next := NewInstance()
 		for ci, c := range comp {
-			ev := envs[ci]
 			rs := ruleStats[ci]
 			var ruleSpan *obs.Span
 			if roundSpan != nil {
@@ -378,81 +398,28 @@ func (e *engine) chaseStratum(rules []datalog.Rule) error {
 			}
 			before := *rs
 			t0 := time.Now()
-			e.cur = rs
 			var fireErr error
+			// The fault and cancellation checks stay on the sequential
+			// control path (never inside workers) so the sequence of
+			// limits.Hit calls — and therefore where an armed fault plan
+			// trips — is identical for every Parallelism value.
 			if err := limits.Hit(e.opts.Faults, "chase.rule"); err != nil {
 				fireErr = e.fail(err)
 			} else if err := e.interrupted(); err != nil {
 				fireErr = err
 			}
-			emit := func() bool {
-				rs.TriggersAttempted++
-				// Cancellation is polled inside the match loop (not just per
-				// round/rule) so a canceled query stops within milliseconds
-				// even when a single round is huge; the counter keeps the
-				// common path to one increment and a mask.
-				if e.tick++; e.tick&63 == 0 {
-					if err := e.interrupted(); err != nil {
-						fireErr = err
-						return false
-					}
-				}
-				// Stratified negation against the current instance.
-				for _, np := range c.bodyNeg {
-					if e.inst.Has(np.instantiate(ev)) {
-						return true
-					}
-				}
-				newFacts, err := e.fire(c, ev)
-				if err != nil {
-					fireErr = err
-					return false
-				}
-				for _, f := range newFacts {
-					next.Add(f)
-				}
-				return true
+			var shards []*shard
+			if fireErr == nil {
+				shards, fireErr = e.enumerate(c, delta, ruleSpan)
 			}
-			if fireErr != nil {
-				// The rule-level fault/cancel check tripped before matching;
-				// fall through to the span end and error propagation below.
-			} else if delta == nil {
-				ev.reset()
-				matchPatterns(e.inst, c.bodyPos, c.fullOrder, ev, emit)
-			} else {
-				// Semi-naive: for each body position, seed from delta and
-				// match the rest against the full instance; deduplicate
-				// bindings across seeds.
-				seen := make(map[string]struct{})
-				emitDedup := func() bool {
-					key := bindingKey(ev, c.bodySlots)
-					if _, dup := seen[key]; dup {
-						return true
-					}
-					seen[key] = struct{}{}
-					return emit()
-				}
-				for j := range c.bodyPos {
-					var added []int
-					ev.reset() // candidate selection must not see stale bindings
-					for _, fact := range candidatesFor(delta, c.bodyPos[j], ev) {
-						ev.reset()
-						added = added[:0]
-						if !c.bodyPos[j].matchInto(fact, ev, &added) {
-							continue
-						}
-						if !matchPatterns(e.inst, c.bodyPos, c.seeded[j], ev, emitDedup) {
-							break
-						}
-					}
-					if fireErr != nil {
-						break
-					}
-				}
+			if fireErr == nil {
+				e.cur = rs
+				fireErr = e.apply(c, rs, shards, delta != nil, next)
+				e.cur = nil
 			}
-			e.cur = nil
 			rs.Time += time.Since(t0)
 			ruleSpan.End(
+				obs.F("shards", len(shards)),
 				obs.F("attempted", rs.TriggersAttempted-before.TriggersAttempted),
 				obs.F("fired", rs.TriggersFired-before.TriggersFired),
 				obs.F("facts", rs.FactsDerived-before.FactsDerived),
@@ -630,6 +597,7 @@ func RunCtx(ctx context.Context, db *Instance, prog *datalog.Program, opts Optio
 		return nil, err
 	}
 	e := newEngine(ctx, db, opts)
+	e.stats.Parallelism = opts.Parallelism
 	if opts.Obs != nil {
 		if opts.Parent != nil {
 			e.span = opts.Parent.Span("chase.run")
@@ -637,6 +605,7 @@ func RunCtx(ctx context.Context, db *Instance, prog *datalog.Program, opts Optio
 			e.span = opts.Obs.Span("chase.run")
 		}
 		e.span.Attr("mode", opts.Mode.String())
+		e.span.Attr("parallelism", opts.Parallelism)
 		e.span.Attr("rules", len(work.Rules))
 		e.span.Attr("strata", len(strata))
 		e.span.Attr("db_facts", db.Len())

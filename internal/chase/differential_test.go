@@ -1,0 +1,331 @@
+package chase
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/limits"
+)
+
+// The differential suite proves the tentpole guarantee of the parallel
+// engine: for the same program and database, every Parallelism value
+// produces the byte-identical instance (including invented null names), the
+// same Stats (down to per-rule trigger counts), and the same typed
+// truncation outcome. Random warded programs are driven through
+// {1, 2, 8 workers} × {Skolem, Restricted} × {semi-naive, naive}; within a
+// (mode, evaluation) cell the runs must agree exactly, and across the two
+// evaluation strategies they must agree up to null renaming (the invention
+// order of fresh nulls differs between full re-matching and delta seeding,
+// their count and the ground part do not).
+//
+// On failure the case's seed and generated program are logged; replay one
+// seed with TRIQ_DIFF_SEED=<n> go test -run TestDifferential ./internal/chase.
+
+// diffTemplates is the rule pool the generator samples from. Each rule is
+// individually warded (existential rules are guarded: single-atom positive
+// bodies, or bodies whose null-carrying variables stay inside one atom) and
+// negation is applied to EDB predicates or low strata only; the generator
+// still filters every sampled program through Validate/CheckWarded/
+// IsStratified, discarding combinations that break either property.
+var diffTemplates = []string{
+	"e0(?X, ?Y) -> p(?X, ?Y).",
+	"e1(?X, ?Y) -> p(?Y, ?X).",
+	"p(?X, ?Y), e1(?Y, ?Z) -> p(?X, ?Z).",
+	"p(?X, ?Y), p(?Y, ?Z) -> q(?X, ?Z).",
+	"e0(?X, ?Y) -> q(?X, ?Y).",
+	"q(?X, ?Y) -> r(?X).",
+	"r(?X) -> s(?X, ?V).",
+	"e1(?X, ?Y) -> s(?Y, ?W).",
+	"s(?X, ?V), e0(?X, ?Y) -> p(?X, ?Y).",
+	"s(?X, ?V), e1(?X, ?Z) -> q(?X, ?Z).",
+	"s(?X, ?V), e1(?X, ?Y) -> s(?Y, ?W).",
+	"s(?X, ?V) -> q(?X, ?X).",
+	"e0(?X, ?Y), not e1(?X, ?Y) -> q(?Y, ?X).",
+	"e1(?X, ?Y), not e0(?Y, ?X) -> r(?X).",
+	"r(?X), e0(?X, ?Y) -> q(?X, ?Y).",
+}
+
+// diffCase is one generated program + database.
+type diffCase struct {
+	seed    int64
+	program *datalog.Program
+	source  string
+	db      *Instance
+}
+
+// genDiffCase derives a valid random case from the seed: a subset of the
+// template pool that parses, is warded, and stratifies, over a random EDB
+// big enough that trigger enumeration crosses the parallel threshold.
+func genDiffCase(seed int64) (diffCase, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var prog *datalog.Program
+	var source string
+	for attempt := 0; ; attempt++ {
+		if attempt >= 100 {
+			return diffCase{}, fmt.Errorf("no valid program after %d attempts", attempt)
+		}
+		perm := rng.Perm(len(diffTemplates))
+		k := 3 + rng.Intn(5)
+		source = ""
+		for _, i := range perm[:k] {
+			source += diffTemplates[i] + "\n"
+		}
+		p, err := datalog.Parse(source)
+		if err != nil {
+			continue
+		}
+		if datalog.CheckWarded(p) != nil || !datalog.IsStratified(p) {
+			continue
+		}
+		prog = p
+		break
+	}
+	consts := make([]datalog.Term, 12)
+	for i := range consts {
+		consts[i] = datalog.C("c" + strconv.Itoa(i))
+	}
+	db := NewInstance()
+	for _, pred := range []string{"e0", "e1"} {
+		n := 40 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			db.Add(datalog.NewAtom(pred, consts[rng.Intn(len(consts))], consts[rng.Intn(len(consts))]))
+		}
+	}
+	return diffCase{seed: seed, program: prog, source: source, db: db}, nil
+}
+
+// diffOutcome is everything a run must reproduce exactly.
+type diffOutcome struct {
+	res *Result
+	err error
+}
+
+func runDiff(c diffCase, parallelism int, mode Mode, naive bool) diffOutcome {
+	res, err := Run(c.db, c.program, Options{
+		Mode:            mode,
+		MaxDepth:        3,
+		MaxFacts:        50_000,
+		MaxRounds:       1_000,
+		NaiveEvaluation: naive,
+		Parallelism:     parallelism,
+	})
+	return diffOutcome{res: res, err: err}
+}
+
+// normStats strips the fields that are allowed to differ between runs: Time
+// (wall clock) and Parallelism (configuration, not behavior).
+func normStats(s Stats) Stats {
+	s.Parallelism = 0
+	for i := range s.PerRule {
+		s.PerRule[i].Time = 0
+	}
+	return s
+}
+
+// sameError compares typed limit outcomes: both nil, or same limit name with
+// the same deterministic truncation counters.
+func sameError(a, b error) (bool, string) {
+	if (a == nil) != (b == nil) {
+		return false, fmt.Sprintf("error presence differs: %v vs %v", a, b)
+	}
+	if a == nil {
+		return true, ""
+	}
+	if limits.LimitName(a) != limits.LimitName(b) {
+		return false, fmt.Sprintf("limit differs: %v vs %v", a, b)
+	}
+	ta, oka := limits.TruncationOf(a)
+	tb, okb := limits.TruncationOf(b)
+	if oka != okb {
+		return false, "truncation presence differs"
+	}
+	if oka && (ta.Budget != tb.Budget || ta.Reached != tb.Reached || ta.Rounds != tb.Rounds || ta.Facts != tb.Facts) {
+		return false, fmt.Sprintf("truncation differs: %+v vs %+v", ta, tb)
+	}
+	return true, ""
+}
+
+// requireIdentical asserts the full bit-identical contract between a
+// baseline run and a run that differs only in Parallelism.
+func requireIdentical(t *testing.T, label string, base, got diffOutcome) {
+	t.Helper()
+	if ok, why := sameError(base.err, got.err); !ok {
+		t.Errorf("%s: %s", label, why)
+		return
+	}
+	if (base.res == nil) != (got.res == nil) {
+		t.Errorf("%s: result presence differs", label)
+		return
+	}
+	if base.res == nil {
+		return
+	}
+	if base.res.Inconsistent != got.res.Inconsistent {
+		t.Errorf("%s: Inconsistent differs: %v vs %v", label, base.res.Inconsistent, got.res.Inconsistent)
+	}
+	if bs, gs := normStats(base.res.Stats), normStats(got.res.Stats); fmt.Sprintf("%+v", bs) != fmt.Sprintf("%+v", gs) {
+		t.Errorf("%s: stats differ:\n  base: %+v\n  got:  %+v", label, bs, gs)
+	}
+	if bi, gi := base.res.Instance.String(), got.res.Instance.String(); bi != gi {
+		t.Errorf("%s: instances differ (%d vs %d atoms)", label, base.res.Instance.Len(), got.res.Instance.Len())
+	}
+}
+
+// requireEquivalent asserts the cross-evaluation-strategy contract, which is
+// weaker than the cross-parallelism one: naive full re-matching can reach
+// the fixpoint in fewer rounds than delta seeding (a rule's same-round
+// output is visible to the next full scan but only enters the delta one
+// round later), and the rule that first derives a shared fact can shift with
+// it — so rounds, trigger counts, and per-rule attribution are allowed to
+// differ. What must agree: the fixpoint itself (ground part exactly, nulls
+// up to renaming — invention order differs, so names may be permuted) and
+// the typed error outcome. Depth-truncated runs are excluded: truncation
+// cuts at a null-depth assignment that depends on which derivation path won,
+// so the reachable fixpoints legitimately diverge.
+func requireEquivalent(t *testing.T, label string, a, b diffOutcome) {
+	t.Helper()
+	if ok, why := sameError(a.err, b.err); !ok {
+		t.Errorf("%s: %s", label, why)
+		return
+	}
+	if a.res == nil || b.res == nil || a.err != nil {
+		return
+	}
+	if a.res.Stats.DepthTruncated || b.res.Stats.DepthTruncated {
+		return
+	}
+	if !a.res.Instance.GroundPart().Equal(b.res.Instance.GroundPart()) {
+		t.Errorf("%s: ground parts differ", label)
+	}
+	if an, bn := len(a.res.Instance.Nulls()), len(b.res.Instance.Nulls()); an != bn {
+		t.Errorf("%s: null counts differ: %d vs %d", label, an, bn)
+	}
+	if af, bf := a.res.Stats.FactsDerived, b.res.Stats.FactsDerived; af != bf {
+		t.Errorf("%s: facts derived differ: %d vs %d", label, af, bf)
+	}
+}
+
+// injectedSomewhere reports whether any outcome carries an injected fault —
+// the process-global TRIQ_FAULTS plan counts hits across runs, so an armed
+// probabilistic fault trips at different points in different configurations
+// and the case is not comparable.
+func injectedSomewhere(outs ...diffOutcome) bool {
+	for _, o := range outs {
+		if o.err != nil && errors.Is(o.err, limits.ErrInjected) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDifferentialEngines(t *testing.T) {
+	seeds := []int64{1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377, 610, 987, 1597, 2584, 4181, 6765, 10946}
+	if testing.Short() {
+		seeds = seeds[:6]
+	}
+	if env := os.Getenv("TRIQ_DIFF_SEED"); env != "" {
+		n, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("bad TRIQ_DIFF_SEED %q: %v", env, err)
+		}
+		seeds = []int64{n}
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			c, err := genDiffCase(seed)
+			if err != nil {
+				t.Fatalf("seed=%d: %v", seed, err)
+			}
+			fail := func() {
+				t.Logf("replay: TRIQ_DIFF_SEED=%d go test -run 'TestDifferentialEngines' ./internal/chase\nprogram (db: %d facts):\n%s",
+					seed, c.db.Len(), c.source)
+			}
+			for _, mode := range []Mode{Skolem, Restricted} {
+				var byEval [2]diffOutcome // [0]=semi-naive, [1]=naive baselines
+				for ni, naive := range []bool{false, true} {
+					base := runDiff(c, 1, mode, naive)
+					p2 := runDiff(c, 2, mode, naive)
+					p8 := runDiff(c, 8, mode, naive)
+					if injectedSomewhere(base, p2, p8) {
+						t.Skipf("seed=%d: injected fault (TRIQ_FAULTS armed); case not comparable", seed)
+					}
+					label := fmt.Sprintf("seed=%d mode=%v naive=%v", seed, mode, naive)
+					before := 0
+					if t.Failed() {
+						before = 1
+					}
+					requireIdentical(t, label+" P1≡P2", base, p2)
+					requireIdentical(t, label+" P1≡P8", base, p8)
+					if before == 0 && t.Failed() {
+						fail()
+					}
+					byEval[ni] = base
+				}
+				if injectedSomewhere(byEval[0], byEval[1]) {
+					t.Skipf("seed=%d: injected fault (TRIQ_FAULTS armed); case not comparable", seed)
+				}
+				before := t.Failed()
+				requireEquivalent(t, fmt.Sprintf("seed=%d mode=%v semi-naive≡naive", seed, mode), byEval[0], byEval[1])
+				if !before && t.Failed() {
+					fail()
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialBudgetTrip pins the abort path: a fact budget that trips
+// mid-round must abort at the identical fact, with identical partial
+// instances and truncation counters, for every worker count. (ErrFactBudget
+// is raised in the sequential apply phase, so unlike wall-clock limits it is
+// deterministic by construction — this test keeps it that way.)
+func TestDifferentialBudgetTrip(t *testing.T) {
+	prog := datalog.MustParse(`
+		edge(?X, ?Y) -> path(?X, ?Y).
+		path(?X, ?Y), edge(?Y, ?Z) -> path(?X, ?Z).
+	`)
+	db := NewInstance()
+	for i := 0; i < 120; i++ {
+		db.Add(datalog.NewAtom("edge",
+			datalog.C("v"+strconv.Itoa(i)), datalog.C("v"+strconv.Itoa(i+1))))
+	}
+	run := func(par int) diffOutcome {
+		res, err := Run(db, prog, Options{MaxFacts: 300, Parallelism: par})
+		return diffOutcome{res: res, err: err}
+	}
+	base := run(1)
+	if base.err == nil || !errors.Is(base.err, limits.ErrFactBudget) {
+		t.Fatalf("expected fact-budget abort, got %v", base.err)
+	}
+	for _, par := range []int{2, 4, 8} {
+		requireIdentical(t, fmt.Sprintf("budget P1≡P%d", par), base, run(par))
+	}
+}
+
+// TestParallelismDefaulting pins the Options contract: 0 means GOMAXPROCS
+// (≥1), negative values clamp to sequential, and the resolved value is
+// reported in Stats.
+func TestParallelismDefaulting(t *testing.T) {
+	for _, par := range []int{0, -3, 1, 4} {
+		o := Options{Parallelism: par}.withDefaults()
+		if o.Parallelism < 1 {
+			t.Errorf("Parallelism=%d resolved to %d, want >= 1", par, o.Parallelism)
+		}
+	}
+	prog := datalog.MustParse("e(?X, ?Y) -> p(?X, ?Y).")
+	db := NewInstance(datalog.NewAtom("e", datalog.C("a"), datalog.C("b")))
+	res, err := Run(db, prog, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Parallelism != 4 {
+		t.Errorf("Stats.Parallelism = %d, want 4", res.Stats.Parallelism)
+	}
+}

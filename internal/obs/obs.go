@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -252,6 +253,14 @@ func attrMap(kv []KV) map[string]any {
 		m[a.K] = a.V
 	}
 	return m
+}
+
+// WorkerMetric derives a per-worker metric name from a base name, e.g.
+// WorkerMetric("chase.worker.shards", 3) = "chase.worker.shards.w3". Keeping
+// the worker id in the name (not a label) fits the flat counter registry
+// while still letting dashboards split load across a worker pool.
+func WorkerMetric(base string, worker int) string {
+	return base + ".w" + strconv.Itoa(worker)
 }
 
 // FormatDuration renders a duration on a fixed µs/ms/s unit ladder with two

@@ -48,6 +48,10 @@ type Config struct {
 	MaxTimeout time.Duration
 	// Obs receives server metrics (and is dumped by /metrics). Nil disables.
 	Obs *obs.Obs
+	// Parallelism is the chase worker count per evaluation (0 = GOMAXPROCS,
+	// 1 = sequential). Answers are identical at every setting; tune it
+	// against Admission.MaxConcurrent so slots × workers ≈ cores.
+	Parallelism int
 	// Seed seeds the retry jitter; 0 uses a fixed seed (fine for a server,
 	// handy for tests).
 	Seed int64
@@ -332,6 +336,7 @@ func (s *Server) evaluate(ctx context.Context, g *repro.Graph, endpoint string, 
 	opts := repro.Options{}
 	opts.Chase.MaxFacts = req.MaxFacts
 	opts.Chase.MaxRounds = req.MaxRounds
+	opts.Chase.Parallelism = s.cfg.Parallelism
 
 	var eval func() (*QueryResponse, error)
 	switch endpoint {
