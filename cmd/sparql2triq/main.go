@@ -53,6 +53,7 @@ type config struct {
 	maxFacts  int           // chase fact budget (0 = none)
 	maxRounds int           // chase round budget (0 = none)
 	trace     string        // JSONL span trace file ("" = off)
+	explain   bool          // print the per-query EXPLAIN report to stderr
 	metrics   bool          // print metrics summary to stderr
 	pprof     string        // pprof listen address ("" = off)
 }
@@ -66,6 +67,7 @@ func main() {
 	flag.IntVar(&cfg.maxFacts, "max-facts", 0, "abort the chase once the instance holds this many facts (0 = unlimited; partial mappings + exit 3)")
 	flag.IntVar(&cfg.maxRounds, "max-rounds", 0, "abort the chase after this many rounds per stratum (0 = unlimited; partial mappings + exit 3)")
 	flag.StringVar(&cfg.trace, "trace", "", "write a JSONL span trace to this file")
+	flag.BoolVar(&cfg.explain, "explain", false, "with -eval: print the EXPLAIN report (Datalog rules attributed to SPARQL operators, per-rule chase stats, stage times) to stderr")
 	flag.BoolVar(&cfg.metrics, "metrics", false, "print the per-rule chase breakdown and metrics registry to stderr")
 	flag.StringVar(&cfg.pprof, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
@@ -140,6 +142,10 @@ func run(ctx context.Context, cfg config) (err error) {
 	if err != nil {
 		return err
 	}
+	if cfg.explain && o == nil {
+		// EXPLAIN needs a registry even when -trace/-metrics are off.
+		o = obs.New()
+	}
 	err = translateAndEval(ctx, cfg, o)
 	if cerr := closeObs(); err == nil {
 		err = cerr
@@ -182,6 +188,7 @@ func translateAndEval(ctx context.Context, cfg config, o *obs.Obs) error {
 	default:
 		return fmt.Errorf("unknown regime %q (want plain, u, or all)", cfg.regime)
 	}
+	start := time.Now()
 	tr, err := translate.Traced(q.Pattern(), regime, o)
 	if err != nil {
 		return err
@@ -216,6 +223,12 @@ func translateAndEval(ctx context.Context, cfg config, o *obs.Obs) error {
 	ms, res, err := tr.EvaluateFullCtx(ctx, g, opts)
 	if err != nil {
 		return err
+	}
+	if cfg.explain {
+		rep := triq.BuildExplain(res, o.Registry(), time.Since(start))
+		rep.Kind = "sparql"
+		rep.Regime = regime.String()
+		fmt.Fprint(os.Stderr, rep.String())
 	}
 	if cfg.metrics {
 		fmt.Fprint(os.Stderr, res.Stats.String())

@@ -17,9 +17,11 @@
 // With -prove the ProofTree decision procedure of Section 6.3 is run on a
 // single goal atom and the proof tree is printed.
 //
-// Observability (see README "Observability"): -metrics prints the per-rule
-// chase breakdown and the metrics registry to stderr, -trace streams the
-// JSONL span trace to a file, and -pprof serves net/http/pprof.
+// Observability (see README "Observability"): -explain prints the per-query
+// EXPLAIN report (per-rule chase stats with provenance, worker balance, stage
+// times), -metrics prints the per-rule chase breakdown and the metrics
+// registry to stderr, -trace streams the JSONL span trace to a file, and
+// -pprof serves net/http/pprof.
 package main
 
 import (
@@ -73,6 +75,7 @@ type config struct {
 	maxVisits int           // proof-search visit budget (0 = default)
 	workers   int           // chase worker count (0 = GOMAXPROCS)
 	trace     string        // JSONL span trace file ("" = off)
+	explain   bool          // print the per-query EXPLAIN report to stderr
 	metrics   bool          // print metrics summary to stderr
 	pprof     string        // pprof listen address ("" = off)
 	jsonOut   bool          // emit the shared JSON wire format on stdout
@@ -97,6 +100,7 @@ func main() {
 	flag.IntVar(&cfg.maxVisits, "max-visits", 0, "proof-search component-visit budget for -prove/-exact (0 = default; exit 3 on trip)")
 	flag.IntVar(&cfg.workers, "parallelism", 0, "chase worker count (0 = GOMAXPROCS, 1 = sequential; answers are identical at every setting)")
 	flag.StringVar(&cfg.trace, "trace", "", "write a JSONL span trace to this file")
+	flag.BoolVar(&cfg.explain, "explain", false, "print the EXPLAIN report (per-rule chase stats with provenance, worker balance, stage times) to stderr; with -json it is embedded in the response")
 	flag.BoolVar(&cfg.metrics, "metrics", false, "print the per-rule chase breakdown and metrics registry to stderr")
 	flag.StringVar(&cfg.pprof, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.BoolVar(&cfg.jsonOut, "json", false, "emit results (and errors) as JSON in the same wire format the triqd server uses")
@@ -318,11 +322,18 @@ func runQuery(ctx context.Context, cfg config, db *chase.Instance, prog *datalog
 	opts.Chase.Parallelism = cfg.workers
 	opts.Chase.Obs = o
 	var res *triq.Result
+	var rep *triq.ExplainReport
 	var err error
-	if cfg.exact {
+	switch {
+	case cfg.exact && cfg.explain:
+		opts.MaxVisits = cfg.maxVisits
+		res, rep, err = triq.ExplainExactCtx(ctx, db, q, opts)
+	case cfg.exact:
 		opts.MaxVisits = cfg.maxVisits
 		res, err = triq.EvalExactCtx(ctx, db, q, opts)
-	} else {
+	case cfg.explain:
+		res, rep, err = triq.ExplainCtx(ctx, db, q, lang, opts)
+	default:
 		res, err = triq.EvalCtx(ctx, db, q, lang, opts)
 	}
 	if err != nil {
@@ -338,6 +349,7 @@ func runQuery(ctx context.Context, cfg config, db *chase.Instance, prog *datalog
 			Incomplete:   res.Incomplete,
 			Truncation:   res.Truncation,
 			Attempts:     1,
+			Explain:      rep,
 		}
 		for _, tup := range res.Answers.Tuples {
 			parts := make([]string, len(tup))
@@ -361,6 +373,9 @@ func runQuery(ctx context.Context, cfg config, db *chase.Instance, prog *datalog
 	}
 	fmt.Fprintf(os.Stderr, "%d answers (depth %d, exact=%v, %d facts derived)\n",
 		len(res.Answers.Tuples), res.Depth, res.Exact, res.Stats.FactsDerived)
+	if rep != nil {
+		fmt.Fprint(os.Stderr, rep.String())
+	}
 	if cfg.metrics {
 		fmt.Fprint(os.Stderr, res.Stats.String())
 		fmt.Fprint(os.Stderr, o.Summary())

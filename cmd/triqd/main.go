@@ -52,6 +52,9 @@ type config struct {
 	drainTimeout   time.Duration // graceful-shutdown budget
 	retries        int           // attempts per evaluation (1 = no retries)
 	parallelism    int           // chase workers per evaluation (0 = GOMAXPROCS)
+
+	slowlog          string        // JSONL slow-query sink file ("" = ring only)
+	slowlogThreshold time.Duration // record requests at least this slow (0 = off)
 }
 
 func main() {
@@ -67,6 +70,8 @@ func main() {
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 15*time.Second, "graceful-shutdown budget; stragglers are canceled when it expires")
 	flag.IntVar(&cfg.retries, "retries", 3, "evaluation attempts per request (1 disables retrying)")
 	flag.IntVar(&cfg.parallelism, "parallelism", 1, "chase workers per evaluation (0 = GOMAXPROCS, 1 = sequential; keep slots × workers ≈ cores)")
+	flag.StringVar(&cfg.slowlog, "slowlog", "", "append slow-query entries as JSON lines to this file (implies -slowlog-threshold 1s when unset)")
+	flag.DurationVar(&cfg.slowlogThreshold, "slowlog-threshold", 0, "record requests whose total time meets this threshold at /debug/slowlog (0 disables unless -slowlog is set)")
 	flag.Parse()
 	os.Exit(realMain(cfg))
 }
@@ -123,6 +128,19 @@ func run(ctx context.Context, cfg config, ln net.Listener, stop <-chan os.Signal
 	if queue == 0 {
 		queue = -1 // AdmissionConfig semantics: negative disables queueing
 	}
+	slowCfg := serve.SlowLogConfig{Threshold: cfg.slowlogThreshold}
+	if cfg.slowlog != "" {
+		if slowCfg.Threshold <= 0 {
+			slowCfg.Threshold = time.Second
+		}
+		f, err := os.OpenFile(cfg.slowlog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		defer f.Close()
+		slowCfg.Sink = f
+	}
 	srv := serve.New(serve.Config{
 		Admission: serve.AdmissionConfig{
 			MaxConcurrent: cfg.concurrency,
@@ -133,6 +151,7 @@ func run(ctx context.Context, cfg config, ln net.Listener, stop <-chan os.Signal
 		DefaultTimeout: cfg.defaultTimeout,
 		MaxTimeout:     cfg.maxTimeout,
 		Obs:            obs.New(),
+		SlowLog:        slowCfg,
 		Parallelism:    cfg.parallelism,
 	})
 

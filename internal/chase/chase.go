@@ -69,6 +69,11 @@ type Options struct {
 	// chase.run / chase.round / chase.rule spans and registry counters. A nil
 	// Obs (the default) adds no tracing work and no I/O.
 	Obs *obs.Obs
+	// Progress, when non-nil, receives lock-free live counters (current
+	// round, instance size, triggers fired, busy workers) that an operator
+	// endpoint can sample while the run is in flight. It never affects
+	// evaluation.
+	Progress *Progress
 	// Parent optionally nests the chase.run span under an enclosing span
 	// (e.g. the iterative-deepening driver). Ignored when Obs is nil.
 	Parent *obs.Span
@@ -119,7 +124,11 @@ type RuleStats struct {
 	// differ from source order when the program is stratified).
 	Index int
 	// Rule is the rule's source rendering.
-	Rule              string
+	Rule string
+	// Origin is the rule's provenance label (datalog.Rule.Provenance): for
+	// translated SPARQL queries, the operator that emitted the rule. Empty
+	// for hand-written rules.
+	Origin            string
 	TriggersAttempted int
 	TriggersFired     int
 	FactsDerived      int
@@ -304,7 +313,7 @@ func (e *engine) fail(err error) error {
 
 // newRuleStats registers a per-rule stats slot in evaluation order.
 func (e *engine) newRuleStats(r datalog.Rule) *RuleStats {
-	rs := &RuleStats{Index: len(e.perRule), Rule: r.String()}
+	rs := &RuleStats{Index: len(e.perRule), Rule: r.String(), Origin: r.Provenance}
 	e.perRule = append(e.perRule, rs)
 	return rs
 }
@@ -369,6 +378,7 @@ func (e *engine) chaseStratum(rules []datalog.Rule) error {
 			return err
 		}
 		e.stats.Rounds++
+		e.opts.Progress.setRound(int64(e.stats.Rounds), int64(e.inst.Len()))
 		var roundSpan *obs.Span
 		if e.span != nil {
 			deltaSize := e.inst.Len() // first round matches the full instance
@@ -418,6 +428,8 @@ func (e *engine) chaseStratum(rules []datalog.Rule) error {
 				e.cur = nil
 			}
 			rs.Time += time.Since(t0)
+			e.opts.Progress.addTriggers(int64(rs.TriggersFired - before.TriggersFired))
+			e.opts.Progress.setFacts(int64(e.inst.Len()))
 			ruleSpan.End(
 				obs.F("shards", len(shards)),
 				obs.F("attempted", rs.TriggersAttempted-before.TriggersAttempted),
@@ -598,6 +610,8 @@ func RunCtx(ctx context.Context, db *Instance, prog *datalog.Program, opts Optio
 	}
 	e := newEngine(ctx, db, opts)
 	e.stats.Parallelism = opts.Parallelism
+	opts.Progress.runStart()
+	defer opts.Progress.runEnd()
 	if opts.Obs != nil {
 		if opts.Parent != nil {
 			e.span = opts.Parent.Span("chase.run")

@@ -217,6 +217,8 @@ func (e *engine) enumerate(c *compiledRule, delta *Instance, ruleSpan *obs.Span)
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
+			e.opts.Progress.workerStart()
+			defer e.opts.Progress.workerEnd()
 			var wspan *obs.Span
 			if ruleSpan != nil {
 				wspan = ruleSpan.Span("chase.worker", obs.F("worker", worker))

@@ -48,9 +48,9 @@ func SingleHead(p *Program) *Program {
 		ex := r.ExistentialVars()
 		args := append(append([]Term(nil), frontier...), ex...)
 		aux := Atom{Pred: fresh.next("h"), Args: args}
-		out.Add(Rule{BodyPos: r.BodyPos, BodyNeg: r.BodyNeg, Head: []Atom{aux}})
+		out.Add(Rule{BodyPos: r.BodyPos, BodyNeg: r.BodyNeg, Head: []Atom{aux}, Provenance: r.Provenance})
 		for _, h := range r.Head {
-			out.Add(Rule{BodyPos: []Atom{aux}, Head: []Atom{h}})
+			out.Add(Rule{BodyPos: []Atom{aux}, Head: []Atom{h}, Provenance: r.Provenance})
 		}
 	}
 	return out
@@ -99,13 +99,13 @@ func SingleExistential(p *Program) *Program {
 			prevArgs = append(prevArgs, y)
 			auxAtom := Atom{Pred: fresh.next("p"), Args: append([]Term(nil), prevArgs...)}
 			if i == 0 {
-				out.Add(Rule{BodyPos: r.BodyPos, BodyNeg: r.BodyNeg, Head: []Atom{auxAtom}})
+				out.Add(Rule{BodyPos: r.BodyPos, BodyNeg: r.BodyNeg, Head: []Atom{auxAtom}, Provenance: r.Provenance})
 			} else {
-				out.Add(Rule{BodyPos: []Atom{prevAtom}, Head: []Atom{auxAtom}})
+				out.Add(Rule{BodyPos: []Atom{prevAtom}, Head: []Atom{auxAtom}, Provenance: r.Provenance})
 			}
 			prevAtom = auxAtom
 		}
-		out.Add(Rule{BodyPos: []Atom{prevAtom}, Head: []Atom{head}})
+		out.Add(Rule{BodyPos: []Atom{prevAtom}, Head: []Atom{head}, Provenance: r.Provenance})
 	}
 	return out
 }
@@ -219,8 +219,8 @@ func HeadGroundedSplit(p *Program) (*Program, error) {
 		}
 		sort.Slice(args, func(i, j int) bool { return args[i].Name < args[j].Name })
 		auxAtom := Atom{Pred: fresh.next("t"), Args: args}
-		out.Add(Rule{BodyPos: rest, Head: []Atom{auxAtom}})
-		out.Add(Rule{BodyPos: []Atom{ward, auxAtom}, Head: r.Head})
+		out.Add(Rule{BodyPos: rest, Head: []Atom{auxAtom}, Provenance: r.Provenance})
+		out.Add(Rule{BodyPos: []Atom{ward, auxAtom}, Head: r.Head, Provenance: r.Provenance})
 	}
 	return out, nil
 }

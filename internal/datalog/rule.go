@@ -17,6 +17,13 @@ type Rule struct {
 	BodyPos []Atom // body+(ρ)
 	BodyNeg []Atom // body−(ρ)
 	Head    []Atom
+	// Provenance labels where the rule came from — for compiler-generated
+	// rules, the construct that emitted it (e.g. the SPARQL operator kind in
+	// internal/translate, or "ontology"). It is carried through the
+	// normalizations, surfaces as RuleStats.Origin in chase stats, and backs
+	// the per-operator attribution of the EXPLAIN report. Empty for
+	// hand-written rules; never affects evaluation or equality of answers.
+	Provenance string
 }
 
 // NewRule builds a positive rule body → head.
@@ -185,9 +192,10 @@ func (p *Program) Clone() *Program {
 	}
 	for i, r := range p.Rules {
 		q.Rules[i] = Rule{
-			BodyPos: append([]Atom(nil), r.BodyPos...),
-			BodyNeg: append([]Atom(nil), r.BodyNeg...),
-			Head:    append([]Atom(nil), r.Head...),
+			BodyPos:    append([]Atom(nil), r.BodyPos...),
+			BodyNeg:    append([]Atom(nil), r.BodyNeg...),
+			Head:       append([]Atom(nil), r.Head...),
+			Provenance: r.Provenance,
 		}
 	}
 	copy(q.Constraints, p.Constraints)
@@ -302,7 +310,7 @@ func (p *Program) HasExistentials() bool {
 func (p *Program) Positive() *Program {
 	q := &Program{Rules: make([]Rule, len(p.Rules))}
 	for i, r := range p.Rules {
-		q.Rules[i] = Rule{BodyPos: r.BodyPos, Head: r.Head}
+		q.Rules[i] = Rule{BodyPos: r.BodyPos, Head: r.Head, Provenance: r.Provenance}
 	}
 	return q
 }

@@ -84,7 +84,10 @@ func TestRegistryCountersGaugesHists(t *testing.T) {
 	}
 }
 
-func TestHistogramDecimationBoundsMemory(t *testing.T) {
+func TestHistogramBoundedMemory(t *testing.T) {
+	// The log-bucketed histogram holds a fixed bucket array no matter how
+	// long the stream is, and its interpolated quantiles stay within the
+	// 1-2-5 bucket width of the true value.
 	r := NewRegistry()
 	for i := 0; i < 100_000; i++ {
 		r.Observe("big", float64(i))
@@ -93,15 +96,22 @@ func TestHistogramDecimationBoundsMemory(t *testing.T) {
 	if s.Count != 100_000 || s.Max != 99_999 {
 		t.Fatalf("stats = %+v", s)
 	}
-	// Reservoir quantiles stay within a few percent of the true value.
 	if s.P50 < 40_000 || s.P50 > 60_000 {
 		t.Fatalf("p50 = %g, want ≈50000", s.P50)
 	}
-	r.mu.Lock()
-	n := len(r.hists["big"].samples)
-	r.mu.Unlock()
-	if n >= maxSamples {
-		t.Fatalf("reservoir grew to %d, want < %d", n, maxSamples)
+	snap, ok := r.HistSnapshot("big")
+	if !ok {
+		t.Fatal("snapshot missing")
+	}
+	if got, want := len(snap.Buckets), len(BucketBounds())+1; got != want {
+		t.Fatalf("bucket count = %d, want %d (fixed)", got, want)
+	}
+	var total int64
+	for _, n := range snap.Buckets {
+		total += n
+	}
+	if total != 100_000 {
+		t.Fatalf("bucket total = %d, want 100000", total)
 	}
 }
 

@@ -2,21 +2,20 @@ package obs
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"strings"
 	"sync"
 )
 
 // Registry is a process-local metrics store: monotonically increasing
-// counters, last-write-wins gauges, and fixed-size-reservoir histograms with
-// p50/p95/max. All methods are safe for concurrent use and are no-ops on a
-// nil receiver.
+// counters, last-write-wins gauges, and fixed-memory log-bucketed histograms
+// with p50/p95/p99/max. All methods are safe for concurrent use and are
+// no-ops on a nil receiver.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]int64
 	gauges   map[string]float64
-	hists    map[string]*histogram
+	hists    map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
@@ -24,7 +23,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]int64),
 		gauges:   make(map[string]float64),
-		hists:    make(map[string]*histogram),
+		hists:    make(map[string]*Histogram),
 	}
 }
 
@@ -68,44 +67,106 @@ func (r *Registry) Gauge(name string) float64 {
 	return r.gauges[name]
 }
 
-// Observe records one histogram sample.
+// Observe records one histogram sample. The registry lock covers only the
+// map lookup; the observation itself is a lock-free atomic on the
+// histogram, so concurrent observers of the same metric do not serialize.
 func (r *Registry) Observe(name string, v float64) {
 	if r == nil {
 		return
 	}
+	r.getHist(name).Observe(v)
+}
+
+// getHist returns the named histogram, creating it on first use.
+func (r *Registry) getHist(name string) *Histogram {
 	r.mu.Lock()
 	h := r.hists[name]
 	if h == nil {
-		h = newHistogram()
+		h = NewHistogram()
 		r.hists[name] = h
 	}
-	h.observe(v)
 	r.mu.Unlock()
+	return h
 }
 
-// HistStats is a histogram snapshot.
+// HistStats is a histogram summary.
 type HistStats struct {
-	Count    int64
-	Sum, Max float64
-	P50, P95 float64
+	Count         int64
+	Sum, Max      float64
+	P50, P95, P99 float64
 }
 
-// Hist snapshots a histogram; ok is false when no sample was recorded.
+// Hist summarizes a histogram; ok is false when no sample was recorded.
 func (r *Registry) Hist(name string) (HistStats, bool) {
 	if r == nil {
 		return HistStats{}, false
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	h := r.hists[name]
-	if h == nil || h.count == 0 {
+	r.mu.Unlock()
+	if h == nil {
 		return HistStats{}, false
 	}
-	return h.stats(), true
+	s := h.Snapshot()
+	if s.Count == 0 {
+		return HistStats{}, false
+	}
+	return s.Stats(), true
+}
+
+// HistSnapshot returns the raw bucket snapshot of a histogram; ok is false
+// when no sample was recorded. The Prometheus exposition and the EXPLAIN
+// report read buckets through this.
+func (r *Registry) HistSnapshot(name string) (HistSnapshot, bool) {
+	if r == nil {
+		return HistSnapshot{}, false
+	}
+	r.mu.Lock()
+	h := r.hists[name]
+	r.mu.Unlock()
+	if h == nil {
+		return HistSnapshot{}, false
+	}
+	s := h.Snapshot()
+	return s, s.Count > 0
+}
+
+// MergeFrom folds another registry into r: counters add, gauges overwrite
+// (last write wins), histograms merge bucket-wise. It backs the EXPLAIN
+// path, which evaluates under a private registry for per-query isolation
+// and then folds the observations back into the caller's long-lived one.
+func (r *Registry) MergeFrom(other *Registry) {
+	if r == nil || other == nil {
+		return
+	}
+	other.mu.Lock()
+	counters := make(map[string]int64, len(other.counters))
+	for n, v := range other.counters {
+		counters[n] = v
+	}
+	gauges := make(map[string]float64, len(other.gauges))
+	for n, v := range other.gauges {
+		gauges[n] = v
+	}
+	hists := make(map[string]*Histogram, len(other.hists))
+	for n, h := range other.hists {
+		hists[n] = h
+	}
+	other.mu.Unlock()
+	for n, v := range counters {
+		r.Add(n, v)
+	}
+	for n, v := range gauges {
+		r.SetGauge(n, v)
+	}
+	for n, h := range hists {
+		r.getHist(n).Merge(h)
+	}
 }
 
 // Summary renders every metric in sorted order, one per line: counters and
-// gauges as "name value", histograms as "name count=… p50=… p95=… max=…".
+// gauges as "name value", histograms as
+// "name count=… p50=… p95=… p99=… max=…".
 func (r *Registry) Summary() string {
 	if r == nil {
 		return ""
@@ -120,76 +181,14 @@ func (r *Registry) Summary() string {
 		lines = append(lines, fmt.Sprintf("%-40s %g", n, v))
 	}
 	for n, h := range r.hists {
-		if h.count == 0 {
+		snap := h.Snapshot()
+		if snap.Count == 0 {
 			continue
 		}
-		s := h.stats()
-		lines = append(lines, fmt.Sprintf("%-40s count=%d p50=%.1f p95=%.1f max=%.1f",
-			n, s.Count, s.P50, s.P95, s.Max))
+		s := snap.Stats()
+		lines = append(lines, fmt.Sprintf("%-40s count=%d p50=%.1f p95=%.1f p99=%.1f max=%.1f",
+			n, s.Count, s.P50, s.P95, s.P99, s.Max))
 	}
 	sort.Strings(lines)
 	return strings.Join(lines, "\n") + "\n"
-}
-
-// maxSamples bounds a histogram reservoir; when full, the reservoir is
-// decimated (every second sample kept) and the sampling stride doubles, so
-// quantiles stay approximately right at bounded memory for any stream
-// length.
-const maxSamples = 4096
-
-type histogram struct {
-	count   int64
-	sum     float64
-	max     float64
-	samples []float64
-	stride  int64 // record every stride-th observation
-}
-
-func newHistogram() *histogram { return &histogram{stride: 1} }
-
-func (h *histogram) observe(v float64) {
-	h.count++
-	h.sum += v
-	if h.count == 1 || v > h.max {
-		h.max = v
-	}
-	if h.count%h.stride != 0 {
-		return
-	}
-	h.samples = append(h.samples, v)
-	if len(h.samples) >= maxSamples {
-		kept := h.samples[:0]
-		for i := 1; i < len(h.samples); i += 2 {
-			kept = append(kept, h.samples[i])
-		}
-		h.samples = kept
-		h.stride *= 2
-	}
-}
-
-func (h *histogram) stats() HistStats {
-	s := HistStats{Count: h.count, Sum: h.sum, Max: h.max}
-	if len(h.samples) == 0 {
-		return s
-	}
-	sorted := append([]float64(nil), h.samples...)
-	sort.Float64s(sorted)
-	s.P50 = quantile(sorted, 0.50)
-	s.P95 = quantile(sorted, 0.95)
-	return s
-}
-
-// quantile reads the q-th quantile from a sorted sample by nearest-rank.
-func quantile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
 }

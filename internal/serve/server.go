@@ -46,8 +46,16 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout caps client-requested deadlines (default 60s).
 	MaxTimeout time.Duration
-	// Obs receives server metrics (and is dumped by /metrics). Nil disables.
+	// Obs receives server metrics (and is exported by /metrics and
+	// /metrics.json). Nil disables.
 	Obs *obs.Obs
+	// SlowLog configures the slow-query log (/debug/slowlog). A zero
+	// Threshold disables it.
+	SlowLog SlowLogConfig
+	// Progress, when non-nil, is the shared live chase progress gauge every
+	// evaluation reports into (served at /debug/progress). New installs one
+	// automatically when nil.
+	Progress *repro.Progress
 	// Parallelism is the chase worker count per evaluation (0 = GOMAXPROCS,
 	// 1 = sequential). Answers are identical at every setting; tune it
 	// against Admission.MaxConcurrent so slots × workers ≈ cores.
@@ -71,10 +79,12 @@ func (c Config) withDefaults() Config {
 // SetGraph (readiness flips only then), mount Handler on an http.Server,
 // and stop with Drain.
 type Server struct {
-	cfg Config
-	adm *admission
-	jit *jitter
-	obs *obs.Obs
+	cfg      Config
+	adm      *admission
+	jit      *jitter
+	obs      *obs.Obs
+	slow     *slowLog
+	progress *repro.Progress
 
 	mu    sync.RWMutex
 	graph *repro.Graph
@@ -98,12 +108,17 @@ type Server struct {
 // New builds a Server; it is not ready until SetGraph is called.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	if cfg.Progress == nil {
+		cfg.Progress = &repro.Progress{}
+	}
 	hardStop, hardKill := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:      cfg,
 		adm:      newAdmission(cfg.Admission),
 		jit:      newJitter(cfg.Seed + 1),
 		obs:      cfg.Obs,
+		slow:     newSlowLog(cfg.SlowLog),
+		progress: cfg.Progress,
 		draining: make(chan struct{}),
 		hardStop: hardStop,
 		hardKill: hardKill,
@@ -185,12 +200,16 @@ func (s *Server) Drain(ctx context.Context) error {
 
 // Handler mounts the service endpoints:
 //
-//	POST /query   — Datalog (TriQ) evaluation
-//	POST /sparql  — SPARQL evaluation under a regime
+//	POST /query   — Datalog (TriQ) evaluation (?explain=1 for telemetry)
+//	POST /sparql  — SPARQL evaluation under a regime (?explain=1 likewise)
 //	GET  /healthz — liveness (200 while the process runs)
 //	GET  /readyz  — readiness (200 only with a graph loaded and not draining)
-//	GET  /metrics — obs registry dump (counters, gauges, histograms)
-//	     /debug/pprof/ — runtime profiles
+//	GET  /metrics — Prometheus text exposition (counters, gauges, histograms
+//	                with cumulative buckets)
+//	GET  /metrics.json    — the same registry as structured JSON
+//	GET  /debug/slowlog   — retained slow-query entries, oldest first
+//	GET  /debug/progress  — live chase progress snapshot
+//	     /debug/pprof/    — runtime profiles
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
@@ -214,15 +233,32 @@ func (s *Server) Handler() http.Handler {
 		}
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		for name, b := range s.breakers {
-			fmt.Fprintf(w, "serve.breaker.%s\tstate=%s\n", name, b.snapshot())
+		reg := s.metricsRegistry()
+		w.Header().Set("Content-Type", obs.PromContentType)
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, s.metricsRegistry().Snapshot())
+	})
+	mux.HandleFunc("GET /debug/slowlog", func(w http.ResponseWriter, _ *http.Request) {
+		entries, total := s.slow.entries()
+		if entries == nil {
+			entries = []SlowEntry{}
 		}
-		fmt.Fprintf(w, "serve.inflight\t%d\n", s.adm.inflight())
-		fmt.Fprintf(w, "serve.queue_depth\t%d\n", s.adm.depth())
-		if s.obs.Enabled() {
-			fmt.Fprint(w, s.obs.Summary())
-		}
+		writeJSON(w, http.StatusOK, struct {
+			Enabled     bool        `json:"enabled"`
+			ThresholdMS int64       `json:"threshold_ms,omitempty"`
+			Total       int64       `json:"total"`
+			Entries     []SlowEntry `json:"entries"`
+		}{
+			Enabled:     s.slow.enabled(),
+			ThresholdMS: s.cfg.SlowLog.Threshold.Milliseconds(),
+			Total:       total,
+			Entries:     entries,
+		})
+	})
+	mux.HandleFunc("GET /debug/progress", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, s.progress.Snapshot())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -230,6 +266,38 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// metricsRegistry returns the registry backing /metrics and /metrics.json
+// with the point-in-time server gauges (inflight, queue depth, breaker
+// states) refreshed. With observability disabled it builds a gauges-only
+// registry per call.
+func (s *Server) metricsRegistry() *obs.Registry {
+	reg := s.obs.Registry()
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	reg.SetGauge("serve.inflight", float64(s.adm.inflight()))
+	reg.SetGauge("serve.queue_depth", float64(s.adm.depth()))
+	for name, b := range s.breakers {
+		reg.SetGauge("serve.breaker_state."+name, breakerStateNum(b.snapshot()))
+	}
+	return reg
+}
+
+// breakerStateNum maps a breaker state name to its gauge encoding:
+// closed=0, half-open=1, open=2, disabled=-1.
+func breakerStateNum(state string) float64 {
+	switch state {
+	case "closed":
+		return 0
+	case "half-open":
+		return 1
+	case "open":
+		return 2
+	default:
+		return -1
+	}
 }
 
 // count is a nil-safe metrics increment.
@@ -257,6 +325,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint str
 		return
 	}
 	release, err := s.adm.acquire(r.Context())
+	queueWait := time.Since(start)
 	if err != nil {
 		done(false) // an admission shed is not the endpoint's fault
 		switch {
@@ -280,6 +349,9 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint str
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err), 0)
 		return
 	}
+	if r.URL.Query().Get("explain") == "1" {
+		req.Explain = true
+	}
 	g := s.graphNow()
 	if g == nil {
 		done(false)
@@ -298,7 +370,8 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint str
 	s.trackBegin()
 	defer s.trackEnd()
 
-	resp, evalErr := s.evaluate(ctx, g, endpoint, &req)
+	execStart := time.Now()
+	resp, report, evalErr := s.evaluate(ctx, g, endpoint, &req)
 	if evalErr != nil {
 		status := statusOf(evalErr)
 		// Only server faults count against the breaker.
@@ -313,6 +386,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint str
 			s.count("serve.canceled")
 		}
 		s.fail(w, status, evalErr, 0)
+		s.recordSlow(endpoint, &req, nil, report, status, evalErr, queueWait, time.Since(execStart))
 		return
 	}
 	done(false)
@@ -326,24 +400,78 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint str
 	resp.ElapsedUS = time.Since(start).Microseconds()
 	if s.obs.Enabled() {
 		s.obs.Observe("serve.latency_us", float64(resp.ElapsedUS))
+		s.obs.Observe("serve.queue_wait_us", float64(queueWait.Microseconds()))
+	}
+	if req.Explain {
+		resp.Explain = report
 	}
 	writeJSON(w, http.StatusOK, resp)
+	s.recordSlow(endpoint, &req, resp, report, http.StatusOK, nil, queueWait, time.Since(execStart))
+}
+
+// recordSlow feeds the slow-query log; it runs exactly once per evaluated
+// request (success or failure) and is a no-op when the log is disabled or
+// the request finished under the threshold.
+func (s *Server) recordSlow(endpoint string, req *QueryRequest, resp *QueryResponse, report *repro.ExplainReport, status int, evalErr error, queueWait, exec time.Duration) {
+	if !s.slow.enabled() {
+		return
+	}
+	text := req.Program
+	if endpoint == "sparql" {
+		text = req.Query
+	}
+	q, cut := truncateQuery(text)
+	e := SlowEntry{
+		Time:           time.Now(),
+		Endpoint:       endpoint,
+		Query:          q,
+		QueryTruncated: cut,
+		Status:         status,
+		QueueWaitUS:    queueWait.Microseconds(),
+		ExecUS:         exec.Microseconds(),
+		TotalUS:        (queueWait + exec).Microseconds(),
+		Explain:        report,
+	}
+	if resp != nil {
+		e.Incomplete = resp.Incomplete
+		e.Truncation = resp.Truncation
+	}
+	if evalErr != nil {
+		e.Error = evalErr.Error()
+	}
+	s.maybeCountSlow(e)
+}
+
+// maybeCountSlow bumps the counter iff the entry was actually recorded.
+func (s *Server) maybeCountSlow(e SlowEntry) {
+	if time.Duration(e.TotalUS)*time.Microsecond >= s.cfg.SlowLog.Threshold {
+		s.count("serve.slow_queries")
+	}
+	s.slow.maybeRecord(e)
 }
 
 // evaluate parses the request payload and runs the evaluation with retries.
-// Parse and validation failures come back wrapped in errBadRequest.
-func (s *Server) evaluate(ctx context.Context, g *repro.Graph, endpoint string, req *QueryRequest) (*QueryResponse, error) {
+// Parse and validation failures come back wrapped in errBadRequest. When the
+// request asked for EXPLAIN or the slow-query log is armed, the evaluation
+// runs through the explain entry points and the report comes back alongside
+// the response (the per-query observations still fold into the server
+// registry, so /metrics sees explained runs too).
+func (s *Server) evaluate(ctx context.Context, g *repro.Graph, endpoint string, req *QueryRequest) (*QueryResponse, *repro.ExplainReport, error) {
 	opts := repro.Options{}
 	opts.Chase.MaxFacts = req.MaxFacts
 	opts.Chase.MaxRounds = req.MaxRounds
 	opts.Chase.Parallelism = s.cfg.Parallelism
+	opts.Chase.Obs = s.obs
+	opts.Chase.Progress = s.progress
+	wantReport := req.Explain || s.slow.enabled()
 
+	var report *repro.ExplainReport
 	var eval func() (*QueryResponse, error)
 	switch endpoint {
 	case "query":
 		lang, err := parseLang(req.Lang)
 		if err != nil {
-			return nil, badRequest(err)
+			return nil, nil, badRequest(err)
 		}
 		output := req.Output
 		if output == "" {
@@ -351,13 +479,19 @@ func (s *Server) evaluate(ctx context.Context, g *repro.Graph, endpoint string, 
 		}
 		q, err := repro.ParseQuery(req.Program, output)
 		if err != nil {
-			return nil, badRequest(err)
+			return nil, nil, badRequest(err)
 		}
 		if err := repro.Validate(q, lang); err != nil {
-			return nil, badRequest(err)
+			return nil, nil, badRequest(err)
 		}
 		eval = func() (*QueryResponse, error) {
-			res, err := repro.AskCtx(ctx, g, q, lang, opts)
+			var res *repro.Results
+			var err error
+			if wantReport {
+				res, report, err = repro.ExplainCtx(ctx, g, q, lang, opts)
+			} else {
+				res, err = repro.AskCtx(ctx, g, q, lang, opts)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -372,14 +506,24 @@ func (s *Server) evaluate(ctx context.Context, g *repro.Graph, endpoint string, 
 	default:
 		regime, err := parseRegime(req.Regime)
 		if err != nil {
-			return nil, badRequest(err)
+			return nil, nil, badRequest(err)
 		}
 		sq, err := repro.ParseSPARQL(req.Query)
 		if err != nil {
-			return nil, badRequest(err)
+			return nil, nil, badRequest(err)
 		}
 		eval = func() (*QueryResponse, error) {
-			ms, exact, err := repro.AskSPARQLCtx(ctx, sq, g, regime, opts)
+			var ms *repro.MappingSet
+			var exact bool
+			var err error
+			if wantReport {
+				ms, report, err = repro.ExplainSPARQLCtx(ctx, sq, g, regime, opts)
+				if err == nil {
+					exact = report.Exact
+				}
+			} else {
+				ms, exact, err = repro.AskSPARQLCtx(ctx, sq, g, regime, opts)
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -403,10 +547,10 @@ func (s *Server) evaluate(ctx context.Context, g *repro.Graph, endpoint string, 
 		return evalErr
 	})
 	if err != nil {
-		return nil, err
+		return nil, report, err
 	}
 	resp.Attempts = attempts
-	return resp, nil
+	return resp, report, nil
 }
 
 // errBadRequest marks parse/validation failures for the 400 mapping.

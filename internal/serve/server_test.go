@@ -609,7 +609,7 @@ func TestServeHealthAndMetricsEndpoints(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("metrics = %d, want 200", status)
 	}
-	for _, want := range []string{"serve.breaker.query", "serve.inflight", "serve.queue_depth"} {
+	for _, want := range []string{"serve_breaker_state_query", "serve_inflight", "serve_queue_depth", "serve_latency_us_bucket{le="} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("metrics missing %q:\n%s", want, metrics)
 		}

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/limits"
+)
+
+// SlowLogConfig configures the slow-query log: every request whose total
+// time (queue wait + evaluation) meets Threshold is recorded exactly once in
+// an in-memory ring served at /debug/slowlog, and — when a Sink is attached —
+// appended to it as one JSON line.
+type SlowLogConfig struct {
+	// Threshold is the minimum total request time to record; 0 disables the
+	// log entirely.
+	Threshold time.Duration
+	// Capacity bounds the in-memory ring (default 128).
+	Capacity int
+	// Sink, when non-nil, receives one JSON line per slow entry (JSONL). The
+	// caller owns its lifetime.
+	Sink io.Writer
+}
+
+// maxSlowQueryLen caps the query text captured per entry.
+const maxSlowQueryLen = 2048
+
+// SlowEntry is one recorded slow query.
+type SlowEntry struct {
+	// Time is when the request finished.
+	Time time.Time `json:"time"`
+	// Endpoint is "query" or "sparql".
+	Endpoint string `json:"endpoint"`
+	// Query is the program or SPARQL text, truncated to a bounded length.
+	Query string `json:"query"`
+	// QueryTruncated is true when Query was cut at the capture limit.
+	QueryTruncated bool `json:"query_truncated,omitempty"`
+	// Status is the HTTP status the request got.
+	Status int `json:"status"`
+	// QueueWaitUS is the time spent waiting for an admission slot.
+	QueueWaitUS int64 `json:"queue_wait_us"`
+	// ExecUS is the evaluation time (parse + chase + decode, with retries).
+	ExecUS int64 `json:"exec_us"`
+	// TotalUS is the whole request (queue wait + execution).
+	TotalUS int64 `json:"total_us"`
+	// Incomplete / Truncation report a budget-truncated answer set.
+	Incomplete bool               `json:"incomplete,omitempty"`
+	Truncation *limits.Truncation `json:"truncation,omitempty"`
+	// Error carries the failure message of non-200 outcomes.
+	Error string `json:"error,omitempty"`
+	// Explain is the per-query telemetry report, present when the server
+	// computed one for this request (slowlog enabled or explain requested).
+	Explain *repro.ExplainReport `json:"explain,omitempty"`
+}
+
+// slowLog is the ring + sink behind /debug/slowlog.
+type slowLog struct {
+	cfg SlowLogConfig
+
+	mu    sync.Mutex
+	ring  []SlowEntry
+	next  int
+	total int64
+}
+
+func newSlowLog(cfg SlowLogConfig) *slowLog {
+	if cfg.Threshold <= 0 {
+		return nil
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 128
+	}
+	return &slowLog{cfg: cfg, ring: make([]SlowEntry, 0, cfg.Capacity)}
+}
+
+// enabled is nil-safe.
+func (l *slowLog) enabled() bool { return l != nil }
+
+// maybeRecord records the entry iff its total time meets the threshold.
+// Called exactly once per request, so an over-threshold query produces
+// exactly one entry.
+func (l *slowLog) maybeRecord(e SlowEntry) {
+	if l == nil || time.Duration(e.TotalUS)*time.Microsecond < l.cfg.Threshold {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, e)
+	} else {
+		l.ring[l.next] = e
+		l.next = (l.next + 1) % cap(l.ring)
+	}
+	if l.cfg.Sink != nil {
+		b, err := json.Marshal(e)
+		if err == nil {
+			b = append(b, '\n')
+			_, _ = l.cfg.Sink.Write(b)
+		}
+	}
+}
+
+// entries returns the retained entries oldest-first plus the all-time count
+// (which exceeds len(entries) once the ring has wrapped).
+func (l *slowLog) entries() ([]SlowEntry, int64) {
+	if l == nil {
+		return nil, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowEntry, 0, len(l.ring))
+	if len(l.ring) < cap(l.ring) {
+		out = append(out, l.ring...)
+	} else {
+		out = append(out, l.ring[l.next:]...)
+		out = append(out, l.ring[:l.next]...)
+	}
+	return out, l.total
+}
+
+// truncateQuery bounds the captured query text.
+func truncateQuery(q string) (string, bool) {
+	if len(q) <= maxSlowQueryLen {
+		return q, false
+	}
+	return q[:maxSlowQueryLen], true
+}

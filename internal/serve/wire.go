@@ -34,6 +34,9 @@ type QueryRequest struct {
 	// trips degrade to a 200 with Incomplete and Truncation set.
 	MaxFacts  int `json:"max_facts,omitempty"`
 	MaxRounds int `json:"max_rounds,omitempty"`
+	// Explain requests the per-query telemetry report in the response; the
+	// handlers also accept it as the query parameter explain=1.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // QueryResponse is the 200 body. A truncated evaluation is still a 200 — the
@@ -57,6 +60,9 @@ type QueryResponse struct {
 	// Attempts counts evaluation tries (> 1 when transient faults were
 	// retried away).
 	Attempts int `json:"attempts,omitempty"`
+	// Explain is the per-query telemetry report, present when the request
+	// asked for it (body field or explain=1).
+	Explain *repro.ExplainReport `json:"explain,omitempty"`
 }
 
 // Failure is the non-200 body: the taxonomy wire error plus an optional

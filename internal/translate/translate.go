@@ -118,19 +118,24 @@ func Traced(p sparql.Pattern, regime Regime, o *obs.Obs) (*Translation, error) {
 			}
 		}
 		c.prog.Add(datalog.Rule{
-			BodyPos: []datalog.Atom{node.atom(d)},
-			Head:    []datalog.Atom{head},
+			BodyPos:    []datalog.Atom{node.atom(d)},
+			Head:       []datalog.Atom{head},
+			Provenance: "τ_out",
 		})
 	}
 	if c.needEq {
+		eqStart := len(c.prog.Rules)
 		c.emitEqRules()
+		c.claimRules(eqStart, "EQ")
 	}
+	ontStart := len(c.prog.Rules)
 	switch regime {
 	case ActiveDomain, All:
 		c.prog.Merge(owl.Program())
 	case RDFS:
 		c.prog.Merge(owl.RDFSProgram())
 	}
+	c.claimRules(ontStart, "ontology")
 	q := datalog.NewQuery(c.prog, AnswerPred)
 	if err := q.Validate(); err != nil {
 		return nil, fmt.Errorf("translate: internal: %w", err)
@@ -328,17 +333,34 @@ func (c *compiler) freshVar() datalog.Term {
 }
 
 func (c *compiler) compile(p sparql.Pattern) (*node, error) {
-	if c.obs == nil {
-		return c.compileInner(p)
-	}
-	parent := c.span
-	sp := parent.Span("translate.op", obs.F("kind", patternKind(p)))
-	c.span = sp
+	kind := patternKind(p)
 	before := len(c.prog.Rules)
+	parent := c.span
+	var sp *obs.Span
+	if c.obs != nil {
+		sp = parent.Span("translate.op", obs.F("kind", kind))
+		c.span = sp
+	}
 	n, err := c.compileInner(p)
-	c.span = parent
-	sp.End(obs.F("rules", len(c.prog.Rules)-before), obs.F("error", err != nil))
+	if c.obs != nil {
+		c.span = parent
+		sp.End(obs.F("rules", len(c.prog.Rules)-before), obs.F("error", err != nil))
+	}
+	// Provenance: rules added by this operator that no nested compile call
+	// already claimed belong to this operator (the recursion tags innermost
+	// first), giving EXPLAIN its SPARQL-operator → Datalog-rule attribution.
+	c.claimRules(before, kind)
 	return n, err
+}
+
+// claimRules stamps the given provenance on every rule from index start on
+// that has none yet.
+func (c *compiler) claimRules(start int, provenance string) {
+	for i := start; i < len(c.prog.Rules); i++ {
+		if c.prog.Rules[i].Provenance == "" {
+			c.prog.Rules[i].Provenance = provenance
+		}
+	}
 }
 
 func (c *compiler) compileInner(p sparql.Pattern) (*node, error) {

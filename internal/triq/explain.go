@@ -1,0 +1,341 @@
+// EXPLAIN: per-query structured telemetry. Explain/ExplainCtx evaluate a
+// query exactly like Eval/EvalCtx but under a private observability registry,
+// then distill the run into an ExplainReport: per-rule chase stats with
+// provenance (which SPARQL operator or ontology emitted each rule), the
+// per-worker shard balance of the parallel enumeration phase, prover memo
+// behavior when the exact procedure ran, and wall-time percentiles per
+// pipeline stage. The report answers "why was this query slow" from one run,
+// without rerunning under -trace.
+package triq
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"context"
+
+	"repro/internal/chase"
+	"repro/internal/datalog"
+	"repro/internal/limits"
+	"repro/internal/obs"
+)
+
+// RuleExplain is one rule's share of the chase work.
+type RuleExplain struct {
+	// Index is the rule's position in stratum evaluation order.
+	Index int `json:"index"`
+	// Rule is the rule's source rendering.
+	Rule string `json:"rule"`
+	// Origin is the rule's provenance: for translated SPARQL queries the
+	// operator that emitted it (BGP, AND, UNION, OPT, FILTER, SELECT,
+	// τ_out, EQ, ontology); empty for hand-written rules.
+	Origin            string `json:"origin,omitempty"`
+	TriggersAttempted int    `json:"triggers_attempted"`
+	TriggersFired     int    `json:"triggers_fired"`
+	FactsDerived      int    `json:"facts_derived"`
+	NullsInvented     int    `json:"nulls_invented"`
+	TimeUS            int64  `json:"time_us"`
+}
+
+// WorkerExplain is one enumeration worker's share of the parallel phase.
+type WorkerExplain struct {
+	Worker   int   `json:"worker"`
+	Shards   int64 `json:"shards"`
+	Triggers int64 `json:"triggers"`
+}
+
+// StageExplain summarizes one pipeline stage's wall-clock span histogram
+// (all values in microseconds).
+type StageExplain struct {
+	// Stage is the span name (e.g. "chase.round", "translate.compile").
+	Stage   string  `json:"stage"`
+	Count   int64   `json:"count"`
+	TotalUS float64 `json:"total_us"`
+	P50US   float64 `json:"p50_us"`
+	P95US   float64 `json:"p95_us"`
+	P99US   float64 `json:"p99_us"`
+	MaxUS   float64 `json:"max_us"`
+}
+
+// ProverExplain reports the ProofTree search-space metrics of an exact run.
+type ProverExplain struct {
+	Proofs      int64 `json:"proofs"`
+	Components  int64 `json:"components"`
+	Expansions  int64 `json:"expansions"`
+	MemoHits    int64 `json:"memo_hits"`
+	MemoMisses  int64 `json:"memo_misses"`
+	Resolutions int64 `json:"resolutions"`
+}
+
+// ExplainReport is the structured result of an explained evaluation.
+type ExplainReport struct {
+	// Kind names the evaluation path: "triq", "triq-exact", or "sparql".
+	Kind string `json:"kind"`
+	// Language is the dialect the query was validated against (TriQ paths).
+	Language string `json:"language,omitempty"`
+	// Regime is the SPARQL entailment regime (SPARQL path only).
+	Regime string `json:"regime,omitempty"`
+
+	Answers      int                `json:"answers"`
+	Inconsistent bool               `json:"inconsistent,omitempty"`
+	Exact        bool               `json:"exact"`
+	Incomplete   bool               `json:"incomplete,omitempty"`
+	Truncation   *limits.Truncation `json:"truncation,omitempty"`
+
+	Depth         int `json:"depth"`
+	Rounds        int `json:"rounds"`
+	Parallelism   int `json:"parallelism"`
+	TriggersFired int `json:"triggers_fired"`
+	FactsDerived  int `json:"facts_derived"`
+	NullsInvented int `json:"nulls_invented"`
+
+	// Rules is the per-rule chase breakdown, sorted by cumulative time
+	// (slowest first). Trigger/fact totals equal the run's chase.Stats.
+	Rules []RuleExplain `json:"rules"`
+	// Workers is the shard balance of the parallel enumeration phase; empty
+	// for sequential runs.
+	Workers []WorkerExplain `json:"workers,omitempty"`
+	// Stages summarizes every span histogram the run produced.
+	Stages []StageExplain `json:"stages,omitempty"`
+	// Prover is set when the exact (ProofTree) procedure ran.
+	Prover *ProverExplain `json:"prover,omitempty"`
+
+	// TotalUS is the wall-clock time of the whole explained evaluation.
+	TotalUS int64 `json:"total_us"`
+}
+
+// Explain is Eval with a report: the query is evaluated under a private
+// metrics registry and the run is distilled into an ExplainReport. Answers
+// are identical to Eval's.
+func Explain(db *chase.Instance, q datalog.Query, lang Language, opts Options) (*Result, *ExplainReport, error) {
+	return ExplainCtx(context.Background(), db, q, lang, opts)
+}
+
+// ExplainCtx is Explain under a context. The evaluation runs with a fresh
+// private *obs.Obs in place of opts.Chase.Obs (so stage times and worker
+// counters are this query's alone); if the caller had an Obs attached, the
+// private registry is folded back into it afterwards, so long-lived metrics
+// (triqd's /metrics) still see the run. Span JSONL sinks are not forwarded.
+func ExplainCtx(ctx context.Context, db *chase.Instance, q datalog.Query, lang Language, opts Options) (*Result, *ExplainReport, error) {
+	priv, orig := obs.New(), opts.Chase.Obs
+	opts.Chase.Obs = priv
+	start := time.Now()
+	res, err := EvalCtx(ctx, db, q, lang, opts)
+	elapsed := time.Since(start)
+	if orig != nil {
+		orig.Registry().MergeFrom(priv.Registry())
+	}
+	if err != nil {
+		return res, nil, err
+	}
+	rep := BuildExplain(res, priv.Registry(), elapsed)
+	rep.Kind = "triq"
+	rep.Language = lang.String()
+	return res, rep, nil
+}
+
+// ExplainExactCtx is ExplainCtx over the exact ProofTree procedure
+// (EvalExactCtx); the report carries the prover's memo metrics.
+func ExplainExactCtx(ctx context.Context, db *chase.Instance, q datalog.Query, opts Options) (*Result, *ExplainReport, error) {
+	priv, orig := obs.New(), opts.Chase.Obs
+	opts.Chase.Obs = priv
+	start := time.Now()
+	res, err := EvalExactCtx(ctx, db, q, opts)
+	elapsed := time.Since(start)
+	if orig != nil {
+		orig.Registry().MergeFrom(priv.Registry())
+	}
+	if err != nil {
+		return res, nil, err
+	}
+	rep := BuildExplain(res, priv.Registry(), elapsed)
+	rep.Kind = "triq-exact"
+	rep.Language = TriQLite10.String()
+	return res, rep, nil
+}
+
+// BuildExplain distills an evaluation result plus the private registry it
+// ran under into a report. Exposed so the facade can assemble the SPARQL
+// variant (which adds translation spans and regime info) without this
+// package importing the translator.
+func BuildExplain(res *Result, reg *obs.Registry, elapsed time.Duration) *ExplainReport {
+	rep := &ExplainReport{
+		Exact:      res.Exact,
+		Incomplete: res.Incomplete,
+		Truncation: res.Truncation,
+		Depth:      res.Depth,
+		TotalUS:    elapsed.Microseconds(),
+	}
+	if res.Answers != nil {
+		rep.Answers = len(res.Answers.Tuples)
+		rep.Inconsistent = res.Answers.Inconsistent
+	}
+	st := res.Stats
+	rep.Rounds = st.Rounds
+	rep.Parallelism = st.Parallelism
+	rep.TriggersFired = st.TriggersFired
+	rep.FactsDerived = st.FactsDerived
+	rep.NullsInvented = st.NullsInvented
+	for _, rs := range st.PerRule {
+		rep.Rules = append(rep.Rules, RuleExplain{
+			Index:             rs.Index,
+			Rule:              rs.Rule,
+			Origin:            rs.Origin,
+			TriggersAttempted: rs.TriggersAttempted,
+			TriggersFired:     rs.TriggersFired,
+			FactsDerived:      rs.FactsDerived,
+			NullsInvented:     rs.NullsInvented,
+			TimeUS:            rs.Time.Microseconds(),
+		})
+	}
+	sort.SliceStable(rep.Rules, func(i, j int) bool {
+		return rep.Rules[i].TimeUS > rep.Rules[j].TimeUS
+	})
+
+	snap := reg.Snapshot()
+	workers := map[int]*WorkerExplain{}
+	for name, v := range snap.Counters {
+		base, id, ok := splitWorkerCounter(name)
+		if !ok {
+			continue
+		}
+		w := workers[id]
+		if w == nil {
+			w = &WorkerExplain{Worker: id}
+			workers[id] = w
+		}
+		switch base {
+		case "chase.worker.shards":
+			w.Shards += v
+		case "chase.worker.triggers":
+			w.Triggers += v
+		}
+	}
+	for _, w := range workers {
+		rep.Workers = append(rep.Workers, *w)
+	}
+	sort.Slice(rep.Workers, func(i, j int) bool {
+		return rep.Workers[i].Worker < rep.Workers[j].Worker
+	})
+
+	for name, h := range snap.Hists {
+		if !strings.HasPrefix(name, "span.") {
+			continue
+		}
+		rep.Stages = append(rep.Stages, StageExplain{
+			Stage:   strings.TrimPrefix(name, "span."),
+			Count:   h.Count,
+			TotalUS: h.Sum,
+			P50US:   h.P50,
+			P95US:   h.P95,
+			P99US:   h.P99,
+			MaxUS:   h.Max,
+		})
+	}
+	sort.Slice(rep.Stages, func(i, j int) bool {
+		return rep.Stages[i].TotalUS > rep.Stages[j].TotalUS
+	})
+
+	if snap.Counters["prover.proofs"] > 0 || snap.Counters["prover.expansions"] > 0 {
+		rep.Prover = &ProverExplain{
+			Proofs:      snap.Counters["prover.proofs"],
+			Components:  snap.Counters["prover.components"],
+			Expansions:  snap.Counters["prover.expansions"],
+			MemoHits:    snap.Counters["prover.memo_hits"],
+			MemoMisses:  snap.Counters["prover.memo_misses"],
+			Resolutions: snap.Counters["prover.resolutions"],
+		}
+	}
+	return rep
+}
+
+// splitWorkerCounter recognizes the "<base>.wN" per-worker counter shape.
+func splitWorkerCounter(name string) (base string, worker int, ok bool) {
+	i := strings.LastIndex(name, ".w")
+	if i < 0 {
+		return "", 0, false
+	}
+	base = name[:i]
+	if base != "chase.worker.shards" && base != "chase.worker.triggers" {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(name[i+2:])
+	if err != nil {
+		return "", 0, false
+	}
+	return base, n, true
+}
+
+// String renders the report as the human-readable block printed by
+// `triq -explain`.
+func (r *ExplainReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "EXPLAIN %s", r.Kind)
+	if r.Language != "" {
+		fmt.Fprintf(&b, " (%s)", r.Language)
+	}
+	if r.Regime != "" {
+		fmt.Fprintf(&b, " regime=%s", r.Regime)
+	}
+	fmt.Fprintf(&b, "  total=%s\n", obs.FormatDuration(time.Duration(r.TotalUS)*time.Microsecond))
+	switch {
+	case r.Inconsistent:
+		b.WriteString("result: ⊤ (inconsistent)\n")
+	default:
+		fmt.Fprintf(&b, "result: %d answers, exact=%v", r.Answers, r.Exact)
+		if r.Incomplete {
+			b.WriteString(", INCOMPLETE")
+			if r.Truncation != nil {
+				fmt.Fprintf(&b, " (%s budget)", r.Truncation.Limit)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "chase: %d rounds at depth %d, %d triggers fired, %d facts, %d nulls, parallelism %d\n",
+		r.Rounds, r.Depth, r.TriggersFired, r.FactsDerived, r.NullsInvented, r.Parallelism)
+	if len(r.Rules) > 0 {
+		fmt.Fprintf(&b, "%-5s %-9s %9s %9s %9s %7s %10s  %s\n",
+			"rule", "origin", "attempted", "fired", "facts", "nulls", "time", "definition")
+		for _, ru := range r.Rules {
+			def := ru.Rule
+			if len([]rune(def)) > 48 {
+				def = string([]rune(def)[:45]) + "..."
+			}
+			origin := ru.Origin
+			if origin == "" {
+				origin = "-"
+			}
+			fmt.Fprintf(&b, "#%-4d %-9s %9d %9d %9d %7d %10s  %s\n",
+				ru.Index, origin, ru.TriggersAttempted, ru.TriggersFired,
+				ru.FactsDerived, ru.NullsInvented,
+				obs.FormatDuration(time.Duration(ru.TimeUS)*time.Microsecond), def)
+		}
+	}
+	if len(r.Workers) > 0 {
+		b.WriteString("workers:")
+		for _, w := range r.Workers {
+			fmt.Fprintf(&b, " w%d=%d shards/%d triggers", w.Worker, w.Shards, w.Triggers)
+		}
+		b.WriteByte('\n')
+	}
+	if r.Prover != nil {
+		fmt.Fprintf(&b, "prover: %d proofs, %d components, %d expansions, memo %d hits / %d misses, %d resolutions\n",
+			r.Prover.Proofs, r.Prover.Components, r.Prover.Expansions,
+			r.Prover.MemoHits, r.Prover.MemoMisses, r.Prover.Resolutions)
+	}
+	if len(r.Stages) > 0 {
+		fmt.Fprintf(&b, "%-20s %7s %12s %10s %10s %10s\n",
+			"stage", "count", "total", "p50", "p95", "max")
+		us := func(v float64) string {
+			return obs.FormatDuration(time.Duration(v) * time.Microsecond)
+		}
+		for _, s := range r.Stages {
+			fmt.Fprintf(&b, "%-20s %7d %12s %10s %10s %10s\n",
+				s.Stage, s.Count, us(s.TotalUS), us(s.P50US), us(s.P95US), us(s.MaxUS))
+		}
+	}
+	return b.String()
+}

@@ -44,10 +44,12 @@ import (
 	"context"
 	"io"
 	"strings"
+	"time"
 
 	"repro/internal/chase"
 	"repro/internal/datalog"
 	"repro/internal/limits"
+	"repro/internal/obs"
 	"repro/internal/owl"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
@@ -91,6 +93,16 @@ type (
 	// FaultPlan is a deterministic fault-injection plan for tests and chaos
 	// drills (see internal/limits); install one via Options.Chase.Faults.
 	FaultPlan = limits.Plan
+	// ExplainReport is the structured telemetry of one explained evaluation:
+	// per-rule chase stats with operator provenance, worker shard balance,
+	// prover memo behavior, and per-stage wall-time percentiles.
+	ExplainReport = triq.ExplainReport
+	// Progress is a lock-free live progress gauge for chase runs; install one
+	// via Options.Chase.Progress and poll Snapshot from any goroutine (triqd
+	// serves it at /debug/progress).
+	Progress = chase.Progress
+	// ProgressSnapshot is one consistent-enough reading of a Progress.
+	ProgressSnapshot = chase.ProgressSnapshot
 )
 
 // Resource-governance error taxonomy. Every limit abort wraps exactly one of
@@ -337,6 +349,83 @@ func AskExactCtx(ctx context.Context, g *Graph, q Query, opts Options) (out *Res
 		return nil, err
 	}
 	return resultsOf(res), nil
+}
+
+// Explain is Ask with a report: the query is evaluated under a private
+// metrics registry and the run is distilled into an ExplainReport (per-rule
+// chase stats, worker balance, stage times). Answers are identical to Ask's.
+func Explain(g *Graph, q Query, lang Language, opts Options) (*Results, *ExplainReport, error) {
+	return ExplainCtx(context.Background(), g, q, lang, opts)
+}
+
+// ExplainCtx is Explain under a context. If opts.Chase.Obs was set, the
+// per-query observations are folded back into it afterwards, so long-lived
+// metrics still see the run.
+func ExplainCtx(ctx context.Context, g *Graph, q Query, lang Language, opts Options) (out *Results, rep *ExplainReport, err error) {
+	defer limits.Recover(&err)
+	db, err := chase.FromFacts(owl.GraphToDB(g))
+	if err != nil {
+		return nil, nil, err
+	}
+	res, rep, err := triq.ExplainCtx(ctx, db, q, lang, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resultsOf(res), rep, nil
+}
+
+// ExplainExact is AskExact with a report; the report carries the ProofTree
+// prover's memo metrics alongside the chase breakdown.
+func ExplainExact(g *Graph, q Query, opts Options) (*Results, *ExplainReport, error) {
+	return ExplainExactCtx(context.Background(), g, q, opts)
+}
+
+// ExplainExactCtx is ExplainExact under a context.
+func ExplainExactCtx(ctx context.Context, g *Graph, q Query, opts Options) (out *Results, rep *ExplainReport, err error) {
+	defer limits.Recover(&err)
+	db, err := chase.FromFacts(owl.GraphToDB(g))
+	if err != nil {
+		return nil, nil, err
+	}
+	res, rep, err := triq.ExplainExactCtx(ctx, db, q, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resultsOf(res), rep, nil
+}
+
+// ExplainSPARQL is AskSPARQL with a report. Every compiled Datalog rule in
+// the report carries the SPARQL operator that emitted it (BGP, AND, UNION,
+// OPT, FILTER, SELECT, τ_out, EQ, ontology), and the stage table includes the
+// translation and decode phases.
+func ExplainSPARQL(q *SPARQLQuery, g *Graph, regime Regime, opts Options) (*MappingSet, *ExplainReport, error) {
+	return ExplainSPARQLCtx(context.Background(), q, g, regime, opts)
+}
+
+// ExplainSPARQLCtx is ExplainSPARQL under a context. The evaluation runs
+// with a fresh private metrics registry; if opts.Chase.Obs was set, the
+// observations are folded back into it afterwards.
+func ExplainSPARQLCtx(ctx context.Context, q *SPARQLQuery, g *Graph, regime Regime, opts Options) (ms *MappingSet, rep *ExplainReport, err error) {
+	defer limits.Recover(&err)
+	priv, orig := obs.New(), opts.Chase.Obs
+	opts.Chase.Obs = priv
+	start := time.Now()
+	tr, err := translate.Traced(q.Pattern(), regime, priv)
+	if err != nil {
+		return nil, nil, err
+	}
+	ms, res, err := tr.EvaluateFullCtx(ctx, g, opts)
+	elapsed := time.Since(start)
+	if orig != nil {
+		orig.Registry().MergeFrom(priv.Registry())
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	rep = triq.BuildExplain(res, priv.Registry(), elapsed)
+	rep.Kind = "sparql"
+	rep.Regime = regime.String()
+	return ms, rep, nil
 }
 
 // Isomorphic reports RDF graph isomorphism (equality up to blank renaming).
