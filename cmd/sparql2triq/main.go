@@ -70,7 +70,12 @@ func main() {
 	flag.BoolVar(&cfg.explain, "explain", false, "with -eval: print the EXPLAIN report (Datalog rules attributed to SPARQL operators, per-rule chase stats, stage times) to stderr")
 	flag.BoolVar(&cfg.metrics, "metrics", false, "print the per-rule chase breakdown and metrics registry to stderr")
 	flag.StringVar(&cfg.pprof, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("sparql2triq"))
+		return
+	}
 	ctx := context.Background()
 	if cfg.timeout > 0 {
 		var cancel context.CancelFunc

@@ -26,11 +26,12 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment by id (T1, F1, E1 … E9, E11, E12)")
+	only := flag.String("only", "", "run a single experiment by id (T1, F1, E1 … E9, E11 … E13)")
 	asJSON := flag.Bool("json", false, "emit the tables as JSON (with per-stage engine breakdowns) instead of markdown")
 	parallelism := flag.Int("parallelism", 0, "chase workers for every experiment (0 = GOMAXPROCS, 1 = sequential; E11 sweeps its own)")
 	server := flag.String("server", "", "concurrent-client mode: base URL of a running triqd (e.g. http://localhost:8471)")
@@ -38,10 +39,16 @@ func main() {
 	reqBody := flag.String("body", "", "with -server: JSON request body (default: the transport-closure program)")
 	parallel := flag.Int("parallel", 8, "with -server: number of concurrent clients")
 	requests := flag.Int("requests", 200, "with -server: total requests across all clients")
+	traceSample := flag.Float64("trace-sample", 0, "with -server: send W3C traceparent headers, this fraction with the sampled flag")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("triqbench"))
+		os.Exit(0)
+	}
 
 	if *server != "" {
-		os.Exit(clientMain(*server, *endpoint, *reqBody, *parallel, *requests, *asJSON))
+		os.Exit(clientMain(*server, *endpoint, *reqBody, *parallel, *requests, *traceSample, *asJSON))
 	}
 	bench.SetParallelism(*parallelism)
 
@@ -50,7 +57,7 @@ func main() {
 		"E1": bench.RunE1, "E2": bench.RunE2, "E3": bench.RunE3,
 		"E4": bench.RunE4, "E5": bench.RunE5, "E6": bench.RunE6,
 		"E7": bench.RunE7, "E8": bench.RunE8, "E9": bench.RunE9,
-		"E11": bench.RunE11, "E12": bench.RunE12,
+		"E11": bench.RunE11, "E12": bench.RunE12, "E13": bench.RunE13,
 	}
 
 	var tables []*bench.Table
@@ -98,16 +105,18 @@ const defaultClientBody = `{"program": "triple(?X, partOf, transportService) -> 
 
 // clientMain is the concurrent-client mode: drive a running triqd and
 // report throughput + latency quantiles.
-func clientMain(server, endpoint, body string, parallel, requests int, asJSON bool) int {
+func clientMain(server, endpoint, body string, parallel, requests int, traceSample float64, asJSON bool) int {
 	if body == "" {
 		body = defaultClientBody
 	}
 	res, err := serve.RunLoad(context.Background(), serve.LoadConfig{
-		URL:      strings.TrimRight(server, "/") + endpoint,
-		Body:     []byte(body),
-		Parallel: parallel,
-		Requests: requests,
-		Timeout:  60 * time.Second,
+		URL:         strings.TrimRight(server, "/") + endpoint,
+		Body:        []byte(body),
+		Parallel:    parallel,
+		Requests:    requests,
+		Timeout:     60 * time.Second,
+		Trace:       traceSample > 0,
+		TraceSample: traceSample,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "triqbench:", err)

@@ -55,6 +55,15 @@ type config struct {
 
 	slowlog          string        // JSONL slow-query sink file ("" = ring only)
 	slowlogThreshold time.Duration // record requests at least this slow (0 = off)
+
+	traceSample     float64       // head-sampling rate for request traces
+	traceStore      int           // in-memory trace store capacity
+	traceSeed       int64         // trace-id / sampler seed (0 = clock)
+	noTrace         bool          // disable request tracing entirely
+	profileDir      string        // slow-query auto-profile directory ("" = off)
+	autoprofileCPU  time.Duration // CPU profile capture duration
+	autoprofileCool time.Duration // minimum time between auto-captures
+	healthInterval  time.Duration // runtime health sampling cadence
 }
 
 func main() {
@@ -72,7 +81,20 @@ func main() {
 	flag.IntVar(&cfg.parallelism, "parallelism", 1, "chase workers per evaluation (0 = GOMAXPROCS, 1 = sequential; keep slots × workers ≈ cores)")
 	flag.StringVar(&cfg.slowlog, "slowlog", "", "append slow-query entries as JSON lines to this file (implies -slowlog-threshold 1s when unset)")
 	flag.DurationVar(&cfg.slowlogThreshold, "slowlog-threshold", 0, "record requests whose total time meets this threshold at /debug/slowlog (0 disables unless -slowlog is set)")
+	flag.Float64Var(&cfg.traceSample, "trace-sample", 0.1, "fraction of requests whose full span tree is recorded (incoming sampled traceparents always record)")
+	flag.IntVar(&cfg.traceStore, "trace-store", 256, "in-memory trace store capacity for /debug/trace")
+	flag.Int64Var(&cfg.traceSeed, "trace-seed", 0, "trace id / sampling seed (0 derives from the clock)")
+	flag.BoolVar(&cfg.noTrace, "no-trace", false, "disable request tracing (no traceparent echo, no /debug/trace)")
+	flag.StringVar(&cfg.profileDir, "profile-dir", "", "directory for slow-query auto-captured CPU/heap profiles (empty disables)")
+	flag.DurationVar(&cfg.autoprofileCPU, "autoprofile-cpu", 2*time.Second, "CPU profile duration per auto-capture")
+	flag.DurationVar(&cfg.autoprofileCool, "autoprofile-cooldown", time.Minute, "minimum time between auto-captures")
+	flag.DurationVar(&cfg.healthInterval, "health-interval", 10*time.Second, "runtime health sampling cadence for /metrics (negative disables)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.VersionString("triqd"))
+		os.Exit(0)
+	}
 	os.Exit(realMain(cfg))
 }
 
@@ -141,6 +163,12 @@ func run(ctx context.Context, cfg config, ln net.Listener, stop <-chan os.Signal
 		defer f.Close()
 		slowCfg.Sink = f
 	}
+	if cfg.profileDir != "" {
+		if err := os.MkdirAll(cfg.profileDir, 0o755); err != nil {
+			ln.Close()
+			return err
+		}
+	}
 	srv := serve.New(serve.Config{
 		Admission: serve.AdmissionConfig{
 			MaxConcurrent: cfg.concurrency,
@@ -153,6 +181,18 @@ func run(ctx context.Context, cfg config, ln net.Listener, stop <-chan os.Signal
 		Obs:            obs.New(),
 		SlowLog:        slowCfg,
 		Parallelism:    cfg.parallelism,
+		Trace: serve.TraceConfig{
+			Sample:   cfg.traceSample,
+			Capacity: cfg.traceStore,
+			Seed:     cfg.traceSeed,
+			Disable:  cfg.noTrace,
+		},
+		AutoProfile: serve.AutoProfileConfig{
+			Dir:         cfg.profileDir,
+			CPUDuration: cfg.autoprofileCPU,
+			Cooldown:    cfg.autoprofileCool,
+		},
+		HealthInterval: cfg.healthInterval,
 	})
 
 	// The graph loads before the listener answers ready: /readyz is 503

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -241,18 +242,19 @@ func compileRule(r datalog.Rule, idx int) *compiledRule {
 
 // engine holds the mutable chase state shared across strata.
 type engine struct {
-	ctx      context.Context
-	opts     Options
-	inst     *Instance
-	depth    map[string]int    // null name → invention depth
-	skolem   map[string]string // skolem key → null name
-	nextNull int
-	stats    Stats
-	perRule  []*RuleStats // one entry per rule, across strata
-	cur      *RuleStats   // the rule currently being matched/fired
-	span     *obs.Span    // the chase.run span (nil when tracing is off)
-	start    time.Time
-	tick     int // trigger-attempt counter gating the in-round ctx checks
+	ctx        context.Context
+	opts       Options
+	inst       *Instance
+	depth      map[string]int    // null name → invention depth
+	skolem     map[string]string // skolem key → null name
+	nextNull   int
+	stats      Stats
+	perRule    []*RuleStats // one entry per rule, across strata
+	cur        *RuleStats   // the rule currently being matched/fired
+	span       *obs.Span    // the chase.run span (nil when tracing is off)
+	start      time.Time
+	tick       int  // trigger-attempt counter gating the in-round ctx checks
+	ruleLabels bool // attach per-rule pprof labels (recording traces only)
 }
 
 // snapshotStats copies the cumulative counters plus the per-rule breakdown;
@@ -409,23 +411,33 @@ func (e *engine) chaseStratum(rules []datalog.Rule) error {
 			before := *rs
 			t0 := time.Now()
 			var fireErr error
+			var shards []*shard
 			// The fault and cancellation checks stay on the sequential
 			// control path (never inside workers) so the sequence of
 			// limits.Hit calls — and therefore where an armed fault plan
 			// trips — is identical for every Parallelism value.
-			if err := limits.Hit(e.opts.Faults, "chase.rule"); err != nil {
-				fireErr = e.fail(err)
-			} else if err := e.interrupted(); err != nil {
-				fireErr = err
+			ruleTurn := func() {
+				if err := limits.Hit(e.opts.Faults, "chase.rule"); err != nil {
+					fireErr = e.fail(err)
+				} else if err := e.interrupted(); err != nil {
+					fireErr = err
+				}
+				if fireErr == nil {
+					shards, fireErr = e.enumerate(c, delta, ruleSpan)
+				}
+				if fireErr == nil {
+					e.cur = rs
+					fireErr = e.apply(c, rs, shards, delta != nil, next)
+					e.cur = nil
+				}
 			}
-			var shards []*shard
-			if fireErr == nil {
-				shards, fireErr = e.enumerate(c, delta, ruleSpan)
-			}
-			if fireErr == nil {
-				e.cur = rs
-				fireErr = e.apply(c, rs, shards, delta != nil, next)
-				e.cur = nil
+			if e.ruleLabels {
+				// Workers spawned inside enumerate inherit these goroutine
+				// labels, so CPU samples of traced requests attribute to the
+				// rule (alongside the request-level trace_id label on ctx).
+				pprof.Do(e.ctx, pprof.Labels("rule", c.rule.Head[0].Pred), func(context.Context) { ruleTurn() })
+			} else {
+				ruleTurn()
 			}
 			rs.Time += time.Since(t0)
 			e.opts.Progress.addTriggers(int64(rs.TriggersFired - before.TriggersFired))
@@ -610,13 +622,18 @@ func RunCtx(ctx context.Context, db *Instance, prog *datalog.Program, opts Optio
 	}
 	e := newEngine(ctx, db, opts)
 	e.stats.Parallelism = opts.Parallelism
+	// Per-rule pprof labels let CPU profiles attribute chase work to rules
+	// (and, via the request labels already on ctx, to trace ids). The extra
+	// label swap per rule turn is only paid when the request is actually
+	// being traced.
+	e.ruleLabels = obs.RecordingTrace(ctx)
 	opts.Progress.runStart()
 	defer opts.Progress.runEnd()
-	if opts.Obs != nil {
+	if opts.Obs != nil || e.ruleLabels {
 		if opts.Parent != nil {
 			e.span = opts.Parent.Span("chase.run")
 		} else {
-			e.span = opts.Obs.Span("chase.run")
+			_, e.span = obs.StartSpan(ctx, opts.Obs, "chase.run")
 		}
 		e.span.Attr("mode", opts.Mode.String())
 		e.span.Attr("parallelism", opts.Parallelism)

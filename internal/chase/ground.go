@@ -87,7 +87,7 @@ func StableGroundCtx(ctx context.Context, db *Instance, prog *datalog.Program, o
 	for {
 		o := opts
 		o.MaxDepth = depth
-		sp := opts.Obs.Span("chase.deepen", obs.F("depth", depth))
+		_, sp := obs.StartSpan(ctx, opts.Obs, "chase.deepen", obs.F("depth", depth))
 		o.Parent = sp
 		res, err := GroundSemanticsCtx(ctx, db, prog, o)
 		if err != nil {

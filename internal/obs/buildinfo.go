@@ -1,0 +1,58 @@
+// Build identity: a version constant bumped per release line, VCS metadata
+// recovered from the Go build info, a -version string for the binaries, and
+// the conventional Prometheus triq_build_info info-metric (value 1, identity
+// in labels — the one place the label-less registry is bypassed).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version is the release line of this build.
+const Version = "0.6.0"
+
+// BuildInfo returns (version, commit, goVersion). The commit comes from the
+// embedded VCS stamp when the binary was built from a checkout ("unknown"
+// otherwise), suffixed with "+dirty" for modified trees.
+func BuildInfo() (version, commit, goVersion string) {
+	version, commit, goVersion = Version, "unknown", runtime.Version()
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return
+	}
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			if len(s.Value) >= 12 {
+				commit = s.Value[:12]
+			} else if s.Value != "" {
+				commit = s.Value
+			}
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if dirty && commit != "unknown" {
+		commit += "+dirty"
+	}
+	return
+}
+
+// VersionString renders the one-line -version output for a binary.
+func VersionString(binary string) string {
+	v, c, g := BuildInfo()
+	return fmt.Sprintf("%s %s (commit %s, %s)", binary, v, c, g)
+}
+
+// WriteBuildInfoProm emits the triq_build_info metric in Prometheus text
+// exposition format. The registry itself has no label support, so this is
+// appended to /metrics output separately.
+func WriteBuildInfoProm(w io.Writer) {
+	v, c, g := BuildInfo()
+	fmt.Fprintf(w, "# TYPE triq_build_info gauge\n")
+	fmt.Fprintf(w, "triq_build_info{version=%q,commit=%q,go_version=%q} 1\n", v, c, g)
+}

@@ -1,0 +1,119 @@
+// Runtime health collector: a background sampler that periodically folds Go
+// runtime vitals into a Registry as gauges (plus a GC-pause histogram), so
+// /metrics answers "is the process itself healthy" alongside the engine
+// metrics. Sampling uses runtime.ReadMemStats at a coarse interval — its
+// brief stop-the-world is negligible at the default 10s cadence.
+package obs
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// HealthCollector owns the sampling goroutine; build with StartHealth and
+// stop with Stop (idempotent).
+type HealthCollector struct {
+	reg      *Registry
+	interval time.Duration
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+
+	lastNumGC uint32
+	pauses    []float64 // retained window of recent GC pauses, µs
+}
+
+// healthPauseWindow bounds the retained GC-pause window used for the p99
+// gauge.
+const healthPauseWindow = 256
+
+// StartHealth begins sampling runtime vitals into reg every interval
+// (0 selects 10s). Returns nil when reg is nil. Exported gauges:
+//
+//	go.goroutines        — runtime.NumGoroutine
+//	go.heap_inuse_bytes  — MemStats.HeapInuse
+//	go.heap_idle_bytes   — MemStats.HeapIdle
+//	go.gc_pause_p99_us   — p99 over the last 256 GC pauses
+//
+// plus the histogram go.gc_pause_us fed one sample per completed GC cycle.
+func StartHealth(reg *Registry, interval time.Duration) *HealthCollector {
+	if reg == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	h := &HealthCollector{
+		reg:      reg,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	h.sample() // one synchronous sample so gauges exist immediately
+	go h.run()
+	return h
+}
+
+func (h *HealthCollector) run() {
+	defer close(h.done)
+	t := time.NewTicker(h.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-h.stop:
+			return
+		case <-t.C:
+			h.sample()
+		}
+	}
+}
+
+func (h *HealthCollector) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	h.reg.SetGauge("go.goroutines", float64(runtime.NumGoroutine()))
+	h.reg.SetGauge("go.heap_inuse_bytes", float64(ms.HeapInuse))
+	h.reg.SetGauge("go.heap_idle_bytes", float64(ms.HeapIdle))
+
+	// New GC cycles since the last sample feed the pause histogram and the
+	// retained window. PauseNs is a 256-entry ring indexed by cycle number.
+	for gc := h.lastNumGC; gc < ms.NumGC; gc++ {
+		if ms.NumGC-gc > uint32(len(ms.PauseNs)) {
+			continue // cycle fell off the runtime's ring before we sampled
+		}
+		us := float64(ms.PauseNs[gc%uint32(len(ms.PauseNs))]) / 1e3
+		h.reg.Observe("go.gc_pause_us", us)
+		h.pauses = append(h.pauses, us)
+	}
+	h.lastNumGC = ms.NumGC
+	if len(h.pauses) > healthPauseWindow {
+		h.pauses = h.pauses[len(h.pauses)-healthPauseWindow:]
+	}
+	if len(h.pauses) > 0 {
+		h.reg.SetGauge("go.gc_pause_p99_us", quantile(h.pauses, 0.99))
+	}
+}
+
+// quantile returns the q-quantile of values (copied, nearest-rank).
+func quantile(values []float64, q float64) float64 {
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	idx := int(q * float64(len(s)))
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// Stop halts sampling and waits for the goroutine to exit. Safe to call
+// multiple times and on a nil collector.
+func (h *HealthCollector) Stop() {
+	if h == nil {
+		return
+	}
+	h.stopOnce.Do(func() { close(h.stop) })
+	<-h.done
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestHealthCollectorGauges(t *testing.T) {
+	reg := NewRegistry()
+	h := StartHealth(reg, 5*time.Millisecond)
+	if h == nil {
+		t.Fatal("StartHealth returned nil with a registry")
+	}
+	defer h.Stop()
+
+	// One synchronous sample ran inside StartHealth, so the gauges exist
+	// immediately.
+	if g := reg.Gauge("go.goroutines"); g <= 0 {
+		t.Errorf("go.goroutines = %g, want > 0", g)
+	}
+	if g := reg.Gauge("go.heap_inuse_bytes"); g <= 0 {
+		t.Errorf("go.heap_inuse_bytes = %g, want > 0", g)
+	}
+
+	// Force GC cycles and wait for a tick so the pause histogram fills.
+	for i := 0; i < 3; i++ {
+		runtime.GC()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if reg.Gauge("go.gc_pause_p99_us") > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if reg.Gauge("go.gc_pause_p99_us") <= 0 {
+		t.Error("go.gc_pause_p99_us never populated after forced GCs")
+	}
+
+	h.Stop()
+	h.Stop() // idempotent
+}
+
+func TestHealthCollectorNilSafe(t *testing.T) {
+	if h := StartHealth(nil, time.Second); h != nil {
+		t.Fatal("StartHealth(nil) should return nil")
+	}
+	var h *HealthCollector
+	h.Stop() // must not panic
+}

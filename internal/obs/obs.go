@@ -138,6 +138,11 @@ func (o *Obs) Summary() string {
 }
 
 // Span is one node of the hierarchical trace. A nil *Span is a no-op.
+//
+// A span can be wired into a request-scoped Trace (see trace.go): spans
+// created by StartSpan on a context carrying a recording trace, and all
+// their descendants via (s *Span).Span, additionally append nodes to that
+// trace's span tree. Such a span is valid even with a nil Obs handle.
 type Span struct {
 	o      *Obs
 	name   string
@@ -145,6 +150,9 @@ type Span struct {
 	parent int64
 	start  time.Time
 	attrs  []KV
+
+	tr   *Trace
+	node *TraceSpan // nil when the trace dropped the node (span cap)
 }
 
 // Span starts a root span.
@@ -152,12 +160,25 @@ func (o *Obs) Span(name string, kv ...KV) *Span {
 	return o.startSpan(name, 0, kv)
 }
 
-// Span starts a child span.
+// Span starts a child span; when the parent belongs to a recording trace the
+// child joins the same span tree.
 func (s *Span) Span(name string, kv ...KV) *Span {
 	if s == nil {
 		return nil
 	}
-	return s.o.startSpan(name, s.id, kv)
+	child := s.o.startSpan(name, s.id, kv)
+	if s.tr.Recording() {
+		if child == nil {
+			child = &Span{name: name, start: time.Now(), attrs: kv}
+		}
+		child.tr = s.tr
+		var pnode SpanID
+		if s.node != nil {
+			pnode = s.node.ID
+		}
+		child.node = s.tr.newNode(name, pnode, child.start)
+	}
+	return child
 }
 
 func (o *Obs) startSpan(name string, parent int64, kv []KV) *Span {
@@ -180,36 +201,59 @@ func (s *Span) Attr(k string, v any) {
 	s.attrs = append(s.attrs, KV{K: k, V: v})
 }
 
-// record is the JSONL line shape shared by spans and events.
+// TraceSpanID returns the span's id within its request trace, or the zero id
+// when the span is not part of a recording trace (or was dropped at the span
+// cap).
+func (s *Span) TraceSpanID() SpanID {
+	if s == nil || s.node == nil {
+		return SpanID{}
+	}
+	return s.node.ID
+}
+
+// record is the JSONL line shape shared by spans and events. Spans that
+// belong to a request trace carry the W3C ids alongside the per-Obs ones.
 type record struct {
 	Kind   string         `json:"kind"`
 	Name   string         `json:"name"`
 	ID     int64          `json:"id,omitempty"`
 	Parent int64          `json:"parent,omitempty"`
+	Trace  string         `json:"trace_id,omitempty"`
+	SpanID string         `json:"span_id,omitempty"`
 	TUs    int64          `json:"t_us"`
 	DurUs  int64          `json:"dur_us,omitempty"`
 	Attrs  map[string]any `json:"attrs,omitempty"`
 }
 
 // End closes the span: its duration is recorded in the histogram
-// "span.<name>" (microseconds) and, when a sink is attached, one JSONL line
-// is written. Extra attributes may be supplied at close time.
+// "span.<name>" (microseconds), its trace node (if any) is stamped, and,
+// when a sink is attached, one JSONL line is written. Extra attributes may
+// be supplied at close time.
 func (s *Span) End(kv ...KV) {
 	if s == nil {
 		return
 	}
+	var attrs []KV
+	if len(s.attrs) > 0 || len(kv) > 0 {
+		attrs = make([]KV, 0, len(s.attrs)+len(kv))
+		attrs = append(append(attrs, s.attrs...), kv...)
+	}
 	o := s.o
+	if o == nil { // trace-only span
+		s.tr.closeNode(s.node, time.Now(), attrs)
+		return
+	}
 	o.mu.Lock()
 	end := o.now()
 	epoch := o.start
 	o.mu.Unlock()
+	s.tr.closeNode(s.node, end, attrs)
 	dur := end.Sub(s.start)
 	o.reg.Observe("span."+s.name, float64(dur.Microseconds()))
 	if o.w == nil {
 		return
 	}
-	attrs := append(s.attrs, kv...)
-	o.write(record{
+	rec := record{
 		Kind:   "span",
 		Name:   s.name,
 		ID:     s.id,
@@ -217,7 +261,14 @@ func (s *Span) End(kv ...KV) {
 		TUs:    s.start.Sub(epoch).Microseconds(),
 		DurUs:  dur.Microseconds(),
 		Attrs:  attrMap(attrs),
-	})
+	}
+	if s.tr != nil {
+		rec.Trace = s.tr.ID().String()
+		if s.node != nil {
+			rec.SpanID = s.node.ID.String()
+		}
+	}
+	o.write(rec)
 }
 
 // Event emits a point-in-time JSONL line (no-op without a sink).

@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	ids := NewIDSource(7)
+	tid, sid := ids.TraceID(), ids.SpanID()
+	h := FormatTraceparent(tid, sid, FlagSampled)
+	gtid, gsid, flags, err := ParseTraceparent(h)
+	if err != nil {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	if gtid != tid || gsid != sid || flags != FlagSampled {
+		t.Fatalf("round trip mismatch: got %s %s %02x", gtid, gsid, flags)
+	}
+
+	// The W3C spec example parses.
+	gtid, gsid, flags, err = ParseTraceparent("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	if err != nil {
+		t.Fatalf("spec example rejected: %v", err)
+	}
+	if gtid.String() != "0af7651916cd43dd8448eb211c80319c" || gsid.String() != "b7ad6b7169203331" || flags != 0x01 {
+		t.Fatalf("spec example misparsed: %s %s %02x", gtid, gsid, flags)
+	}
+
+	// Forward compatibility: a higher version with extra fields parses as
+	// long as the first four fields are well-formed.
+	if _, _, _, err := ParseTraceparent("cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra"); err != nil {
+		t.Errorf("future version rejected: %v", err)
+	}
+}
+
+func TestTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00-abc-def-01",
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331",          // 3 fields
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra", // version 00 must have exactly 4
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",       // version ff invalid
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01",       // all-zero trace id
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",       // all-zero span id
+		"00-0af7651916cd43dd8448eb211c80319g-b7ad6b7169203331-01",       // non-hex
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-zz",       // bad flags
+		"0-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",        // short version
+		"00-0af7651916cd43dd8448eb211c80319c99-b7ad6b7169203331-01",     // long trace id
+	}
+	for _, h := range bad {
+		if _, _, _, err := ParseTraceparent(h); err == nil {
+			t.Errorf("accepted malformed traceparent %q", h)
+		}
+	}
+}
+
+func TestSamplerDeterministicAndRate(t *testing.T) {
+	const n = 20000
+	ids := NewIDSource(42)
+	tids := make([]TraceID, n)
+	for i := range tids {
+		tids[i] = ids.TraceID()
+	}
+	s1 := NewSampler(0.1, 99)
+	s2 := NewSampler(0.1, 99)
+	kept := 0
+	for _, id := range tids {
+		a, b := s1.Sampled(id), s2.Sampled(id)
+		if a != b {
+			t.Fatalf("same (rate, seed) disagree on %s", id)
+		}
+		if a {
+			kept++
+		}
+	}
+	rate := float64(kept) / n
+	if rate < 0.05 || rate > 0.15 {
+		t.Errorf("10%% sampler kept %.1f%% of %d ids", rate*100, n)
+	}
+	// A different seed selects a different subset.
+	s3 := NewSampler(0.1, 100)
+	same := 0
+	for _, id := range tids {
+		if s1.Sampled(id) == s3.Sampled(id) {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("different seeds produced identical decisions")
+	}
+	// Boundary rates.
+	all, none := NewSampler(1.0, 0), NewSampler(0, 0)
+	var nilS *Sampler
+	for _, id := range tids[:100] {
+		if !all.Sampled(id) {
+			t.Fatal("rate 1.0 dropped an id")
+		}
+		if none.Sampled(id) || nilS.Sampled(id) {
+			t.Fatal("rate 0 / nil sampler kept an id")
+		}
+	}
+}
+
+func TestIDSourceDeterministicWithSeed(t *testing.T) {
+	a, b := NewIDSource(5), NewIDSource(5)
+	for i := 0; i < 100; i++ {
+		if a.TraceID() != b.TraceID() || a.SpanID() != b.SpanID() {
+			t.Fatal("seeded id streams diverged")
+		}
+	}
+}
+
+// StartSpan with a nil Obs builds a pure trace tree: parent links follow the
+// context, End closes nodes, and Finish force-closes anything left open.
+func TestSpanTreeBuildAndClose(t *testing.T) {
+	ids := NewIDSource(3)
+	tr := NewTrace(ids.TraceID(), ids, true)
+	remote := ids.SpanID()
+	tr.SetRemoteParent(remote)
+
+	ctx := ContextWithTrace(context.Background(), tr)
+	ctx, root := StartSpan(ctx, nil, "serve.request", F("endpoint", "query"))
+	if root == nil {
+		t.Fatal("recording trace returned nil root span")
+	}
+	ctx2, child := StartSpan(ctx, nil, "triq.eval")
+	grand := child.Span("chase.run")
+	_ = ctx2
+	dangling := root.Span("left.open")
+	_ = dangling
+
+	grand.End()
+	child.End(F("rounds", 3))
+	root.End()
+	tr.Finish()
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	byName := map[string]TraceSpan{}
+	for _, s := range spans {
+		byName[s.Name] = s
+		if s.End.IsZero() {
+			t.Errorf("span %s not closed after Finish", s.Name)
+		}
+		if s.ID.IsZero() {
+			t.Errorf("span %s has zero id", s.Name)
+		}
+	}
+	if byName["serve.request"].Parent != remote {
+		t.Errorf("root parent = %s, want remote %s", byName["serve.request"].Parent, remote)
+	}
+	if byName["triq.eval"].Parent != byName["serve.request"].ID {
+		t.Error("child not parented on root")
+	}
+	if byName["chase.run"].Parent != byName["triq.eval"].ID {
+		t.Error("grandchild not parented on child")
+	}
+	if acct := tr.Account(); acct.Spans != 4 {
+		t.Errorf("account.Spans = %d, want 4", acct.Spans)
+	}
+}
+
+func TestStartSpanNoObsNoTraceIsNoop(t *testing.T) {
+	ctx, sp := StartSpan(context.Background(), nil, "anything")
+	if sp != nil {
+		t.Fatal("expected nil span with no obs and no trace")
+	}
+	sp.End() // nil-safe
+	if SpanFrom(ctx) != nil {
+		t.Error("no-op StartSpan polluted the context")
+	}
+	// Non-recording trace: still nil span, but the trace rides the context.
+	ids := NewIDSource(1)
+	tr := NewTrace(ids.TraceID(), ids, false)
+	ctx = ContextWithTrace(context.Background(), tr)
+	if _, sp := StartSpan(ctx, nil, "x"); sp != nil {
+		t.Error("non-recording trace with nil obs created a span")
+	}
+	if RecordingTrace(ctx) {
+		t.Error("non-recording trace reports recording")
+	}
+}
+
+func TestTraceMaxSpansCap(t *testing.T) {
+	ids := NewIDSource(2)
+	tr := NewTrace(ids.TraceID(), ids, true)
+	tr.SetMaxSpans(3)
+	ctx := ContextWithTrace(context.Background(), tr)
+	_, root := StartSpan(ctx, nil, "root")
+	for i := 0; i < 5; i++ {
+		root.Span("child").End()
+	}
+	root.End()
+	tr.Finish()
+	acct := tr.Account()
+	if acct.Spans != 3 || acct.SpansDropped != 3 {
+		t.Errorf("spans=%d dropped=%d, want 3/3", acct.Spans, acct.SpansDropped)
+	}
+}
+
+func TestTraceStoreKeepsSlow(t *testing.T) {
+	ids := NewIDSource(11)
+	st := NewTraceStore(2, "test")
+	mk := func(slow, recording bool) *Trace {
+		tr := NewTrace(ids.TraceID(), ids, recording)
+		if slow {
+			tr.MarkSlow()
+		}
+		tr.Finish()
+		st.Add(tr)
+		return tr
+	}
+	mk(false, false)
+	slow := mk(true, true)
+	mk(false, false)
+	mk(false, true) // evicts a fast one, never the slow one
+	mk(false, false)
+
+	if got := st.Get(slow.ID().String()); got != slow {
+		t.Fatal("slow trace was evicted")
+	}
+	rows, added, evicted := st.List()
+	if len(rows) != 2 || added != 5 || evicted != 3 {
+		t.Fatalf("rows=%d added=%d evicted=%d, want 2/5/3", len(rows), added, evicted)
+	}
+	// Newest first.
+	if rows[0].Slow {
+		t.Error("newest row should be the last-added fast trace")
+	}
+	if !rows[1].Slow {
+		t.Error("slow trace missing from listing")
+	}
+	if st.Get(strings.Repeat("0", 32)) != nil {
+		t.Error("Get of unknown id returned a trace")
+	}
+}
+
+func TestAccountChaseWorkStoresNotSums(t *testing.T) {
+	ids := NewIDSource(4)
+	tr := NewTrace(ids.TraceID(), ids, false)
+	tr.SetChaseWork(2, 10, 5, 7, 1)
+	tr.SetChaseWork(4, 20, 9, 13, 2) // deeper rerun replaces, not adds
+	tr.AddProver(3, 1)
+	tr.AddProver(2, 2)
+	tr.SetTimes(100, 10, 80)
+	acct := tr.Account()
+	if acct.ChaseRuns != 2 || acct.Rounds != 4 || acct.TriggersAttempted != 20 ||
+		acct.TriggersFired != 9 || acct.FactsDerived != 13 || acct.NullsInvented != 2 {
+		t.Errorf("chase counters wrong: %+v", acct)
+	}
+	if acct.ProverProofs != 2 || acct.ProverMemoHits != 5 || acct.ProverMemoMisses != 3 {
+		t.Errorf("prover counters wrong: %+v", acct)
+	}
+	if acct.WallUS != 100 || acct.QueueUS != 10 || acct.ExecUS != 80 {
+		t.Errorf("times wrong: %+v", acct)
+	}
+}
+
+func TestOTLPExportShape(t *testing.T) {
+	ids := NewIDSource(6)
+	st := NewTraceStore(4, "triqd-test")
+	tr := NewTrace(ids.TraceID(), ids, true)
+	ctx := ContextWithTrace(context.Background(), tr)
+	_, root := StartSpan(ctx, nil, "serve.request")
+	root.Span("triq.eval").End(F("facts", int64(42)))
+	time.Sleep(time.Millisecond)
+	root.End()
+	tr.Finish()
+	st.Add(tr)
+
+	doc := st.OTLP(tr)
+	if doc == nil || len(doc.ResourceSpans) != 1 {
+		t.Fatal("missing resourceSpans")
+	}
+	rs := doc.ResourceSpans[0]
+	if len(rs.ScopeSpans) != 1 || len(rs.ScopeSpans[0].Spans) != 2 {
+		t.Fatalf("wrong span count in export")
+	}
+	tid := tr.ID().String()
+	for _, sp := range rs.ScopeSpans[0].Spans {
+		if sp.TraceID != tid {
+			t.Errorf("span %s carries trace %s, want %s", sp.Name, sp.TraceID, tid)
+		}
+		if sp.StartTimeUnixNano == "" || sp.EndTimeUnixNano == "" {
+			t.Errorf("span %s missing timestamps", sp.Name)
+		}
+	}
+	if doc.Account.Spans != 2 {
+		t.Errorf("export account spans = %d, want 2", doc.Account.Spans)
+	}
+}

@@ -80,6 +80,7 @@ type admission struct {
 	mu    sync.Mutex
 	inUse int
 	queue []*waiter
+	hwm   int // deepest the queue has ever been (serve.queue_depth_hwm)
 }
 
 func newAdmission(cfg AdmissionConfig) *admission {
@@ -91,6 +92,13 @@ func (a *admission) depth() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return len(a.queue)
+}
+
+// queueHWM reports the deepest the queue has ever been.
+func (a *admission) queueHWM() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.hwm
 }
 
 // inflight reports the number of slots in use.
@@ -117,6 +125,9 @@ func (a *admission) acquire(ctx context.Context) (release func(), err error) {
 	}
 	w := &waiter{grant: make(chan struct{})}
 	a.queue = append(a.queue, w)
+	if len(a.queue) > a.hwm {
+		a.hwm = len(a.queue)
+	}
 	a.mu.Unlock()
 
 	timer := time.NewTimer(a.cfg.QueueTimeout)

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // loadgen drives a running triqd from N parallel clients and reports
@@ -28,6 +30,13 @@ type LoadConfig struct {
 	Requests int
 	// Timeout bounds each individual HTTP request (default 30s).
 	Timeout time.Duration
+	// Trace sends a W3C traceparent header with each request so the server
+	// joins the client's trace; TraceSample sets the fraction of requests
+	// sent with the sampled flag (default 0.1 when Trace is set).
+	Trace       bool
+	TraceSample float64
+	// Seed seeds trace-id generation (0 derives from the clock).
+	Seed int64
 }
 
 // LoadResult aggregates a load run.
@@ -41,13 +50,26 @@ type LoadResult struct {
 	Throughput float64
 	// P50/P95/P99 are latency quantiles over all requests.
 	P50, P95, P99 time.Duration
+	// TraceEchoed counts responses whose traceparent header echoed the
+	// request's trace id (only with LoadConfig.Trace).
+	TraceEchoed int
+	// SampledTraceIDs holds up to 64 trace ids that were sent with the
+	// sampled flag — look them up at /debug/trace?id= on the server.
+	SampledTraceIDs []string
 }
 
 func (r *LoadResult) String() string {
-	return fmt.Sprintf("total=%d ok=%d shed=%d failed=%d elapsed=%s throughput=%.1f req/s p50=%s p95=%s p99=%s",
+	s := fmt.Sprintf("total=%d ok=%d shed=%d failed=%d elapsed=%s throughput=%.1f req/s p50=%s p95=%s p99=%s",
 		r.Total, r.OK, r.Shed, r.Failed, r.Elapsed.Round(time.Millisecond), r.Throughput,
 		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond))
+	if r.TraceEchoed > 0 || len(r.SampledTraceIDs) > 0 {
+		s += fmt.Sprintf(" trace_echoed=%d sampled_traces=%d", r.TraceEchoed, len(r.SampledTraceIDs))
+	}
+	return s
 }
+
+// maxSampledTraceIDs caps the trace ids retained in a LoadResult.
+const maxSampledTraceIDs = 64
 
 // RunLoad fires cfg.Requests POSTs at cfg.URL from cfg.Parallel goroutines
 // and aggregates outcomes. Shed (503) responses are expected under overload
@@ -64,6 +86,16 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 	}
 	client := &http.Client{Timeout: cfg.Timeout}
 
+	var ids *obs.IDSource
+	var sampler *obs.Sampler
+	if cfg.Trace {
+		if cfg.TraceSample == 0 {
+			cfg.TraceSample = 0.1
+		}
+		ids = obs.NewIDSource(cfg.Seed)
+		sampler = obs.NewSampler(cfg.TraceSample, cfg.Seed)
+	}
+
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
@@ -77,8 +109,20 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 		go func() {
 			defer wg.Done()
 			for range jobs {
+				var traceparent string
+				var tid obs.TraceID
+				sampled := false
+				if ids != nil {
+					tid = ids.TraceID()
+					sampled = sampler.Sampled(tid)
+					var flags byte
+					if sampled {
+						flags = obs.FlagSampled
+					}
+					traceparent = obs.FormatTraceparent(tid, ids.SpanID(), flags)
+				}
 				t0 := time.Now()
-				status, err := post(ctx, client, cfg.URL, cfg.Body)
+				status, echoed, err := post(ctx, client, cfg.URL, cfg.Body, traceparent, tid)
 				lat := time.Since(t0)
 				mu.Lock()
 				res.Total++
@@ -90,6 +134,12 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 					res.Shed++
 				default:
 					res.Failed++
+				}
+				if echoed {
+					res.TraceEchoed++
+				}
+				if sampled && len(res.SampledTraceIDs) < maxSampledTraceIDs {
+					res.SampledTraceIDs = append(res.SampledTraceIDs, tid.String())
 				}
 				mu.Unlock()
 			}
@@ -119,19 +169,30 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 	return &res, nil
 }
 
-func post(ctx context.Context, client *http.Client, url string, body []byte) (int, error) {
+// post sends one request; echoed reports whether the response traceparent
+// carried the same trace id the request sent.
+func post(ctx context.Context, client *http.Client, url string, body []byte, traceparent string, tid obs.TraceID) (int, bool, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
+	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	defer resp.Body.Close()
 	_, _ = io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, nil
+	echoed := false
+	if traceparent != "" {
+		if rtid, _, _, perr := obs.ParseTraceparent(resp.Header.Get("traceparent")); perr == nil {
+			echoed = rtid == tid
+		}
+	}
+	return resp.StatusCode, echoed, nil
 }
 
 // quantileDur picks the q-th quantile of a sorted slice (nearest-rank).

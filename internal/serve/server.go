@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	rtpprof "runtime/pprof"
 	"strconv"
 	"sync"
 	"time"
@@ -63,6 +64,16 @@ type Config struct {
 	// Seed seeds the retry jitter; 0 uses a fixed seed (fine for a server,
 	// handy for tests).
 	Seed int64
+	// Trace configures request-scoped tracing (traceparent propagation,
+	// sampling, the /debug/trace store). Enabled by default; set
+	// Trace.Disable to turn it off.
+	Trace TraceConfig
+	// AutoProfile configures slow-query auto-profiling; a zero Dir disables.
+	AutoProfile AutoProfileConfig
+	// HealthInterval is the runtime health sampling cadence for the
+	// go_goroutines / heap / GC-pause gauges on /metrics (0 = 10s; negative
+	// disables). Sampling requires Obs.
+	HealthInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +96,9 @@ type Server struct {
 	obs      *obs.Obs
 	slow     *slowLog
 	progress *repro.Progress
+	traces   *tracer
+	autoprof *autoProfiler
+	health   *obs.HealthCollector
 
 	mu    sync.RWMutex
 	graph *repro.Graph
@@ -128,6 +142,11 @@ func New(cfg Config) *Server {
 		},
 	}
 	s.trackCond = sync.NewCond(&s.trackMu)
+	s.traces = newTracer(cfg.Trace, cfg.Obs, cfg.SlowLog.Threshold)
+	s.autoprof = newAutoProfiler(cfg.AutoProfile, cfg.SlowLog.Threshold, cfg.Obs)
+	if cfg.Obs.Enabled() && cfg.HealthInterval >= 0 {
+		s.health = obs.StartHealth(cfg.Obs.Registry(), cfg.HealthInterval)
+	}
 	return s
 }
 
@@ -188,14 +207,17 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.trackMu.Unlock()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		s.hardKill()
 		<-done // cancellation unwinds evaluations promptly
-		return errors.New("serve: drain deadline expired; stragglers were canceled")
+		err = errors.New("serve: drain deadline expired; stragglers were canceled")
 	}
+	s.health.Stop()
+	s.autoprof.drain()
+	return err
 }
 
 // Handler mounts the service endpoints:
@@ -209,6 +231,9 @@ func (s *Server) Drain(ctx context.Context) error {
 //	GET  /metrics.json    — the same registry as structured JSON
 //	GET  /debug/slowlog   — retained slow-query entries, oldest first
 //	GET  /debug/progress  — live chase progress snapshot
+//	GET  /debug/trace     — retained request traces (?id=<hex> for one
+//	                        trace as OTLP-shaped JSON with the span tree
+//	                        and resource account)
 //	     /debug/pprof/    — runtime profiles
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -236,6 +261,7 @@ func (s *Server) Handler() http.Handler {
 		reg := s.metricsRegistry()
 		w.Header().Set("Content-Type", obs.PromContentType)
 		reg.WritePrometheus(w)
+		obs.WriteBuildInfoProm(w)
 	})
 	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, s.metricsRegistry().Snapshot())
@@ -260,6 +286,31 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /debug/progress", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, s.progress.Snapshot())
 	})
+	mux.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		if s.traces == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		if id := r.URL.Query().Get("id"); id != "" {
+			t := s.traces.store.Get(id)
+			if t == nil {
+				http.Error(w, "trace not found (evicted or never sampled)", http.StatusNotFound)
+				return
+			}
+			writeJSON(w, http.StatusOK, s.traces.store.OTLP(t))
+			return
+		}
+		rows, added, evicted := s.traces.store.List()
+		if rows == nil {
+			rows = []obs.TraceSummary{}
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Sample  float64            `json:"sample"`
+			Added   int64              `json:"added"`
+			Evicted int64              `json:"evicted"`
+			Traces  []obs.TraceSummary `json:"traces"`
+		}{s.traces.cfg.Sample, added, evicted, rows})
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -279,6 +330,7 @@ func (s *Server) metricsRegistry() *obs.Registry {
 	}
 	reg.SetGauge("serve.inflight", float64(s.adm.inflight()))
 	reg.SetGauge("serve.queue_depth", float64(s.adm.depth()))
+	reg.SetGauge("serve.queue_depth_hwm", float64(s.adm.queueHWM()))
 	for name, b := range s.breakers {
 		reg.SetGauge("serve.breaker_state."+name, breakerStateNum(b.snapshot()))
 	}
@@ -313,19 +365,28 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint str
 	s.count("serve.requests")
 	start := time.Now()
 
+	// The request trace opens before admission so queue waits and sheds are
+	// visible in it; the response traceparent header is set here, before any
+	// status is written.
+	rt := s.traces.start(w, r, endpoint)
+
 	if s.isDraining() {
 		s.count("serve.shed.draining")
 		s.shed(w, ErrDraining)
+		rt.finish(http.StatusServiceUnavailable, 0, 0, time.Since(start))
 		return
 	}
 	done, err := s.breakers[endpoint].allow()
 	if err != nil {
 		s.count("serve.shed.breaker")
 		s.shed(w, err)
+		rt.finish(http.StatusServiceUnavailable, 0, 0, time.Since(start))
 		return
 	}
+	admSpan := rt.span("serve.admission")
 	release, err := s.adm.acquire(r.Context())
 	queueWait := time.Since(start)
+	admSpan.End(obs.F("queue_us", queueWait.Microseconds()), obs.F("admitted", err == nil))
 	if err != nil {
 		done(false) // an admission shed is not the endpoint's fault
 		switch {
@@ -339,6 +400,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint str
 			s.count("serve.client_gone")
 			s.fail(w, http.StatusServiceUnavailable, limits.NewError(limits.ErrCanceled, limits.Truncation{}), 0)
 		}
+		rt.finish(http.StatusServiceUnavailable, queueWait, 0, time.Since(start))
 		return
 	}
 	defer release()
@@ -347,6 +409,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint str
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		done(false)
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err), 0)
+		rt.finish(http.StatusBadRequest, queueWait, 0, time.Since(start))
 		return
 	}
 	if r.URL.Query().Get("explain") == "1" {
@@ -356,22 +419,33 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint str
 	if g == nil {
 		done(false)
 		s.shed(w, errors.New("serve: no graph loaded"))
+		rt.finish(http.StatusServiceUnavailable, queueWait, 0, time.Since(start))
 		return
 	}
 
 	// The evaluation context: the client's own context (disconnect cancels
 	// the evaluation) bounded by the per-request deadline, with a hard-stop
-	// hook so an expiring drain cancels stragglers.
+	// hook so an expiring drain cancels stragglers. The trace and its root
+	// span ride the context so every layer's spans join one tree.
 	ctx, cancel := context.WithTimeout(r.Context(), req.timeoutOf(s.cfg.DefaultTimeout, s.cfg.MaxTimeout))
 	defer cancel()
 	stop := context.AfterFunc(s.hardStop, cancel)
 	defer stop()
+	ctx = rt.bind(ctx)
 
 	s.trackBegin()
 	defer s.trackEnd()
 
 	execStart := time.Now()
-	resp, report, evalErr := s.evaluate(ctx, g, endpoint, &req)
+	var resp *QueryResponse
+	var report *repro.ExplainReport
+	var evalErr error
+	// pprof labels tag the evaluation's CPU samples (and every goroutine it
+	// spawns) with the trace id, so auto-captured profiles slice by request.
+	rtpprof.Do(ctx, rtpprof.Labels("trace_id", rt.traceID(), "endpoint", endpoint), func(ctx context.Context) {
+		resp, report, evalErr = s.evaluate(ctx, g, endpoint, &req)
+	})
+	exec := time.Since(execStart)
 	if evalErr != nil {
 		status := statusOf(evalErr)
 		// Only server faults count against the breaker.
@@ -386,7 +460,8 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint str
 			s.count("serve.canceled")
 		}
 		s.fail(w, status, evalErr, 0)
-		s.recordSlow(endpoint, &req, nil, report, status, evalErr, queueWait, time.Since(execStart))
+		rt.finish(status, queueWait, exec, time.Since(start))
+		s.recordSlow(endpoint, &req, nil, report, status, evalErr, queueWait, exec, rt)
 		return
 	}
 	done(false)
@@ -402,17 +477,32 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint str
 		s.obs.Observe("serve.latency_us", float64(resp.ElapsedUS))
 		s.obs.Observe("serve.queue_wait_us", float64(queueWait.Microseconds()))
 	}
+	// Close the trace before the body is rendered so the response and the
+	// explain report carry the final resource account.
+	rt.finish(http.StatusOK, queueWait, exec, time.Since(start))
+	resp.TraceID = rt.traceID()
+	if rt != nil {
+		acct := rt.account()
+		if report != nil {
+			report.Resources = &acct
+		}
+		if req.Explain {
+			resp.Resources = &acct
+		}
+	}
 	if req.Explain {
 		resp.Explain = report
 	}
 	writeJSON(w, http.StatusOK, resp)
-	s.recordSlow(endpoint, &req, resp, report, http.StatusOK, nil, queueWait, time.Since(execStart))
+	s.recordSlow(endpoint, &req, resp, report, http.StatusOK, nil, queueWait, exec, rt)
 }
 
-// recordSlow feeds the slow-query log; it runs exactly once per evaluated
-// request (success or failure) and is a no-op when the log is disabled or
-// the request finished under the threshold.
-func (s *Server) recordSlow(endpoint string, req *QueryRequest, resp *QueryResponse, report *repro.ExplainReport, status int, evalErr error, queueWait, exec time.Duration) {
+// recordSlow feeds the slow-query log and the auto-profiler; it runs exactly
+// once per evaluated request (success or failure) and is a no-op when the
+// log is disabled or the request finished under the threshold.
+func (s *Server) recordSlow(endpoint string, req *QueryRequest, resp *QueryResponse, report *repro.ExplainReport, status int, evalErr error, queueWait, exec time.Duration, rt *reqTrace) {
+	total := queueWait + exec
+	cpuFile, heapFile := s.autoprof.maybeCapture(total, rt.traceID())
 	if !s.slow.enabled() {
 		return
 	}
@@ -429,8 +519,18 @@ func (s *Server) recordSlow(endpoint string, req *QueryRequest, resp *QueryRespo
 		Status:         status,
 		QueueWaitUS:    queueWait.Microseconds(),
 		ExecUS:         exec.Microseconds(),
-		TotalUS:        (queueWait + exec).Microseconds(),
+		TotalUS:        total.Microseconds(),
 		Explain:        report,
+		TraceID:        rt.traceID(),
+		ProfileCPU:     cpuFile,
+		ProfileHeap:    heapFile,
+	}
+	if rt != nil {
+		acct := rt.account()
+		e.Resources = &acct
+		if report != nil && report.Resources == nil {
+			report.Resources = &acct
+		}
 	}
 	if resp != nil {
 		e.Incomplete = resp.Incomplete
@@ -487,9 +587,14 @@ func (s *Server) evaluate(ctx context.Context, g *repro.Graph, endpoint string, 
 		eval = func() (*QueryResponse, error) {
 			var res *repro.Results
 			var err error
-			if wantReport {
+			switch {
+			case req.Exact && wantReport:
+				res, report, err = repro.ExplainExactCtx(ctx, g, q, opts)
+			case req.Exact:
+				res, err = repro.AskExactCtx(ctx, g, q, opts)
+			case wantReport:
 				res, report, err = repro.ExplainCtx(ctx, g, q, lang, opts)
-			} else {
+			default:
 				res, err = repro.AskCtx(ctx, g, q, lang, opts)
 			}
 			if err != nil {
@@ -516,12 +621,20 @@ func (s *Server) evaluate(ctx context.Context, g *repro.Graph, endpoint string, 
 			var ms *repro.MappingSet
 			var exact bool
 			var err error
-			if wantReport {
+			switch {
+			case req.Exact && wantReport:
+				ms, report, err = repro.ExplainSPARQLExactCtx(ctx, sq, g, regime, opts)
+				// A visit-budget trip degrades to a certified partial set.
+				exact = err == nil && !ms.Incomplete
+			case req.Exact:
+				ms, _, err = repro.AskSPARQLExactCtx(ctx, sq, g, regime, opts)
+				exact = err == nil && !ms.Incomplete
+			case wantReport:
 				ms, report, err = repro.ExplainSPARQLCtx(ctx, sq, g, regime, opts)
 				if err == nil {
 					exact = report.Exact
 				}
-			} else {
+			default:
 				ms, exact, err = repro.AskSPARQLCtx(ctx, sq, g, regime, opts)
 			}
 			if err != nil {

@@ -8,6 +8,7 @@ import (
 
 	"repro"
 	"repro/internal/limits"
+	"repro/internal/obs"
 )
 
 // SlowLogConfig configures the slow-query log: every request whose total
@@ -54,6 +55,16 @@ type SlowEntry struct {
 	// Explain is the per-query telemetry report, present when the server
 	// computed one for this request (slowlog enabled or explain requested).
 	Explain *repro.ExplainReport `json:"explain,omitempty"`
+	// TraceID links the entry to its request trace (/debug/trace?id=...),
+	// present when tracing is enabled.
+	TraceID string `json:"trace_id,omitempty"`
+	// Resources is the request's resource account (wall/queue/exec time,
+	// chase and prover work, heap allocation delta).
+	Resources *obs.Account `json:"resources,omitempty"`
+	// ProfileCPU / ProfileHeap name pprof files captured by the slow-query
+	// auto-profiler for this request, when it tripped.
+	ProfileCPU  string `json:"profile_cpu,omitempty"`
+	ProfileHeap string `json:"profile_heap,omitempty"`
 }
 
 // slowLog is the ring + sink behind /debug/slowlog.

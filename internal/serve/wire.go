@@ -6,6 +6,7 @@ import (
 
 	"repro"
 	"repro/internal/limits"
+	"repro/internal/obs"
 )
 
 // The HTTP wire format. Success bodies are QueryResponse; failure bodies are
@@ -37,6 +38,10 @@ type QueryRequest struct {
 	// Explain requests the per-query telemetry report in the response; the
 	// handlers also accept it as the query parameter explain=1.
 	Explain bool `json:"explain,omitempty"`
+	// Exact requests certain-answer evaluation through the proof-theoretic
+	// prover instead of the sound chase approximation. Supported by both
+	// endpoints for TriQ-Lite 1.0 programs (Corollaries 5.4 / 6.2).
+	Exact bool `json:"exact,omitempty"`
 }
 
 // QueryResponse is the 200 body. A truncated evaluation is still a 200 — the
@@ -63,6 +68,12 @@ type QueryResponse struct {
 	// Explain is the per-query telemetry report, present when the request
 	// asked for it (body field or explain=1).
 	Explain *repro.ExplainReport `json:"explain,omitempty"`
+	// TraceID identifies the request's trace; the same id is echoed in the
+	// traceparent response header and addresses /debug/trace?id=...
+	TraceID string `json:"trace_id,omitempty"`
+	// Resources is the request's resource account, present when the request
+	// asked for Explain (it also rides inside Explain.Resources).
+	Resources *obs.Account `json:"resources,omitempty"`
 }
 
 // Failure is the non-200 body: the taxonomy wire error plus an optional

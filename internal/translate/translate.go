@@ -93,10 +93,17 @@ func Translate(p sparql.Pattern, regime Regime) (*Translation, error) {
 // sub-pattern emits a translate.op span (operator kind, rules added) nested
 // under one translate.compile span. A nil Obs behaves exactly like Translate.
 func Traced(p sparql.Pattern, regime Regime, o *obs.Obs) (*Translation, error) {
+	return TracedCtx(context.Background(), p, regime, o)
+}
+
+// TracedCtx is Traced under a context: when the context carries a recording
+// trace (obs.ContextWithTrace), the translate.compile span and its
+// translate.op children join the request's span tree.
+func TracedCtx(ctx context.Context, p sparql.Pattern, regime Regime, o *obs.Obs) (*Translation, error) {
 	if err := sparql.Validate(p); err != nil {
 		return nil, err
 	}
-	root := o.Span("translate.compile", obs.F("regime", regime.String()))
+	_, root := obs.StartSpan(ctx, o, "translate.compile", obs.F("regime", regime.String()))
 	c := &compiler{regime: regime, prog: &datalog.Program{}, obs: o, span: root}
 	node, err := c.compile(p)
 	if err != nil {
@@ -191,21 +198,51 @@ func (tr *Translation) EvaluateFull(g *rdf.Graph, opts triq.Options) (*sparql.Ma
 // limit semantics. The decode phase carries the "translate.decode" fault
 // point.
 func (tr *Translation) EvaluateFullCtx(ctx context.Context, g *rdf.Graph, opts triq.Options) (*sparql.MappingSet, *triq.Result, error) {
-	o := opts.Chase.Obs
-	sp := o.Span("translate.load_db", obs.F("triples", g.Len()))
-	db := DB(g)
-	sp.End(obs.F("facts", db.Len()))
+	db, err := tr.loadDB(ctx, g, opts)
+	if err != nil {
+		return nil, nil, err
+	}
 	res, err := triq.EvalCtx(ctx, db, tr.Query, triq.Unrestricted, opts)
 	if err != nil {
 		return nil, nil, err
 	}
+	return tr.decode(ctx, res, opts)
+}
+
+// EvaluateExactFullCtx is EvaluateFullCtx with the bottom-up evaluator
+// replaced by the exact ProofTree procedure (triq.EvalExactCtx): every
+// reported mapping is certified by a proof tree, at the cost of enumerating
+// the answer domain. The translation must be TriQ-Lite 1.0, which the
+// regime variants are by Corollaries 5.4 and 6.2.
+func (tr *Translation) EvaluateExactFullCtx(ctx context.Context, g *rdf.Graph, opts triq.Options) (*sparql.MappingSet, *triq.Result, error) {
+	db, err := tr.loadDB(ctx, g, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := triq.EvalExactCtx(ctx, db, tr.Query, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr.decode(ctx, res, opts)
+}
+
+// loadDB builds τ_db(G) under a translate.load_db span.
+func (tr *Translation) loadDB(ctx context.Context, g *rdf.Graph, opts triq.Options) (*chase.Instance, error) {
+	_, sp := obs.StartSpan(ctx, opts.Chase.Obs, "translate.load_db", obs.F("triples", g.Len()))
+	db := DB(g)
+	sp.End(obs.F("facts", db.Len()))
+	return db, nil
+}
+
+// decode maps the evaluation result back to ⟦(P_dat, τ_db(G))⟧.
+func (tr *Translation) decode(ctx context.Context, res *triq.Result, opts triq.Options) (*sparql.MappingSet, *triq.Result, error) {
 	if res.Answers.Inconsistent {
 		return nil, res, nil
 	}
 	if err := limits.Hit(opts.Chase.Faults, "translate.decode"); err != nil {
 		return nil, res, err
 	}
-	dec := o.Span("translate.decode", obs.F("tuples", len(res.Answers.Tuples)))
+	_, dec := obs.StartSpan(ctx, opts.Chase.Obs, "translate.decode", obs.F("tuples", len(res.Answers.Tuples)))
 	defer func() { dec.End() }()
 	out := sparql.NewMappingSet()
 	out.Incomplete = res.Incomplete
@@ -337,12 +374,12 @@ func (c *compiler) compile(p sparql.Pattern) (*node, error) {
 	before := len(c.prog.Rules)
 	parent := c.span
 	var sp *obs.Span
-	if c.obs != nil {
+	if parent != nil {
 		sp = parent.Span("translate.op", obs.F("kind", kind))
 		c.span = sp
 	}
 	n, err := c.compileInner(p)
-	if c.obs != nil {
+	if parent != nil {
 		c.span = parent
 		sp.End(obs.F("rules", len(c.prog.Rules)-before), obs.F("error", err != nil))
 	}

@@ -133,8 +133,7 @@ func EvalCtx(ctx context.Context, db *chase.Instance, q datalog.Query, lang Lang
 	if err := Validate(q, lang); err != nil {
 		return nil, err
 	}
-	o := opts.Chase.Obs
-	sp := o.Span("triq.eval",
+	ctx, sp := obs.StartSpan(ctx, opts.Chase.Obs, "triq.eval",
 		obs.F("lang", lang.String()),
 		obs.F("output", q.Output),
 		obs.F("db_facts", db.Len()))
@@ -163,6 +162,7 @@ func EvalCtx(ctx context.Context, db *chase.Instance, q datalog.Query, lang Lang
 	res.Exact = gr.Exact
 	res.Depth = gr.Depth
 	res.Stats = gr.Stats
+	accountChase(ctx, res.Stats)
 	ans := &chase.Answers{}
 	if len(gr.Ground.AtomsOf(inconsistencyMarker)) > 0 {
 		// Marker derivation is monotone, so ⊤ is sound even on a truncated
@@ -183,6 +183,23 @@ func EvalCtx(ctx context.Context, db *chase.Instance, q datalog.Query, lang Lang
 		obs.F("exact", res.Exact),
 		obs.F("incomplete", res.Incomplete))
 	return res, nil
+}
+
+// accountChase writes the final evaluation's chase.Stats into the request's
+// resource account (a no-op without a trace on ctx). Storing the very
+// snapshot Result.Stats carries keeps the account, EXPLAIN, and Stats in
+// exact agreement.
+func accountChase(ctx context.Context, st chase.Stats) {
+	tr := obs.TraceFrom(ctx)
+	if tr == nil {
+		return
+	}
+	var attempted int64
+	for _, r := range st.PerRule {
+		attempted += int64(r.TriggersAttempted)
+	}
+	tr.SetChaseWork(int64(st.Rounds), attempted, int64(st.TriggersFired),
+		int64(st.FactsDerived), int64(st.NullsInvented))
 }
 
 func sortTuples(ts [][]datalog.Term) {

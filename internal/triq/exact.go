@@ -8,6 +8,7 @@ import (
 	"repro/internal/chase"
 	"repro/internal/datalog"
 	"repro/internal/limits"
+	"repro/internal/obs"
 )
 
 // This file provides the provably-exact counterpart to the fast bottom-up
@@ -148,6 +149,9 @@ func EvalExactCtx(ctx context.Context, db *chase.Instance, q datalog.Query, opts
 	if err := Validate(q, TriQLite10); err != nil {
 		return nil, err
 	}
+	ctx, sp := obs.StartSpan(ctx, opts.Chase.Obs, "triq.exact",
+		obs.F("output", q.Output),
+		obs.F("db_facts", db.Len()))
 	prog := q.Program
 	preds := []string{q.Output}
 	if len(prog.Constraints) > 0 {
@@ -162,6 +166,7 @@ func EvalExactCtx(ctx context.Context, db *chase.Instance, q datalog.Query, opts
 	res := &Result{Exact: true}
 	if err != nil {
 		if ground == nil || !limits.IsBudget(err) {
+			sp.End(obs.F("error", true))
 			return nil, err
 		}
 		res.Exact = false
@@ -174,6 +179,7 @@ func EvalExactCtx(ctx context.Context, db *chase.Instance, q datalog.Query, opts
 	if len(ground.AtomsOf(inconsistencyMarker)) > 0 {
 		ans.Inconsistent = true
 		res.Answers = ans
+		sp.End(obs.F("inconsistent", true))
 		return res, nil
 	}
 	for _, a := range ground.AtomsOf(q.Output) {
@@ -181,5 +187,9 @@ func EvalExactCtx(ctx context.Context, db *chase.Instance, q datalog.Query, opts
 	}
 	sortTuples(ans.Tuples)
 	res.Answers = ans
+	sp.End(
+		obs.F("answers", len(ans.Tuples)),
+		obs.F("exact", res.Exact),
+		obs.F("incomplete", res.Incomplete))
 	return res, nil
 }

@@ -105,6 +105,11 @@ type ExplainReport struct {
 
 	// TotalUS is the wall-clock time of the whole explained evaluation.
 	TotalUS int64 `json:"total_us"`
+
+	// Resources is the request's resource account when the evaluation ran
+	// under a traced request (internal/serve fills it); nil otherwise. Its
+	// chase counters mirror the final evaluation's chase.Stats exactly.
+	Resources *obs.Account `json:"resources,omitempty"`
 }
 
 // Explain is Eval with a report: the query is evaluated under a private

@@ -354,14 +354,17 @@ func (pv *Prover) ProveCtx(ctx context.Context, goal datalog.Atom) (*ProofNode, 
 	defer pv.mu.Unlock()
 	o := pv.opts.Obs
 	before := pv.metricsLocked()
-	sp := o.Span("prover.prove", obs.F("goal", goal.String()))
+	_, sp := obs.StartSpan(ctx, o, "prover.prove", obs.F("goal", goal.String()))
 	pv.err = nil
 	pv.ctx = ctx
 	pv.start = time.Now()
 	defer func() { pv.ctx = nil }()
 	nodes, ok := pv.proveComponent([]datalog.Atom{goal}, map[string]datalog.Atom{}, map[string]bool{})
-	if o != nil {
-		after := pv.metricsLocked()
+	after := pv.metricsLocked()
+	// Bill this proof search's memoization to the request's resource
+	// account (no-op without a trace on ctx).
+	obs.TraceFrom(ctx).AddProver(int64(after.MemoHits-before.MemoHits), int64(after.MemoMisses-before.MemoMisses))
+	if o != nil || sp != nil {
 		sp.End(
 			obs.F("ok", ok && pv.err == nil),
 			obs.F("components", after.Components-before.Components),

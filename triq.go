@@ -285,11 +285,37 @@ func AskSPARQL(q *SPARQLQuery, g *Graph, regime Regime, opts Options) (*MappingS
 // ErrInternal.
 func AskSPARQLCtx(ctx context.Context, q *SPARQLQuery, g *Graph, regime Regime, opts Options) (ms *MappingSet, exact bool, err error) {
 	defer limits.Recover(&err)
-	tr, err := translate.Translate(q.Pattern(), regime)
+	tr, err := translate.TracedCtx(ctx, q.Pattern(), regime, opts.Chase.Obs)
 	if err != nil {
 		return nil, false, err
 	}
 	return tr.EvaluateCtx(ctx, g, opts)
+}
+
+// AskSPARQLExact evaluates a SELECT query under the chosen regime with the
+// provably-exact ProofTree procedure instead of the bottom-up chase: the
+// translated query (TriQ-Lite 1.0 by Corollaries 5.4 and 6.2) is answered by
+// enumerating the answer domain and certifying every mapping with a proof
+// tree. Slower than AskSPARQL, but exact even when the chase is infinite.
+func AskSPARQLExact(q *SPARQLQuery, g *Graph, regime Regime, opts Options) (*MappingSet, bool, error) {
+	return AskSPARQLExactCtx(context.Background(), q, g, regime, opts)
+}
+
+// AskSPARQLExactCtx is AskSPARQLExact under a context. The boolean reports
+// inconsistency (⊤). A visit-budget trip degrades to the proof-certified
+// partial mapping set with ms.Incomplete set; cancellation and deadlines
+// return typed errors; panics are recovered as ErrInternal.
+func AskSPARQLExactCtx(ctx context.Context, q *SPARQLQuery, g *Graph, regime Regime, opts Options) (ms *MappingSet, inconsistent bool, err error) {
+	defer limits.Recover(&err)
+	tr, err := translate.TracedCtx(ctx, q.Pattern(), regime, opts.Chase.Obs)
+	if err != nil {
+		return nil, false, err
+	}
+	ms, res, err := tr.EvaluateExactFullCtx(ctx, g, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	return ms, res.Answers != nil && res.Answers.Inconsistent, nil
 }
 
 // NewProver builds a ProofTree decision procedure (Section 6.3) for a
@@ -410,7 +436,7 @@ func ExplainSPARQLCtx(ctx context.Context, q *SPARQLQuery, g *Graph, regime Regi
 	priv, orig := obs.New(), opts.Chase.Obs
 	opts.Chase.Obs = priv
 	start := time.Now()
-	tr, err := translate.Traced(q.Pattern(), regime, priv)
+	tr, err := translate.TracedCtx(ctx, q.Pattern(), regime, priv)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -424,6 +450,37 @@ func ExplainSPARQLCtx(ctx context.Context, q *SPARQLQuery, g *Graph, regime Regi
 	}
 	rep = triq.BuildExplain(res, priv.Registry(), elapsed)
 	rep.Kind = "sparql"
+	rep.Regime = regime.String()
+	return ms, rep, nil
+}
+
+// ExplainSPARQLExact is AskSPARQLExact with a report; like ExplainExact, the
+// report carries the prover's memo metrics alongside the chase breakdown.
+func ExplainSPARQLExact(q *SPARQLQuery, g *Graph, regime Regime, opts Options) (*MappingSet, *ExplainReport, error) {
+	return ExplainSPARQLExactCtx(context.Background(), q, g, regime, opts)
+}
+
+// ExplainSPARQLExactCtx is ExplainSPARQLExact under a context; the same
+// private-registry fold-back contract as ExplainSPARQLCtx applies.
+func ExplainSPARQLExactCtx(ctx context.Context, q *SPARQLQuery, g *Graph, regime Regime, opts Options) (ms *MappingSet, rep *ExplainReport, err error) {
+	defer limits.Recover(&err)
+	priv, orig := obs.New(), opts.Chase.Obs
+	opts.Chase.Obs = priv
+	start := time.Now()
+	tr, err := translate.TracedCtx(ctx, q.Pattern(), regime, priv)
+	if err != nil {
+		return nil, nil, err
+	}
+	ms, res, err := tr.EvaluateExactFullCtx(ctx, g, opts)
+	elapsed := time.Since(start)
+	if orig != nil {
+		orig.Registry().MergeFrom(priv.Registry())
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	rep = triq.BuildExplain(res, priv.Registry(), elapsed)
+	rep.Kind = "sparql-exact"
 	rep.Regime = regime.String()
 	return ms, rep, nil
 }
