@@ -31,7 +31,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment by id (T1, F1, E1 … E9, E11 … E13)")
+	only := flag.String("only", "", "run a single experiment by id (T1, F1, E1 … E9, E11 … E14)")
 	asJSON := flag.Bool("json", false, "emit the tables as JSON (with per-stage engine breakdowns) instead of markdown")
 	parallelism := flag.Int("parallelism", 0, "chase workers for every experiment (0 = GOMAXPROCS, 1 = sequential; E11 sweeps its own)")
 	server := flag.String("server", "", "concurrent-client mode: base URL of a running triqd (e.g. http://localhost:8471)")
@@ -40,6 +40,8 @@ func main() {
 	parallel := flag.Int("parallel", 8, "with -server: number of concurrent clients")
 	requests := flag.Int("requests", 200, "with -server: total requests across all clients")
 	traceSample := flag.Float64("trace-sample", 0, "with -server: send W3C traceparent headers, this fraction with the sampled flag")
+	writePct := flag.Float64("write-pct", 0, "with -server: percentage of requests sent as /insert-/delete batches (write soak)")
+	writeBatch := flag.Int("write-batch", 8, "with -server: triples per mutation batch")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -48,7 +50,7 @@ func main() {
 	}
 
 	if *server != "" {
-		os.Exit(clientMain(*server, *endpoint, *reqBody, *parallel, *requests, *traceSample, *asJSON))
+		os.Exit(clientMain(*server, *endpoint, *reqBody, *parallel, *requests, *traceSample, *writePct, *writeBatch, *asJSON))
 	}
 	bench.SetParallelism(*parallelism)
 
@@ -57,7 +59,7 @@ func main() {
 		"E1": bench.RunE1, "E2": bench.RunE2, "E3": bench.RunE3,
 		"E4": bench.RunE4, "E5": bench.RunE5, "E6": bench.RunE6,
 		"E7": bench.RunE7, "E8": bench.RunE8, "E9": bench.RunE9,
-		"E11": bench.RunE11, "E12": bench.RunE12, "E13": bench.RunE13,
+		"E11": bench.RunE11, "E12": bench.RunE12, "E13": bench.RunE13, "E14": bench.RunE14,
 	}
 
 	var tables []*bench.Table
@@ -105,7 +107,7 @@ const defaultClientBody = `{"program": "triple(?X, partOf, transportService) -> 
 
 // clientMain is the concurrent-client mode: drive a running triqd and
 // report throughput + latency quantiles.
-func clientMain(server, endpoint, body string, parallel, requests int, traceSample float64, asJSON bool) int {
+func clientMain(server, endpoint, body string, parallel, requests int, traceSample, writePct float64, writeBatch int, asJSON bool) int {
 	if body == "" {
 		body = defaultClientBody
 	}
@@ -117,6 +119,9 @@ func clientMain(server, endpoint, body string, parallel, requests int, traceSamp
 		Timeout:     60 * time.Second,
 		Trace:       traceSample > 0,
 		TraceSample: traceSample,
+		WritePct:    writePct,
+		MutateBase:  strings.TrimRight(server, "/"),
+		WriteBatch:  writeBatch,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "triqbench:", err)

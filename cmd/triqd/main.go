@@ -1,21 +1,32 @@
-// Command triqd is the resilient TriQ query server: it loads an RDF graph
-// once and serves TriQ (Datalog) and SPARQL queries over HTTP with admission
-// control, load shedding, per-request deadlines, transient-fault retries,
-// per-endpoint circuit breakers, and graceful drain on SIGINT/SIGTERM.
+// Command triqd is the resilient TriQ query server: it serves TriQ
+// (Datalog) and SPARQL queries over HTTP with admission control, load
+// shedding, per-request deadlines, transient-fault retries, per-endpoint
+// circuit breakers, and graceful drain on SIGINT/SIGTERM — and, with
+// -wal-dir, a durable live write path: POST /insert and /delete apply
+// N-Triples batches atomically through an epoch-versioned copy-on-write
+// store backed by a checksummed write-ahead log, recovered on boot.
 //
 // Usage:
 //
 //	triqd -data graph.nt [-ontology o.owl] [-addr :8471] \
+//	      [-wal-dir store/] [-wal-sync always|interval|none] \
+//	      [-checkpoint-every 1024] [-max-body-bytes 8388608] \
 //	      [-concurrency 4] [-queue 16] [-queue-timeout 1s] \
 //	      [-default-timeout 10s] [-max-timeout 60s] [-drain-timeout 15s] \
 //	      [-retries 3] [-parallelism 1]
 //
+// With -wal-dir the listener answers immediately and /readyz reports
+// {"state":"recovering"} (503) until the snapshot and WAL have replayed;
+// -data seeds the store only on first boot (an already-populated store wins).
+// Without -wal-dir mutations still work against a volatile in-memory store.
+//
 // Endpoints and the status-code contract are documented in the README
-// ("Serving") and in internal/serve. A quick check against a running
-// instance:
+// ("Serving", "Durability & writes") and in internal/serve. A quick check
+// against a running instance:
 //
 //	curl -s localhost:8471/readyz
 //	curl -s localhost:8471/query -d '{"program":"triple(?X, partOf, ?Y) -> query(?X, ?Y)."}'
+//	curl -s localhost:8471/insert -d '{"triples":"A320 partOf TheAirline .\n"}'
 package main
 
 import (
@@ -39,9 +50,16 @@ import (
 
 // config collects the triqd flags.
 type config struct {
-	data     string // N-Triples data file (required)
+	data     string // N-Triples seed data file
 	ontology string // OWL 2 QL core ontology merged into the data
 	addr     string // listen address
+
+	walDir          string        // store directory ("" = volatile in-memory store)
+	walSync         string        // WAL fsync policy: always, interval, none
+	walSyncInterval time.Duration // flush cadence under -wal-sync=interval
+	checkpointEvery int           // snapshot checkpoint every N batches (negative disables)
+	checkpointBytes int64         // ... or when the WAL exceeds this size (negative disables)
+	maxBodyBytes    int64         // request body cap on every POST endpoint
 
 	concurrency  int           // evaluation slots
 	queue        int           // admission queue length
@@ -68,9 +86,15 @@ type config struct {
 
 func main() {
 	var cfg config
-	flag.StringVar(&cfg.data, "data", "", "N-Triples data file (required)")
+	flag.StringVar(&cfg.data, "data", "", "N-Triples data file (seeds the store on first boot; required without -wal-dir)")
 	flag.StringVar(&cfg.ontology, "ontology", "", "OWL 2 QL core ontology file; its RDF serialization is merged into the data")
 	flag.StringVar(&cfg.addr, "addr", ":8471", "listen address")
+	flag.StringVar(&cfg.walDir, "wal-dir", "", "durable store directory (snapshot + write-ahead log); empty serves writes from a volatile in-memory store")
+	flag.StringVar(&cfg.walSync, "wal-sync", "always", "WAL fsync policy: always (acknowledged writes survive crashes), interval, or none")
+	flag.DurationVar(&cfg.walSyncInterval, "wal-sync-interval", 100*time.Millisecond, "flush cadence under -wal-sync=interval")
+	flag.IntVar(&cfg.checkpointEvery, "checkpoint-every", 1024, "write a snapshot checkpoint and truncate the WAL every N batches (negative disables)")
+	flag.Int64Var(&cfg.checkpointBytes, "checkpoint-bytes", 64<<20, "also checkpoint when the WAL exceeds this many bytes (negative disables)")
+	flag.Int64Var(&cfg.maxBodyBytes, "max-body-bytes", 8<<20, "request body cap on every POST endpoint; oversized bodies get 413 (negative disables)")
 	flag.IntVar(&cfg.concurrency, "concurrency", 4, "concurrent evaluation slots")
 	flag.IntVar(&cfg.queue, "queue", 16, "admission queue length (0 disables queueing)")
 	flag.DurationVar(&cfg.queueTimeout, "queue-timeout", time.Second, "longest a request may queue before it is shed")
@@ -142,9 +166,14 @@ func loadGraph(cfg config) (*repro.Graph, error) {
 // fails; then it drains gracefully. Tests drive it directly with a loopback
 // listener and a fake signal channel.
 func run(ctx context.Context, cfg config, ln net.Listener, stop <-chan os.Signal) error {
-	if cfg.data == "" {
+	if cfg.data == "" && cfg.walDir == "" {
 		ln.Close()
-		return errors.New("-data is required")
+		return errors.New("-data or -wal-dir is required")
+	}
+	syncPolicy, err := repro.ParseSyncPolicy(cfg.walSync)
+	if err != nil {
+		ln.Close()
+		return err
 	}
 	queue := cfg.queue
 	if queue == 0 {
@@ -193,24 +222,32 @@ func run(ctx context.Context, cfg config, ln net.Listener, stop <-chan os.Signal
 			Cooldown:    cfg.autoprofileCool,
 		},
 		HealthInterval: cfg.healthInterval,
+		MaxBodyBytes:   cfg.maxBodyBytes,
 	})
 
-	// The graph loads before the listener answers ready: /readyz is 503
-	// until SetGraph, so a rolling deploy doesn't route traffic here early.
-	g, err := loadGraph(cfg)
-	if err != nil {
-		ln.Close()
-		return err
-	}
-	srv.SetGraph(g)
-	fmt.Fprintf(os.Stderr, "triqd: %d triples loaded, listening on %s\n", g.Len(), ln.Addr())
-
+	// The listener answers immediately — /readyz reports 503
+	// {"state":"recovering"} while the snapshot and WAL replay — so a rolling
+	// deploy can health-check the process without routing traffic early.
+	srv.SetRecovering(true)
 	hs := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "triqd: listening on %s, recovering store\n", ln.Addr())
+
+	st, err := openStore(cfg, syncPolicy)
+	if err != nil {
+		hs.Close()
+		<-serveErr
+		return err
+	}
+	srv.SetStore(st)
+	srv.SetRecovering(false)
+	fmt.Fprintf(os.Stderr, "triqd: ready: epoch %d, %d triples\n",
+		st.Current().Seq, st.Current().Graph.Len())
 
 	select {
 	case err := <-serveErr:
+		st.Close()
 		return fmt.Errorf("serve: %w", err)
 	case <-stop:
 		fmt.Fprintln(os.Stderr, "triqd: signal received, draining")
@@ -228,6 +265,50 @@ func run(ctx context.Context, cfg config, ln net.Listener, stop <-chan os.Signal
 	if err := <-shutdownDone; err != nil {
 		hs.Close()
 	}
+	if err := st.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "triqd: store close:", err)
+	}
 	fmt.Fprintln(os.Stderr, "triqd: drained, bye")
 	return nil
+}
+
+// openStore opens (or creates) the store, replays its WAL, and seeds it from
+// -data when it is brand new. An existing store wins over -data: the seed
+// file reflects the world before any acknowledged mutations.
+func openStore(cfg config, sync repro.StoreSyncPolicy) (*repro.Store, error) {
+	st, rec, err := repro.OpenStore(repro.StoreConfig{
+		Dir:             cfg.walDir,
+		Sync:            sync,
+		SyncInterval:    cfg.walSyncInterval,
+		CheckpointEvery: cfg.checkpointEvery,
+		CheckpointBytes: cfg.checkpointBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		fmt.Fprintf(os.Stderr,
+			"triqd: recovered epoch %d (snapshot %d, %d WAL records replayed, %d stale skipped) in %s\n",
+			rec.Epoch, rec.SnapshotEpoch, rec.Records, rec.Skipped, rec.Elapsed)
+		if rec.DamagedTail {
+			fmt.Fprintf(os.Stderr, "triqd: torn or corrupt WAL tail truncated at byte %d\n", rec.TruncatedAt)
+		}
+	}
+	empty := st.Current().Seq == 0 && st.Current().Graph.Len() == 0
+	switch {
+	case cfg.data != "" && empty:
+		g, err := loadGraph(cfg)
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		if _, err := st.Bootstrap(g); err != nil {
+			st.Close()
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "triqd: store seeded from %s (%d triples)\n", cfg.data, g.Len())
+	case cfg.data != "" && !empty:
+		fmt.Fprintf(os.Stderr, "triqd: store already populated; -data %s ignored\n", cfg.data)
+	}
+	return st, nil
 }

@@ -208,3 +208,96 @@ func TestTriqdOntologyFlag(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTriqdDurableWritePath is the persistence lifecycle: boot seeds the
+// store from -data, a mutation commits, a clean restart against the same
+// -wal-dir recovers the mutated state (and ignores -data), and the answers
+// include the inserted triple.
+func TestTriqdDurableWritePath(t *testing.T) {
+	walDir := filepath.Join(t.TempDir(), "store")
+	cfg := config{
+		data:         writeFile(t, "g.nt", testData),
+		walDir:       walDir,
+		drainTimeout: 5 * time.Second,
+	}
+
+	base, stop, done := startTriqd(t, cfg)
+	waitReady(t, base)
+	body, _ := json.Marshal(map[string]string{"triples": "Shuttle partOf TheAirline .\n"})
+	resp, err := http.Post(base+"/insert", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert = %d, body %s", resp.StatusCode, raw)
+	}
+	var mr struct {
+		Epoch   uint64 `json:"epoch"`
+		Durable bool   `json:"durable"`
+	}
+	if err := json.Unmarshal(raw, &mr); err != nil || !mr.Durable || mr.Epoch == 0 {
+		t.Fatalf("insert response %s (err %v), want durable with an epoch", raw, err)
+	}
+	stop <- os.Interrupt
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// Second boot: same wal-dir, a decoy -data that must be ignored.
+	cfg.data = writeFile(t, "decoy.nt", "only decoy data .\n")
+	base, stop, done = startTriqd(t, cfg)
+	waitReady(t, base)
+	body, _ = json.Marshal(map[string]string{"program": testProgram})
+	resp, err = http.Post(base+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var qr struct {
+		Rows []string `json:"rows"`
+	}
+	if err := json.Unmarshal(raw, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Rows) != 3 {
+		t.Fatalf("rows after restart = %v, want 3 (Shuttle persisted)", qr.Rows)
+	}
+	stop <- os.Interrupt
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTriqdInMemoryWrites checks mutations work without -wal-dir (volatile
+// store, durable=false acknowledgements).
+func TestTriqdInMemoryWrites(t *testing.T) {
+	cfg := config{
+		data:         writeFile(t, "g.nt", testData),
+		drainTimeout: 2 * time.Second,
+	}
+	base, stop, done := startTriqd(t, cfg)
+	waitReady(t, base)
+	body, _ := json.Marshal(map[string]string{"triples": "x partOf transportService .\n"})
+	resp, err := http.Post(base+"/insert", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert = %d, body %s", resp.StatusCode, raw)
+	}
+	var mr struct {
+		Durable bool `json:"durable"`
+	}
+	if err := json.Unmarshal(raw, &mr); err != nil || mr.Durable {
+		t.Fatalf("insert response %s (err %v), want durable=false without a WAL", raw, err)
+	}
+	stop <- os.Interrupt
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 package limits
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"strconv"
@@ -29,7 +30,58 @@ const (
 	// ActHook runs the fault's Hook and lets the fault point succeed; tests
 	// use it to cancel contexts at a precise engine site.
 	ActHook
+	// ActCrash simulates process death at the point: the fault returns a
+	// *CrashError whose Mode says what the interrupted I/O left on disk.
+	// Durable subsystems (internal/store) honor it by ceasing all further
+	// writes, so a test can "restart" by reopening the directory.
+	ActCrash
 )
+
+// CrashMode describes what an injected crash (ActCrash) leaves behind at the
+// interrupted write site.
+type CrashMode int
+
+const (
+	// CrashClean dies at the point with the in-flight write either fully
+	// absent (before the write) or fully present (after it), depending on
+	// where the subsystem placed the fault point.
+	CrashClean CrashMode = iota
+	// CrashTorn dies mid-write: only a prefix of the in-flight record lands.
+	CrashTorn
+	// CrashFlip lands the whole in-flight record but with one bit flipped,
+	// modeling silent media corruption that checksums must catch.
+	CrashFlip
+)
+
+func (m CrashMode) String() string {
+	switch m {
+	case CrashTorn:
+		return "torn"
+	case CrashFlip:
+		return "flip"
+	default:
+		return "crash"
+	}
+}
+
+// ErrCrash is the sentinel every injected crash wraps; errors.Is(err,
+// ErrCrash) detects a simulated process death.
+var ErrCrash = errors.New("limits: injected crash")
+
+// CrashError is the typed injected-crash error: the site that died and what
+// its interrupted write left behind.
+type CrashError struct {
+	// Point is the fault site that crashed, e.g. "wal.append".
+	Point string
+	// Mode says what landed on disk (clean / torn prefix / bit flip).
+	Mode CrashMode
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("limits: injected crash at %s (%s)", e.Point, e.Mode)
+}
+
+func (e *CrashError) Unwrap() error { return ErrCrash }
 
 // Fault arms one site of a Plan.
 type Fault struct {
@@ -46,8 +98,10 @@ type Fault struct {
 	// Times caps how often the fault fires; 0 means no cap. Times=1 yields a
 	// fail-once-then-recover fault, the canonical retry test case.
 	Times int
-	// Action selects error / panic / hook.
+	// Action selects error / panic / hook / crash.
 	Action Action
+	// Mode refines ActCrash: what the interrupted write leaves on disk.
+	Mode CrashMode
 	// Err overrides the injected error for ActError (default: a typed
 	// ErrInjected).
 	Err error
@@ -131,6 +185,8 @@ func (p *Plan) Check(point string) error {
 			if f.Hook != nil {
 				f.Hook()
 			}
+		case ActCrash:
+			return &CrashError{Point: f.Point, Mode: f.Mode}
 		default:
 			if f.Err != nil {
 				return f.Err
@@ -181,12 +237,14 @@ func SetGlobal(p *Plan) (restore func()) {
 
 // ParsePlan parses the TRIQ_FAULTS syntax: comma-separated entries of the
 // form "point=action", "point@N=action", or "point%M=action" (combinable as
-// "point@N%M=action") where action is "error" or "panic", N is the number of
-// hits to skip first, and M makes the fault intermittent — it fires only on
-// every M-th eligible hit, e.g.
+// "point@N%M=action") where action is "error", "panic", or one of the crash
+// actions "crash" / "torn" / "flip" (ActCrash with the matching CrashMode),
+// N is the number of hits to skip first, and M makes the fault intermittent —
+// it fires only on every M-th eligible hit, e.g.
 //
 //	TRIQ_FAULTS="chase.round@3=error,prover.expand=panic"
 //	TRIQ_FAULTS="chase.rule%997=error"   # transient: one failure per 997 hits
+//	TRIQ_FAULTS="wal.append@5=torn"      # die mid-write on the 6th WAL append
 //
 // (Hooks are code, not syntax, so they cannot be armed from the
 // environment.)
@@ -223,8 +281,17 @@ func ParsePlan(spec string) (*Plan, error) {
 			f.Action = ActError
 		case "panic":
 			f.Action = ActPanic
+		case "crash":
+			f.Action = ActCrash
+			f.Mode = CrashClean
+		case "torn":
+			f.Action = ActCrash
+			f.Mode = CrashTorn
+		case "flip":
+			f.Action = ActCrash
+			f.Mode = CrashFlip
 		default:
-			return nil, fmt.Errorf("limits: fault entry %q: unknown action %q (want error or panic)", entry, action)
+			return nil, fmt.Errorf("limits: fault entry %q: unknown action %q (want error, panic, crash, torn, or flip)", entry, action)
 		}
 		p.Arm(f)
 	}

@@ -189,3 +189,29 @@ func TestParsePlan(t *testing.T) {
 		t.Error("empty spec is an empty plan")
 	}
 }
+
+func TestParsePlanCrashActions(t *testing.T) {
+	p, err := ParsePlan("wal.append@1=torn, wal.sync=crash, wal.checkpoint=flip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Check("wal.append"); err != nil {
+		t.Error("first wal.append hit is skipped by @1")
+	}
+	var ce *CrashError
+	err = p.Check("wal.append")
+	if !errors.Is(err, ErrCrash) || !errors.As(err, &ce) || ce.Mode != CrashTorn || ce.Point != "wal.append" {
+		t.Errorf("torn crash = %v (%+v)", err, ce)
+	}
+	err = p.Check("wal.sync")
+	if !errors.As(err, &ce) || ce.Mode != CrashClean {
+		t.Errorf("clean crash = %v", err)
+	}
+	err = p.Check("wal.checkpoint")
+	if !errors.As(err, &ce) || ce.Mode != CrashFlip {
+		t.Errorf("flip crash = %v", err)
+	}
+	if got := ce.Error(); got != "limits: injected crash at wal.checkpoint (flip)" {
+		t.Errorf("CrashError.Error() = %q", got)
+	}
+}

@@ -81,6 +81,55 @@ func (g *Graph) Add(triples ...Triple) int {
 	return added
 }
 
+// Remove deletes the given triples, ignoring ones not present. It returns
+// the number of triples actually removed.
+func (g *Graph) Remove(triples ...Triple) int {
+	removed := 0
+	for _, t := range triples {
+		if _, ok := g.set[t]; !ok {
+			continue
+		}
+		delete(g.set, t)
+		g.byS[t.S] = dropTriple(g.byS[t.S], t)
+		if len(g.byS[t.S]) == 0 {
+			delete(g.byS, t.S)
+		}
+		g.byP[t.P] = dropTriple(g.byP[t.P], t)
+		if len(g.byP[t.P]) == 0 {
+			delete(g.byP, t.P)
+		}
+		g.byO[t.O] = dropTriple(g.byO[t.O], t)
+		if len(g.byO[t.O]) == 0 {
+			delete(g.byO, t.O)
+		}
+		sp := [2]Term{t.S, t.P}
+		g.bySP[sp] = dropTriple(g.bySP[sp], t)
+		if len(g.bySP[sp]) == 0 {
+			delete(g.bySP, sp)
+		}
+		po := [2]Term{t.P, t.O}
+		g.byPO[po] = dropTriple(g.byPO[po], t)
+		if len(g.byPO[po]) == 0 {
+			delete(g.byPO, po)
+		}
+		removed++
+	}
+	return removed
+}
+
+// dropTriple removes the first occurrence of t from a fresh copy of s, so
+// index slices previously handed out by Match stay intact.
+func dropTriple(s []Triple, t Triple) []Triple {
+	for i, u := range s {
+		if u == t {
+			out := make([]Triple, 0, len(s)-1)
+			out = append(out, s[:i]...)
+			return append(out, s[i+1:]...)
+		}
+	}
+	return s
+}
+
 // AddGraph inserts every triple of h into g and returns the number added.
 func (g *Graph) AddGraph(h *Graph) int {
 	added := 0

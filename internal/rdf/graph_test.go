@@ -203,3 +203,91 @@ func TestGraphOrderInsensitive(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestGraphRemove(t *testing.T) {
+	g := NewGraph(
+		T("a", "p", "b"),
+		T("a", "p", "c"),
+		T("a", "q", "b"),
+		T("b", "p", "c"),
+	)
+	if n := g.Remove(T("a", "p", "b"), T("x", "y", "z"), T("a", "p", "b")); n != 1 {
+		t.Errorf("Remove returned %d, want 1 (absent and repeated triples are no-ops)", n)
+	}
+	if g.Len() != 3 || g.Has(T("a", "p", "b")) {
+		t.Errorf("Len = %d after remove, Has(removed) = %v", g.Len(), g.Has(T("a", "p", "b")))
+	}
+	// Every index must forget the triple.
+	s, p, b := NewIRI("a"), NewIRI("p"), NewIRI("b")
+	if got := g.Match(&s, &p, nil); len(got) != 1 {
+		t.Errorf("byS/bySP stale after remove: %v", got)
+	}
+	if got := g.Match(nil, &p, &b); len(got) != 0 {
+		t.Errorf("byPO stale after remove: %v", got)
+	}
+	if got := g.Match(nil, nil, &b); len(got) != 1 {
+		t.Errorf("byO stale after remove: %v", got)
+	}
+	g.Remove(g.Triples()...)
+	if g.Len() != 0 || len(g.Match(nil, nil, nil)) != 0 {
+		t.Errorf("graph not empty after removing everything: %v", g.Triples())
+	}
+	// Removing from empty and re-adding round-trips.
+	if n := g.Remove(T("a", "p", "b")); n != 0 {
+		t.Errorf("Remove on empty = %d", n)
+	}
+	g.Add(T("a", "p", "b"))
+	if !g.Has(T("a", "p", "b")) {
+		t.Error("re-add after full removal failed")
+	}
+}
+
+// Match-returned slices must survive a later Remove (readers hold them while
+// the store commits new epochs against cloned graphs, but even same-graph
+// removal must not clobber shared backing arrays).
+func TestGraphRemoveDoesNotClobberMatchResults(t *testing.T) {
+	g := NewGraph(T("a", "p", "b"), T("a", "p", "c"), T("a", "p", "d"))
+	s := NewIRI("a")
+	got := g.Match(&s, nil, nil)
+	if len(got) != 3 {
+		t.Fatalf("Match = %d, want 3", len(got))
+	}
+	snapshot := append([]Triple(nil), got...)
+	g.Remove(T("a", "p", "b"))
+	for i := range got {
+		if got[i] != snapshot[i] {
+			t.Fatalf("Remove mutated a previously returned Match slice at %d: %v != %v", i, got[i], snapshot[i])
+		}
+	}
+}
+
+// Property-based: removing a random subset leaves exactly the complement.
+func TestGraphRemoveComplement(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var ts []Triple
+		for i := 0; i < 24; i++ {
+			ts = append(ts, T(
+				fmt.Sprintf("s%d", rng.Intn(4)),
+				fmt.Sprintf("p%d", rng.Intn(3)),
+				fmt.Sprintf("o%d", rng.Intn(4))))
+		}
+		g := NewGraph(ts...)
+		all := g.SortedTriples()
+		var gone, kept []Triple
+		for _, tr := range all {
+			if rng.Intn(2) == 0 {
+				gone = append(gone, tr)
+			} else {
+				kept = append(kept, tr)
+			}
+		}
+		if n := g.Remove(gone...); n != len(gone) {
+			return false
+		}
+		return g.Equal(NewGraph(kept...))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

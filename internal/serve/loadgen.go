@@ -3,8 +3,10 @@ package serve
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sort"
 	"sync"
@@ -37,6 +39,15 @@ type LoadConfig struct {
 	TraceSample float64
 	// Seed seeds trace-id generation (0 derives from the clock).
 	Seed int64
+	// WritePct is the percentage (0–100) of requests sent as mutations
+	// instead of Body: alternating /insert and /delete batches of generated
+	// triples against MutateBase. Zero keeps the run read-only.
+	WritePct float64
+	// MutateBase is the server base URL for the write mix, e.g.
+	// http://127.0.0.1:8471 (required when WritePct > 0).
+	MutateBase string
+	// WriteBatch is the triples per mutation batch (default 8).
+	WriteBatch int
 }
 
 // LoadResult aggregates a load run.
@@ -56,6 +67,11 @@ type LoadResult struct {
 	// SampledTraceIDs holds up to 64 trace ids that were sent with the
 	// sampled flag — look them up at /debug/trace?id= on the server.
 	SampledTraceIDs []string
+	// Writes / WriteOK count the mutation requests in the mix and their 200s
+	// (both are also included in Total / OK).
+	Writes, WriteOK int
+	// LastEpoch is the highest store epoch any mutation acknowledged.
+	LastEpoch uint64
 }
 
 func (r *LoadResult) String() string {
@@ -64,6 +80,9 @@ func (r *LoadResult) String() string {
 		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond))
 	if r.TraceEchoed > 0 || len(r.SampledTraceIDs) > 0 {
 		s += fmt.Sprintf(" trace_echoed=%d sampled_traces=%d", r.TraceEchoed, len(r.SampledTraceIDs))
+	}
+	if r.Writes > 0 {
+		s += fmt.Sprintf(" writes=%d write_ok=%d last_epoch=%d", r.Writes, r.WriteOK, r.LastEpoch)
 	}
 	return s
 }
@@ -96,19 +115,50 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 		sampler = obs.NewSampler(cfg.TraceSample, cfg.Seed)
 	}
 
+	// The write mix is decided up front from the seed so a run is
+	// reproducible regardless of worker interleaving. Batches alternate
+	// insert of a fresh generated batch and delete of the previous one, so a
+	// long soak doesn't grow the store without bound.
+	writes := make([]loadMutation, cfg.Requests)
+	if cfg.WritePct > 0 {
+		if cfg.MutateBase == "" {
+			return nil, fmt.Errorf("loadgen: WritePct set without MutateBase")
+		}
+		if cfg.WriteBatch <= 0 {
+			cfg.WriteBatch = 8
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed + 17))
+		batch := 0
+		for i := range writes {
+			if rng.Float64()*100 >= cfg.WritePct {
+				continue
+			}
+			if batch%2 == 0 || batch == 1 {
+				writes[i] = mutationJob(cfg.MutateBase+"/insert", batch/2, cfg.WriteBatch)
+			} else {
+				writes[i] = mutationJob(cfg.MutateBase+"/delete", batch/2-1, cfg.WriteBatch)
+			}
+			batch++
+		}
+	}
+
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
 		res       LoadResult
 	)
-	jobs := make(chan struct{})
+	jobs := make(chan int)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < cfg.Parallel; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for range jobs {
+			for i := range jobs {
+				url, body, isWrite := cfg.URL, cfg.Body, false
+				if writes[i].body != nil {
+					url, body, isWrite = writes[i].url, writes[i].body, true
+				}
 				var traceparent string
 				var tid obs.TraceID
 				sampled := false
@@ -122,8 +172,15 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 					traceparent = obs.FormatTraceparent(tid, ids.SpanID(), flags)
 				}
 				t0 := time.Now()
-				status, echoed, err := post(ctx, client, cfg.URL, cfg.Body, traceparent, tid)
+				status, respBody, echoed, err := post(ctx, client, url, body, traceparent, tid, isWrite)
 				lat := time.Since(t0)
+				var epoch uint64
+				if isWrite && err == nil && status == http.StatusOK {
+					var mr MutationResponse
+					if json.Unmarshal(respBody, &mr) == nil {
+						epoch = mr.Epoch
+					}
+				}
 				mu.Lock()
 				res.Total++
 				latencies = append(latencies, lat)
@@ -134,6 +191,15 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 					res.Shed++
 				default:
 					res.Failed++
+				}
+				if isWrite {
+					res.Writes++
+					if err == nil && status == http.StatusOK {
+						res.WriteOK++
+					}
+					if epoch > res.LastEpoch {
+						res.LastEpoch = epoch
+					}
 				}
 				if echoed {
 					res.TraceEchoed++
@@ -147,7 +213,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 	}
 	for i := 0; i < cfg.Requests; i++ {
 		select {
-		case jobs <- struct{}{}:
+		case jobs <- i:
 		case <-ctx.Done():
 			i = cfg.Requests
 		}
@@ -169,12 +235,32 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 	return &res, nil
 }
 
+// loadMutation is one precomputed write of the mix; a nil body means the
+// request slot stays a read.
+type loadMutation struct {
+	url  string
+	body []byte
+}
+
+// mutationJob renders the JSON body for generated batch b of n triples. The
+// triples are deterministic in b, so a delete of batch b removes exactly
+// what its insert added.
+func mutationJob(url string, b, n int) loadMutation {
+	var nt bytes.Buffer
+	for j := 0; j < n; j++ {
+		fmt.Fprintf(&nt, "lg-b%d-s%d lg-p lg-o%d .\n", b, j, j)
+	}
+	body, _ := json.Marshal(MutationRequest{Triples: nt.String()})
+	return loadMutation{url: url, body: body}
+}
+
 // post sends one request; echoed reports whether the response traceparent
-// carried the same trace id the request sent.
-func post(ctx context.Context, client *http.Client, url string, body []byte, traceparent string, tid obs.TraceID) (int, bool, error) {
+// carried the same trace id the request sent. The body is returned only
+// when capture is set (mutations need the acknowledged epoch).
+func post(ctx context.Context, client *http.Client, url string, body []byte, traceparent string, tid obs.TraceID, capture bool) (int, []byte, bool, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return 0, false, err
+		return 0, nil, false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	if traceparent != "" {
@@ -182,9 +268,13 @@ func post(ctx context.Context, client *http.Client, url string, body []byte, tra
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, false, err
+		return 0, nil, false, err
 	}
 	defer resp.Body.Close()
+	var respBody []byte
+	if capture {
+		respBody, _ = io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	echoed := false
 	if traceparent != "" {
@@ -192,7 +282,7 @@ func post(ctx context.Context, client *http.Client, url string, body []byte, tra
 			echoed = rtid == tid
 		}
 	}
-	return resp.StatusCode, echoed, nil
+	return resp.StatusCode, respBody, echoed, nil
 }
 
 // quantileDur picks the q-th quantile of a sorted slice (nearest-rank).

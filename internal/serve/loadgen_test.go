@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"testing"
 	"time"
+
+	"repro/internal/store"
 )
 
 // TestRunLoadAgainstServer drives the load generator at a live handler with
@@ -43,4 +45,46 @@ func TestRunLoadAgainstServer(t *testing.T) {
 		t.Fatalf("bad throughput: %+v", res)
 	}
 	t.Logf("load: %s", res)
+}
+
+// TestRunLoadWriteMix soaks a store-backed server with a read/write mix and
+// checks the mutation accounting: every write lands (no shedding configured),
+// epochs advance monotonically, and reads keep succeeding throughout.
+func TestRunLoadWriteMix(t *testing.T) {
+	_, st, ts := newStoreServer(t, Config{}, store.Config{Dir: t.TempDir(), CheckpointEvery: 8})
+	body, _ := json.Marshal(QueryRequest{Program: testProgram})
+	res, err := RunLoad(context.Background(), LoadConfig{
+		URL:        ts.URL + "/query",
+		Body:       body,
+		Parallel:   6,
+		Requests:   60,
+		WritePct:   40,
+		MutateBase: ts.URL,
+		WriteBatch: 4,
+		Seed:       42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 60 || res.OK+res.Shed+res.Failed != res.Total {
+		t.Fatalf("partition leak: %+v", res)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("unexpected failures: %+v", res)
+	}
+	if res.Writes == 0 || res.WriteOK != res.Writes {
+		t.Fatalf("write mix = %d/%d ok, want all writes acknowledged: %+v", res.WriteOK, res.Writes, res)
+	}
+	if res.OK <= res.WriteOK {
+		t.Fatalf("no reads in the mix: %+v", res)
+	}
+	if res.LastEpoch != st.Current().Seq {
+		t.Fatalf("last acked epoch %d != store epoch %d", res.LastEpoch, st.Current().Seq)
+	}
+	t.Logf("write-mix load: %s", res)
+
+	// WritePct without MutateBase is a configuration error.
+	if _, err := RunLoad(context.Background(), LoadConfig{URL: ts.URL + "/query", Body: body, Requests: 1, WritePct: 10}); err == nil {
+		t.Fatal("want an error for WritePct without MutateBase")
+	}
 }

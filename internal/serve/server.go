@@ -12,9 +12,14 @@
 //	      lang/regime, dialect validation failure
 //	500 — internal error (recovered panic) or a transient fault that
 //	      survived every retry
-//	503 — load shed: queue full, queue deadline exceeded, circuit open, or
-//	      draining; always carries Retry-After
+//	503 — load shed: queue full, queue deadline exceeded, circuit open,
+//	      draining, or still recovering the WAL; always carries Retry-After
 //	504 — the per-request evaluation deadline expired
+//
+// Mutations (POST /insert, POST /delete) add:
+//
+//	413 — request body over the configured size cap
+//	501 — the server has no store (query-only deployment)
 package serve
 
 import (
@@ -22,16 +27,20 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	rtpprof "runtime/pprof"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
 	"repro/internal/limits"
 	"repro/internal/obs"
+	"repro/internal/rdf"
+	"repro/internal/store"
 )
 
 // Config assembles a Server.
@@ -74,6 +83,9 @@ type Config struct {
 	// go_goroutines / heap / GC-pause gauges on /metrics (0 = 10s; negative
 	// disables). Sampling requires Obs.
 	HealthInterval time.Duration
+	// MaxBodyBytes caps request bodies on every POST endpoint (default
+	// 8 MiB; negative disables). Oversized bodies get 413.
+	MaxBodyBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +94,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
 	}
 	return c
 }
@@ -102,6 +117,11 @@ type Server struct {
 
 	mu    sync.RWMutex
 	graph *repro.Graph
+	store *store.Store
+
+	// recovering is set while boot-time WAL replay runs; /readyz reports 503
+	// {"state":"recovering"} and mutations shed until it clears.
+	recovering atomic.Bool
 
 	draining  chan struct{} // closed by Drain
 	drainOnce sync.Once
@@ -175,9 +195,32 @@ func (s *Server) SetGraph(g *repro.Graph) {
 	s.mu.Unlock()
 }
 
+// SetStore installs the durable store: queries read its live epoch (each
+// request pins the epoch current at admission), and POST /insert / /delete
+// come alive. Readiness still requires SetRecovering(false).
+func (s *Server) SetStore(st *store.Store) {
+	s.mu.Lock()
+	s.store = st
+	s.mu.Unlock()
+}
+
+// SetRecovering flips the recovery gate: while true, /readyz reports
+// {"state":"recovering"} with 503 and mutations shed. triqd sets it before
+// WAL replay and clears it once the recovered epoch is live.
+func (s *Server) SetRecovering(v bool) { s.recovering.Store(v) }
+
+func (s *Server) storeNow() *store.Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.store
+}
+
 func (s *Server) graphNow() *repro.Graph {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.store != nil {
+		return s.store.Current().Graph
+	}
 	return s.graph
 }
 
@@ -224,8 +267,12 @@ func (s *Server) Drain(ctx context.Context) error {
 //
 //	POST /query   — Datalog (TriQ) evaluation (?explain=1 for telemetry)
 //	POST /sparql  — SPARQL evaluation under a regime (?explain=1 likewise)
+//	POST /insert  — apply an N-Triples batch atomically (requires a store)
+//	POST /delete  — remove an N-Triples batch atomically (requires a store)
 //	GET  /healthz — liveness (200 while the process runs)
-//	GET  /readyz  — readiness (200 only with a graph loaded and not draining)
+//	GET  /readyz  — readiness JSON {"state":...}: 200 "ready" only with data
+//	               loaded, not draining, and recovery finished; 503 with
+//	               "recovering", "draining", or "empty" otherwise
 //	GET  /metrics — Prometheus text exposition (counters, gauges, histograms
 //	                with cumulative buckets)
 //	GET  /metrics.json    — the same registry as structured JSON
@@ -243,19 +290,40 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /sparql", func(w http.ResponseWriter, r *http.Request) {
 		s.serveQuery(w, r, "sparql")
 	})
+	mux.HandleFunc("POST /insert", func(w http.ResponseWriter, r *http.Request) {
+		s.serveMutation(w, r, true)
+	})
+	mux.HandleFunc("POST /delete", func(w http.ResponseWriter, r *http.Request) {
+		s.serveMutation(w, r, false)
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		type readiness struct {
+			State string `json:"state"`
+			Epoch uint64 `json:"epoch,omitempty"`
+		}
+		var ready readiness
+		status := http.StatusOK
 		switch {
 		case s.isDraining():
-			http.Error(w, "draining", http.StatusServiceUnavailable)
+			ready.State = "draining"
+			status = http.StatusServiceUnavailable
+		case s.recovering.Load():
+			ready.State = "recovering"
+			status = http.StatusServiceUnavailable
 		case s.graphNow() == nil:
-			http.Error(w, "no graph loaded", http.StatusServiceUnavailable)
+			ready.State = "empty"
+			status = http.StatusServiceUnavailable
 		default:
-			fmt.Fprintln(w, "ready")
+			ready.State = "ready"
+			if st := s.storeNow(); st != nil {
+				ready.Epoch = st.Current().Seq
+			}
 		}
+		writeJSON(w, status, ready)
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		reg := s.metricsRegistry()
@@ -331,6 +399,11 @@ func (s *Server) metricsRegistry() *obs.Registry {
 	reg.SetGauge("serve.inflight", float64(s.adm.inflight()))
 	reg.SetGauge("serve.queue_depth", float64(s.adm.depth()))
 	reg.SetGauge("serve.queue_depth_hwm", float64(s.adm.queueHWM()))
+	if st := s.storeNow(); st != nil {
+		cur := st.Current()
+		reg.SetGauge("store.epoch", float64(cur.Seq))
+		reg.SetGauge("store.triples", float64(cur.Graph.Len()))
+	}
 	for name, b := range s.breakers {
 		reg.SetGauge("serve.breaker_state."+name, breakerStateNum(b.snapshot()))
 	}
@@ -406,10 +479,16 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint str
 	defer release()
 
 	var req QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(s.limitBody(w, r)).Decode(&req); err != nil {
 		done(false)
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err), 0)
-		rt.finish(http.StatusBadRequest, queueWait, 0, time.Since(start))
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.count("serve.body_too_large")
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.fail(w, status, fmt.Errorf("bad request body: %w", err), 0)
+		rt.finish(status, queueWait, 0, time.Since(start))
 		return
 	}
 	if r.URL.Query().Get("explain") == "1" {
@@ -495,6 +574,95 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint str
 	}
 	writeJSON(w, http.StatusOK, resp)
 	s.recordSlow(endpoint, &req, resp, report, http.StatusOK, nil, queueWait, exec, rt)
+}
+
+// limitBody caps the request body at Config.MaxBodyBytes. Reads past the cap
+// surface as *http.MaxBytesError (mapped to 413); a negative cap disables.
+func (s *Server) limitBody(w http.ResponseWriter, r *http.Request) io.ReadCloser {
+	if s.cfg.MaxBodyBytes < 0 {
+		return r.Body
+	}
+	return http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+}
+
+// serveMutation is the POST /insert and /delete flow: gate → decode → parse
+// N-Triples → apply one atomic batch through the store → acknowledge with
+// the new epoch. Batches serialize on the store's writer lock; queries are
+// never blocked (they read the previous epoch until the swap).
+func (s *Server) serveMutation(w http.ResponseWriter, r *http.Request, insert bool) {
+	s.count("serve.requests")
+	start := time.Now()
+	endpoint := "delete"
+	if insert {
+		endpoint = "insert"
+	}
+
+	if s.isDraining() {
+		s.count("serve.shed.draining")
+		s.shed(w, ErrDraining)
+		return
+	}
+	if s.recovering.Load() {
+		s.count("serve.shed.recovering")
+		s.shed(w, errors.New("serve: recovering"))
+		return
+	}
+	st := s.storeNow()
+	if st == nil {
+		s.fail(w, http.StatusNotImplemented,
+			errors.New("serve: no store configured (query-only deployment; start triqd with a store to enable mutations)"), 0)
+		return
+	}
+
+	var req MutationRequest
+	if err := json.NewDecoder(s.limitBody(w, r)).Decode(&req); err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.count("serve.body_too_large")
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.fail(w, status, fmt.Errorf("bad request body: %w", err), 0)
+		return
+	}
+	batch, err := rdf.ParseNTriplesString(req.Triples)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad triples: %w", err), 0)
+		return
+	}
+	if batch.Len() == 0 {
+		s.fail(w, http.StatusBadRequest, errors.New("empty batch"), 0)
+		return
+	}
+
+	s.trackBegin() // drain waits for in-flight mutations too
+	defer s.trackEnd()
+
+	triples := batch.SortedTriples()
+	var epoch store.Epoch
+	var applied int
+	if insert {
+		epoch, applied, err = st.Insert(triples)
+	} else {
+		epoch, applied, err = st.Delete(triples)
+	}
+	if err != nil {
+		s.count("serve.internal_errors")
+		s.fail(w, http.StatusInternalServerError, err, 0)
+		return
+	}
+	s.count("serve." + endpoint + "s")
+	if s.obs.Enabled() {
+		s.obs.Count("serve.mutation_triples", int64(applied))
+		s.obs.Observe("serve.mutation_latency_us", float64(time.Since(start).Microseconds()))
+	}
+	writeJSON(w, http.StatusOK, MutationResponse{
+		Epoch:     epoch.Seq,
+		Applied:   applied,
+		Batch:     batch.Len(),
+		Durable:   st.AckDurable(),
+		ElapsedUS: time.Since(start).Microseconds(),
+	})
 }
 
 // recordSlow feeds the slow-query log and the auto-profiler; it runs exactly

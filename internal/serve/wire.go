@@ -76,6 +76,29 @@ type QueryResponse struct {
 	Resources *obs.Account `json:"resources,omitempty"`
 }
 
+// MutationRequest is the body of POST /insert and POST /delete: a batch of
+// N-Triples to apply atomically (all-or-nothing, one new epoch).
+type MutationRequest struct {
+	// Triples is the batch in N-Triples text.
+	Triples string `json:"triples"`
+}
+
+// MutationResponse is the 200 body of a mutation.
+type MutationResponse struct {
+	// Epoch is the store epoch after the batch (unchanged for a no-op batch).
+	Epoch uint64 `json:"epoch"`
+	// Applied counts the triples that actually changed the graph (inserts of
+	// present triples and deletes of absent ones are no-ops).
+	Applied int `json:"applied"`
+	// Batch counts the triples in the request.
+	Batch int `json:"batch"`
+	// Durable reports whether the acknowledgement implies the batch survives
+	// a crash (WAL enabled with the "always" fsync policy).
+	Durable bool `json:"durable"`
+	// ElapsedUS is the server-side mutation time in microseconds.
+	ElapsedUS int64 `json:"elapsed_us"`
+}
+
 // Failure is the non-200 body: the taxonomy wire error plus an optional
 // retry hint (set on 503s).
 type Failure struct {

@@ -1,0 +1,217 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync/atomic"
+
+	"repro/internal/limits"
+)
+
+// The write-ahead log is a single append-only file of length-prefixed,
+// CRC-checksummed records:
+//
+//	u32 LE  payload length N
+//	u32 LE  CRC32-C of the payload
+//	N bytes payload:  op (1 byte) | epoch (u64 LE) | N-Triples text
+//
+// A record is the unit of both atomicity and recovery: the reader accepts
+// the longest prefix of whole, checksum-valid, epoch-monotonic records and
+// truncates the file at the first torn or corrupt byte. Nothing in the
+// format is position-dependent, so a checkpoint resets the log by
+// truncating it to zero.
+
+const (
+	// opInsert / opDelete are the record operations.
+	opInsert byte = 1
+	opDelete byte = 2
+
+	// recHeaderLen is the fixed record header: length + checksum.
+	recHeaderLen = 8
+	// recPayloadMin is the smallest valid payload: op byte + epoch.
+	recPayloadMin = 1 + 8
+	// maxRecordLen caps a single record payload. A length field beyond it is
+	// treated as corruption rather than an allocation request.
+	maxRecordLen = 256 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// record is one decoded WAL entry.
+type record struct {
+	op    byte
+	epoch uint64
+	text  []byte // N-Triples payload
+	off   int64  // file offset of the record start (set by scanRecords)
+}
+
+// encodeRecord renders a record in the on-disk format.
+func encodeRecord(r record) []byte {
+	n := recPayloadMin + len(r.text)
+	buf := make([]byte, recHeaderLen+n)
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(n))
+	buf[8] = r.op
+	binary.LittleEndian.PutUint64(buf[9:17], r.epoch)
+	copy(buf[17:], r.text)
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(buf[8:], crcTable))
+	return buf
+}
+
+// scanRecords walks buf from the start and returns the records of the
+// longest valid prefix, the byte length of that prefix, and whether the scan
+// stopped at a torn or corrupt tail (false means it consumed buf exactly).
+// It validates framing, checksums, opcodes, and that epochs are strictly
+// sequential; it never panics on arbitrary input.
+func scanRecords(buf []byte) (recs []record, valid int, damaged bool) {
+	off := 0
+	var lastEpoch uint64
+	for off < len(buf) {
+		rem := buf[off:]
+		if len(rem) < recHeaderLen {
+			return recs, off, true // torn header
+		}
+		n := int(binary.LittleEndian.Uint32(rem[0:4]))
+		if n < recPayloadMin || n > maxRecordLen {
+			return recs, off, true // corrupt length
+		}
+		if len(rem) < recHeaderLen+n {
+			return recs, off, true // torn payload
+		}
+		payload := rem[recHeaderLen : recHeaderLen+n]
+		if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(rem[4:8]) {
+			return recs, off, true // checksum mismatch
+		}
+		op := payload[0]
+		if op != opInsert && op != opDelete {
+			return recs, off, true // unknown opcode
+		}
+		epoch := binary.LittleEndian.Uint64(payload[1:9])
+		if epoch == 0 || (lastEpoch != 0 && epoch != lastEpoch+1) {
+			return recs, off, true // epoch sequence break
+		}
+		lastEpoch = epoch
+		recs = append(recs, record{
+			op:    op,
+			epoch: epoch,
+			text:  payload[9:],
+			off:   int64(off),
+		})
+		off += recHeaderLen + n
+	}
+	return recs, off, false
+}
+
+// wal is the open log file plus its fsync policy. The Store's writer lock
+// serializes appends; the interval syncer only ever calls Sync, which is
+// safe alongside writes.
+type wal struct {
+	f      *os.File
+	path   string
+	policy SyncPolicy
+	faults *limits.Plan
+	size   int64
+	dirty  atomic.Bool // set by unsynced appends, cleared by the syncer
+}
+
+// openWAL opens (creating if needed) the log and positions the write cursor
+// at the end. The caller scans and truncates before the first append.
+func openWAL(path string, policy SyncPolicy, faults *limits.Plan) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &wal{f: f, path: path, policy: policy, faults: faults}, nil
+}
+
+// append writes one record and makes it durable per the sync policy. The
+// "wal.append" fault point fires before the write and the "wal.sync" point
+// between the write and the fsync; an injected crash leaves the file exactly
+// as a killed process would (nothing, a torn prefix, or a bit-flipped
+// record) and surfaces as an error wrapping limits.ErrCrash.
+func (w *wal) append(r record) error {
+	buf := encodeRecord(r)
+	if err := limits.Hit(w.faults, "wal.append"); err != nil {
+		var ce *limits.CrashError
+		if errors.As(err, &ce) {
+			w.crashWrite(ce.Mode, buf)
+		}
+		return err
+	}
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	w.size += int64(len(buf))
+	if err := limits.Hit(w.faults, "wal.sync"); err != nil {
+		// The record is fully written; whether it survives the simulated
+		// crash durably is exactly the ambiguity a real crash leaves.
+		return err
+	}
+	if w.policy == SyncAlways {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("store: wal sync: %w", err)
+		}
+	} else {
+		w.dirty.Store(true)
+	}
+	return nil
+}
+
+// crashWrite emulates what a death mid-append leaves behind.
+func (w *wal) crashWrite(mode limits.CrashMode, buf []byte) {
+	switch mode {
+	case limits.CrashTorn:
+		cut := len(buf) / 2
+		if cut == 0 {
+			cut = 1
+		}
+		if _, err := w.f.Write(buf[:cut]); err == nil {
+			w.size += int64(cut)
+		}
+	case limits.CrashFlip:
+		// Flip one bit inside the checksummed payload so recovery must
+		// reject the record on CRC, not framing.
+		flipped := make([]byte, len(buf))
+		copy(flipped, buf)
+		flipped[len(flipped)-1] ^= 0x01
+		if _, err := w.f.Write(flipped); err == nil {
+			w.size += int64(len(flipped))
+		}
+	}
+}
+
+// sync flushes pending appends if any (interval policy tick).
+func (w *wal) sync() error {
+	if w.dirty.Swap(false) {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+// reset truncates the log to zero after a checkpoint made it redundant.
+func (w *wal) reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("store: wal reset: %w", err)
+	}
+	if _, err := w.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("store: wal reset: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("store: wal reset: %w", err)
+	}
+	w.size = 0
+	w.dirty.Store(false)
+	return nil
+}
+
+// close releases the file, syncing first for a clean shutdown.
+func (w *wal) close() error {
+	syncErr := w.f.Sync()
+	closeErr := w.f.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}

@@ -53,6 +53,7 @@ import (
 	"repro/internal/owl"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
+	"repro/internal/store"
 	"repro/internal/translate"
 	"repro/internal/triq"
 )
@@ -504,3 +505,42 @@ func EvalNRE(g *Graph, e NRE) sparql.PairSet { return sparql.EvalNRE(g, e) }
 
 // RDFSProgram returns the fixed ρdf rule library.
 func RDFSProgram() *Program { return owl.RDFSProgram() }
+
+// The durable mutation path (internal/store): an epoch-versioned
+// copy-on-write fact store with a write-ahead log, periodic snapshot
+// checkpoints, and crash recovery. In-flight readers keep the immutable
+// epoch graph they started with while writers commit new epochs.
+type (
+	// Store is the epoch-versioned fact store.
+	Store = store.Store
+	// StoreConfig configures OpenStore (directory, fsync policy, checkpoint
+	// cadence). A zero Dir opens a volatile in-memory store.
+	StoreConfig = store.Config
+	// StoreEpoch is one immutable (sequence number, graph) version.
+	StoreEpoch = store.Epoch
+	// StoreRecovery reports what boot-time WAL replay found and repaired.
+	StoreRecovery = store.Recovery
+	// StoreSyncPolicy is the WAL fsync policy (SyncAlways / SyncInterval /
+	// SyncNone).
+	StoreSyncPolicy = store.SyncPolicy
+)
+
+// WAL fsync policies for StoreConfig.Sync.
+const (
+	// SyncAlways fsyncs every append before acknowledging (acknowledged
+	// writes survive crashes).
+	SyncAlways = store.SyncAlways
+	// SyncInterval fsyncs on a background cadence (bounded loss window).
+	SyncInterval = store.SyncInterval
+	// SyncNone leaves flushing to the OS.
+	SyncNone = store.SyncNone
+)
+
+// OpenStore opens (or creates) a durable store rooted at cfg.Dir, replaying
+// the snapshot and WAL into the live epoch. The Recovery report says how
+// much log was replayed and whether a torn or corrupt tail was truncated.
+func OpenStore(cfg StoreConfig) (*Store, *StoreRecovery, error) { return store.Open(cfg) }
+
+// ParseSyncPolicy maps the flag spelling ("always", "interval", "none") to a
+// WAL fsync policy.
+func ParseSyncPolicy(name string) (store.SyncPolicy, error) { return store.ParseSyncPolicy(name) }
