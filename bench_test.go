@@ -1,4 +1,4 @@
-package repro
+package repro_test
 
 // One benchmark per reproduced paper artifact (see DESIGN.md's
 // per-experiment index and EXPERIMENTS.md for the recorded results). The
@@ -8,6 +8,8 @@ package repro
 import (
 	"fmt"
 	"testing"
+
+	"repro"
 
 	"repro/internal/bench"
 	"repro/internal/chase"
@@ -257,8 +259,8 @@ func benchGraph(n int) string {
 }
 
 // ParseGraphOrDie is a test helper.
-func ParseGraphOrDie(src string) *Graph {
-	g, err := ParseGraph(src)
+func ParseGraphOrDie(src string) *repro.Graph {
+	g, err := repro.ParseGraph(src)
 	if err != nil {
 		panic(err)
 	}

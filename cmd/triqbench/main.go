@@ -31,7 +31,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment by id (T1, F1, E1 … E9, E11 … E14)")
+	only := flag.String("only", "", "run a single experiment by id (T1, F1, E1 … E9, E11 … E15)")
 	asJSON := flag.Bool("json", false, "emit the tables as JSON (with per-stage engine breakdowns) instead of markdown")
 	parallelism := flag.Int("parallelism", 0, "chase workers for every experiment (0 = GOMAXPROCS, 1 = sequential; E11 sweeps its own)")
 	server := flag.String("server", "", "concurrent-client mode: base URL of a running triqd (e.g. http://localhost:8471)")
@@ -42,6 +42,7 @@ func main() {
 	traceSample := flag.Float64("trace-sample", 0, "with -server: send W3C traceparent headers, this fraction with the sampled flag")
 	writePct := flag.Float64("write-pct", 0, "with -server: percentage of requests sent as /insert-/delete batches (write soak)")
 	writeBatch := flag.Int("write-batch", 8, "with -server: triples per mutation batch")
+	retryBudget := flag.Int("retry-budget", 0, "with -server: total 503 retries the run may spend honoring Retry-After (0 = no retries)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -50,7 +51,7 @@ func main() {
 	}
 
 	if *server != "" {
-		os.Exit(clientMain(*server, *endpoint, *reqBody, *parallel, *requests, *traceSample, *writePct, *writeBatch, *asJSON))
+		os.Exit(clientMain(*server, *endpoint, *reqBody, *parallel, *requests, *traceSample, *writePct, *writeBatch, *retryBudget, *asJSON))
 	}
 	bench.SetParallelism(*parallelism)
 
@@ -60,6 +61,7 @@ func main() {
 		"E4": bench.RunE4, "E5": bench.RunE5, "E6": bench.RunE6,
 		"E7": bench.RunE7, "E8": bench.RunE8, "E9": bench.RunE9,
 		"E11": bench.RunE11, "E12": bench.RunE12, "E13": bench.RunE13, "E14": bench.RunE14,
+		"E15": bench.RunE15,
 	}
 
 	var tables []*bench.Table
@@ -107,7 +109,7 @@ const defaultClientBody = `{"program": "triple(?X, partOf, transportService) -> 
 
 // clientMain is the concurrent-client mode: drive a running triqd and
 // report throughput + latency quantiles.
-func clientMain(server, endpoint, body string, parallel, requests int, traceSample, writePct float64, writeBatch int, asJSON bool) int {
+func clientMain(server, endpoint, body string, parallel, requests int, traceSample, writePct float64, writeBatch, retryBudget int, asJSON bool) int {
 	if body == "" {
 		body = defaultClientBody
 	}
@@ -122,6 +124,7 @@ func clientMain(server, endpoint, body string, parallel, requests int, traceSamp
 		WritePct:    writePct,
 		MutateBase:  strings.TrimRight(server, "/"),
 		WriteBatch:  writeBatch,
+		RetryBudget: retryBudget,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "triqbench:", err)

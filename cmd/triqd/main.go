@@ -13,12 +13,21 @@
 //	      [-checkpoint-every 1024] [-max-body-bytes 8388608] \
 //	      [-concurrency 4] [-queue 16] [-queue-timeout 1s] \
 //	      [-default-timeout 10s] [-max-timeout 60s] [-drain-timeout 15s] \
-//	      [-retries 3] [-parallelism 1]
+//	      [-retries 3] [-parallelism 1] \
+//	      [-replica-of http://primary:8471 [-promote-on-loss] \
+//	       [-promote-grace 5s] [-proxy-writes]] [-staleness-wait 2s]
 //
 // With -wal-dir the listener answers immediately and /readyz reports
 // {"state":"recovering"} (503) until the snapshot and WAL have replayed;
 // -data seeds the store only on first boot (an already-populated store wins).
 // Without -wal-dir mutations still work against a volatile in-memory store.
+//
+// With -replica-of the process boots as a read replica: it tails the
+// primary's WAL stream (GET /repl/stream), serves reads with epoch tokens,
+// and refuses writes toward the primary (or forwards them with
+// -proxy-writes). POST /repl/promote — or -promote-on-loss after
+// -promote-grace of primary silence — turns it into a writable primary
+// over its own recovered WAL. See the README's "Replication" section.
 //
 // Endpoints and the status-code contract are documented in the README
 // ("Serving", "Durability & writes") and in internal/serve. A quick check
@@ -45,6 +54,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/owl"
 	"repro/internal/rdf"
+	"repro/internal/repl"
 	"repro/internal/serve"
 )
 
@@ -70,6 +80,12 @@ type config struct {
 	drainTimeout   time.Duration // graceful-shutdown budget
 	retries        int           // attempts per evaluation (1 = no retries)
 	parallelism    int           // chase workers per evaluation (0 = GOMAXPROCS)
+
+	replicaOf     string        // primary base URL ("" = primary / standalone)
+	promoteOnLoss bool          // self-promote after promoteGrace of primary silence
+	promoteGrace  time.Duration // silence tolerance before self-promotion
+	proxyWrites   bool          // forward replica-received writes to the primary
+	stalenessWait time.Duration // bound on min-epoch catch-up waits
 
 	slowlog          string        // JSONL slow-query sink file ("" = ring only)
 	slowlogThreshold time.Duration // record requests at least this slow (0 = off)
@@ -103,6 +119,11 @@ func main() {
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 15*time.Second, "graceful-shutdown budget; stragglers are canceled when it expires")
 	flag.IntVar(&cfg.retries, "retries", 3, "evaluation attempts per request (1 disables retrying)")
 	flag.IntVar(&cfg.parallelism, "parallelism", 1, "chase workers per evaluation (0 = GOMAXPROCS, 1 = sequential; keep slots × workers ≈ cores)")
+	flag.StringVar(&cfg.replicaOf, "replica-of", "", "boot as a read replica of this primary base URL (e.g. http://10.0.0.1:8471)")
+	flag.BoolVar(&cfg.promoteOnLoss, "promote-on-loss", false, "with -replica-of: self-promote to writable primary after -promote-grace of primary silence")
+	flag.DurationVar(&cfg.promoteGrace, "promote-grace", repl.DefaultPromoteGrace, "with -promote-on-loss: how long the primary may be silent before failover")
+	flag.BoolVar(&cfg.proxyWrites, "proxy-writes", false, "with -replica-of: forward writes to the primary instead of refusing them with 503")
+	flag.DurationVar(&cfg.stalenessWait, "staleness-wait", 2*time.Second, "longest a min-epoch read waits for the store to catch up before shedding 503")
 	flag.StringVar(&cfg.slowlog, "slowlog", "", "append slow-query entries as JSON lines to this file (implies -slowlog-threshold 1s when unset)")
 	flag.DurationVar(&cfg.slowlogThreshold, "slowlog-threshold", 0, "record requests whose total time meets this threshold at /debug/slowlog (0 disables unless -slowlog is set)")
 	flag.Float64Var(&cfg.traceSample, "trace-sample", 0.1, "fraction of requests whose full span tree is recorded (incoming sampled traceparents always record)")
@@ -166,9 +187,13 @@ func loadGraph(cfg config) (*repro.Graph, error) {
 // fails; then it drains gracefully. Tests drive it directly with a loopback
 // listener and a fake signal channel.
 func run(ctx context.Context, cfg config, ln net.Listener, stop <-chan os.Signal) error {
-	if cfg.data == "" && cfg.walDir == "" {
+	if cfg.data == "" && cfg.walDir == "" && cfg.replicaOf == "" {
 		ln.Close()
-		return errors.New("-data or -wal-dir is required")
+		return errors.New("-data, -wal-dir, or -replica-of is required")
+	}
+	if cfg.replicaOf == "" && (cfg.promoteOnLoss || cfg.proxyWrites) {
+		ln.Close()
+		return errors.New("-promote-on-loss and -proxy-writes require -replica-of")
 	}
 	syncPolicy, err := repro.ParseSyncPolicy(cfg.walSync)
 	if err != nil {
@@ -198,6 +223,7 @@ func run(ctx context.Context, cfg config, ln net.Listener, stop <-chan os.Signal
 			return err
 		}
 	}
+	o := obs.New()
 	srv := serve.New(serve.Config{
 		Admission: serve.AdmissionConfig{
 			MaxConcurrent: cfg.concurrency,
@@ -207,7 +233,7 @@ func run(ctx context.Context, cfg config, ln net.Listener, stop <-chan os.Signal
 		Retry:          serve.RetryConfig{MaxAttempts: cfg.retries},
 		DefaultTimeout: cfg.defaultTimeout,
 		MaxTimeout:     cfg.maxTimeout,
-		Obs:            obs.New(),
+		Obs:            o,
 		SlowLog:        slowCfg,
 		Parallelism:    cfg.parallelism,
 		Trace: serve.TraceConfig{
@@ -223,6 +249,8 @@ func run(ctx context.Context, cfg config, ln net.Listener, stop <-chan os.Signal
 		},
 		HealthInterval: cfg.healthInterval,
 		MaxBodyBytes:   cfg.maxBodyBytes,
+		StalenessWait:  cfg.stalenessWait,
+		ProxyWrites:    cfg.proxyWrites,
 	})
 
 	// The listener answers immediately — /readyz reports 503
@@ -241,12 +269,33 @@ func run(ctx context.Context, cfg config, ln net.Listener, stop <-chan os.Signal
 		return err
 	}
 	srv.SetStore(st)
+
+	// Replica mode: install the replication handle before readiness flips so
+	// /readyz never reports plain "ready" on an unpromoted replica, then
+	// start tailing the primary.
+	var rep *repl.Replica
+	if cfg.replicaOf != "" {
+		rep = repl.New(repl.Config{
+			Primary:       cfg.replicaOf,
+			Store:         st,
+			Obs:           o,
+			PromoteOnLoss: cfg.promoteOnLoss,
+			PromoteGrace:  cfg.promoteGrace,
+		})
+		srv.SetReplica(rep)
+		rep.Start(ctx)
+		fmt.Fprintf(os.Stderr, "triqd: replica of %s (epoch %d at boot)\n",
+			cfg.replicaOf, st.Current().Seq)
+	}
 	srv.SetRecovering(false)
 	fmt.Fprintf(os.Stderr, "triqd: ready: epoch %d, %d triples\n",
 		st.Current().Seq, st.Current().Graph.Len())
 
 	select {
 	case err := <-serveErr:
+		if rep != nil {
+			rep.Stop()
+		}
 		st.Close()
 		return fmt.Errorf("serve: %w", err)
 	case <-stop:
@@ -257,6 +306,9 @@ func run(ctx context.Context, cfg config, ln net.Listener, stop <-chan os.Signal
 
 	dctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
+	if rep != nil {
+		rep.Stop() // disconnect from the primary before the store closes
+	}
 	shutdownDone := make(chan error, 1)
 	go func() { shutdownDone <- hs.Shutdown(dctx) }() // stop accepting now
 	if err := srv.Drain(dctx); err != nil {
@@ -296,6 +348,14 @@ func openStore(cfg config, sync repro.StoreSyncPolicy) (*repro.Store, error) {
 	}
 	empty := st.Current().Seq == 0 && st.Current().Graph.Len() == 0
 	switch {
+	case cfg.replicaOf != "":
+		// A replica's state comes from the primary's stream (snapshot or
+		// records), never from a local seed file — seeding would fork the
+		// epoch numbering.
+		if cfg.data != "" {
+			fmt.Fprintf(os.Stderr, "triqd: replica mode; -data %s ignored (state comes from %s)\n",
+				cfg.data, cfg.replicaOf)
+		}
 	case cfg.data != "" && empty:
 		g, err := loadGraph(cfg)
 		if err != nil {

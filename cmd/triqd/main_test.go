@@ -301,3 +301,156 @@ func TestTriqdInMemoryWrites(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// waitReplica polls /readyz until the process reports a live replica state.
+func waitReplica(t *testing.T, base string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			var m map[string]any
+			dec := json.NewDecoder(resp.Body)
+			derr := dec.Decode(&m)
+			resp.Body.Close()
+			if derr == nil && resp.StatusCode == http.StatusOK && m["state"] == "replica" {
+				return m
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replica never reached the streaming state")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestTriqdReplicationLifecycle boots a primary/replica pair in-process:
+// the replica streams the primary's state, serves min-epoch reads with
+// read-your-writes semantics, refuses local writes toward the primary, and
+// promotes over the API into a writable primary.
+func TestTriqdReplicationLifecycle(t *testing.T) {
+	pcfg := config{
+		data:          writeFile(t, "g.nt", testData),
+		walDir:        filepath.Join(t.TempDir(), "primary"),
+		drainTimeout:  5 * time.Second,
+		stalenessWait: 2 * time.Second,
+	}
+	pbase, pstop, pdone := startTriqd(t, pcfg)
+	waitReady(t, pbase)
+
+	rcfg := config{
+		replicaOf:     pbase,
+		walDir:        filepath.Join(t.TempDir(), "replica"),
+		data:          writeFile(t, "decoy.nt", "decoy p o .\n"), // must be ignored
+		drainTimeout:  5 * time.Second,
+		stalenessWait: 2 * time.Second,
+	}
+	rbase, rstop, rdone := startTriqd(t, rcfg)
+	m := waitReplica(t, rbase)
+	if m["primary"] != pbase {
+		t.Fatalf("readyz primary = %v, want %s", m["primary"], pbase)
+	}
+
+	// Write to the primary; the ack's epoch is the read-your-writes token on
+	// the replica.
+	body, _ := json.Marshal(map[string]string{"triples": "Shuttle partOf TheAirline .\n"})
+	resp, err := http.Post(pbase+"/insert", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("primary insert = %d, body %s", resp.StatusCode, raw)
+	}
+	var mr struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.Unmarshal(raw, &mr); err != nil {
+		t.Fatal(err)
+	}
+
+	qbody, _ := json.Marshal(map[string]any{"program": testProgram, "min_epoch": mr.Epoch})
+	resp, err = http.Post(rbase+"/query", "application/json", bytes.NewReader(qbody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	epochHdr := resp.Header.Get("X-Triq-Epoch")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replica min-epoch read = %d, body %s", resp.StatusCode, raw)
+	}
+	var qr struct {
+		Rows  []string `json:"rows"`
+		Epoch uint64   `json:"epoch"`
+	}
+	if err := json.Unmarshal(raw, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Rows) != 3 || qr.Epoch < mr.Epoch || epochHdr == "" {
+		t.Fatalf("replica read rows=%v epoch=%d hdr=%q, want the write visible at >= %d",
+			qr.Rows, qr.Epoch, epochHdr, mr.Epoch)
+	}
+
+	// Writes to the replica are refused toward the primary.
+	resp, err = http.Post(rbase+"/insert", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	primaryHdr := resp.Header.Get("X-Triq-Primary")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || primaryHdr != pbase {
+		t.Fatalf("replica insert = %d X-Triq-Primary=%q, want 503 toward %s",
+			resp.StatusCode, primaryHdr, pbase)
+	}
+
+	// The primary dies; the API promotes the replica into a writable primary.
+	pstop <- os.Interrupt
+	if err := <-pdone; err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(rbase+"/repl/promote", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("promote = %d", resp.StatusCode)
+	}
+	resp, err = http.Post(rbase+"/insert", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-promote insert = %d, body %s", resp.StatusCode, raw)
+	}
+
+	rstop <- os.Interrupt
+	if err := <-rdone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTriqdReplicaFlagValidation: promote/proxy flags demand -replica-of,
+// and -replica-of alone is a valid boot mode.
+func TestTriqdReplicaFlagValidation(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), config{promoteOnLoss: true}, ln, make(chan os.Signal)); err == nil {
+		t.Fatal("want an error for -promote-on-loss without -replica-of")
+	}
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), config{data: "x.nt", proxyWrites: true}, ln2, make(chan os.Signal)); err == nil {
+		t.Fatal("want an error for -proxy-writes without -replica-of")
+	}
+}

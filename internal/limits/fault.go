@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // This file is the deterministic fault-injection harness. The engine calls
@@ -35,7 +36,23 @@ const (
 	// Durable subsystems (internal/store) honor it by ceasing all further
 	// writes, so a test can "restart" by reopening the directory.
 	ActCrash
+	// ActPartition simulates a network partition at the point: the fault
+	// returns a *NetError{Kind: NetPartition} and the networking subsystem
+	// (internal/repl) honors it by severing the connection. Unlike ActCrash
+	// nothing latches — a later reconnect attempt may succeed.
+	ActPartition
+	// ActSlow simulates a slow link: the fault point sleeps SlowLinkDelay
+	// and then succeeds. It models added latency, not failure.
+	ActSlow
+	// ActDup simulates a duplicated message: the fault returns a
+	// *NetError{Kind: NetDup} and the networking subsystem honors it by
+	// sending (or processing) the in-flight record twice, exercising
+	// receiver idempotency.
+	ActDup
 )
+
+// SlowLinkDelay is the latency an ActSlow fault injects per fire.
+const SlowLinkDelay = 25 * time.Millisecond
 
 // CrashMode describes what an injected crash (ActCrash) leaves behind at the
 // interrupted write site.
@@ -67,6 +84,45 @@ func (m CrashMode) String() string {
 // ErrCrash is the sentinel every injected crash wraps; errors.Is(err,
 // ErrCrash) detects a simulated process death.
 var ErrCrash = errors.New("limits: injected crash")
+
+// ErrNet is the sentinel every injected network fault wraps; errors.Is(err,
+// ErrNet) detects a simulated network condition (as opposed to process
+// death or a plain injected error).
+var ErrNet = errors.New("limits: injected network fault")
+
+// NetKind refines an injected network fault.
+type NetKind int
+
+const (
+	// NetPartition severs the connection; reconnects may succeed.
+	NetPartition NetKind = iota
+	// NetDup duplicates the in-flight record on the wire.
+	NetDup
+)
+
+func (k NetKind) String() string {
+	switch k {
+	case NetDup:
+		return "dup"
+	default:
+		return "partition"
+	}
+}
+
+// NetError is the typed injected network fault: the site it fired at and
+// what the network "did". The replication layer dispatches on Kind.
+type NetError struct {
+	// Point is the fault site, e.g. "repl.send".
+	Point string
+	// Kind says what happened on the wire.
+	Kind NetKind
+}
+
+func (e *NetError) Error() string {
+	return fmt.Sprintf("limits: injected network fault at %s (%s)", e.Point, e.Kind)
+}
+
+func (e *NetError) Unwrap() error { return ErrNet }
 
 // CrashError is the typed injected-crash error: the site that died and what
 // its interrupted write left behind.
@@ -187,6 +243,12 @@ func (p *Plan) Check(point string) error {
 			}
 		case ActCrash:
 			return &CrashError{Point: f.Point, Mode: f.Mode}
+		case ActPartition:
+			return &NetError{Point: f.Point, Kind: NetPartition}
+		case ActDup:
+			return &NetError{Point: f.Point, Kind: NetDup}
+		case ActSlow:
+			time.Sleep(SlowLinkDelay)
 		default:
 			if f.Err != nil {
 				return f.Err
@@ -237,14 +299,18 @@ func SetGlobal(p *Plan) (restore func()) {
 
 // ParsePlan parses the TRIQ_FAULTS syntax: comma-separated entries of the
 // form "point=action", "point@N=action", or "point%M=action" (combinable as
-// "point@N%M=action") where action is "error", "panic", or one of the crash
+// "point@N%M=action") where action is "error", "panic", one of the crash
 // actions "crash" / "torn" / "flip" (ActCrash with the matching CrashMode),
-// N is the number of hits to skip first, and M makes the fault intermittent —
-// it fires only on every M-th eligible hit, e.g.
+// or one of the network actions "partition" / "slow" / "dup" (honored by the
+// replication points repl.send / repl.recv / repl.apply; "torn" there cuts
+// the stream mid-record), N is the number of hits to skip first, and M makes
+// the fault intermittent — it fires only on every M-th eligible hit, e.g.
 //
 //	TRIQ_FAULTS="chase.round@3=error,prover.expand=panic"
 //	TRIQ_FAULTS="chase.rule%997=error"   # transient: one failure per 997 hits
 //	TRIQ_FAULTS="wal.append@5=torn"      # die mid-write on the 6th WAL append
+//	TRIQ_FAULTS="repl.send%7=partition"  # sever the stream every 7th frame
+//	TRIQ_FAULTS="repl.recv%5=dup"        # replay every 5th received frame
 //
 // (Hooks are code, not syntax, so they cannot be armed from the
 // environment.)
@@ -290,8 +356,14 @@ func ParsePlan(spec string) (*Plan, error) {
 		case "flip":
 			f.Action = ActCrash
 			f.Mode = CrashFlip
+		case "partition":
+			f.Action = ActPartition
+		case "slow":
+			f.Action = ActSlow
+		case "dup":
+			f.Action = ActDup
 		default:
-			return nil, fmt.Errorf("limits: fault entry %q: unknown action %q (want error, panic, crash, torn, or flip)", entry, action)
+			return nil, fmt.Errorf("limits: fault entry %q: unknown action %q (want error, panic, crash, torn, flip, partition, slow, or dup)", entry, action)
 		}
 		p.Arm(f)
 	}

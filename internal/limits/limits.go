@@ -42,6 +42,10 @@ var (
 	ErrInternal = errors.New("limits: internal engine error")
 	// ErrInjected reports a fault injected through a Plan (tests only).
 	ErrInjected = errors.New("limits: injected fault")
+	// ErrStorage reports a durable-storage write failure (fsync or append
+	// I/O error, e.g. ENOSPC). The store degrades to read-only: reads keep
+	// serving the last committed epoch, writes fail with this sentinel.
+	ErrStorage = errors.New("limits: storage write error")
 )
 
 // Limit names, as they appear in Truncation.Limit and in the
@@ -54,6 +58,7 @@ const (
 	LimitVisits   = "visits"
 	LimitInternal = "internal"
 	LimitInjected = "injected"
+	LimitStorage  = "storage"
 )
 
 // LimitName maps a sentinel (or an error wrapping one) to its limit name.
@@ -71,6 +76,8 @@ func LimitName(err error) string {
 		return LimitVisits
 	case errors.Is(err, ErrInternal):
 		return LimitInternal
+	case errors.Is(err, ErrStorage):
+		return LimitStorage
 	case errors.Is(err, ErrInjected):
 		return LimitInjected
 	default:
@@ -93,6 +100,8 @@ func kindFor(limit string) error {
 		return ErrVisitBudget
 	case LimitInternal:
 		return ErrInternal
+	case LimitStorage:
+		return ErrStorage
 	default:
 		return ErrInjected
 	}

@@ -215,3 +215,51 @@ func TestParsePlanCrashActions(t *testing.T) {
 		t.Errorf("CrashError.Error() = %q", got)
 	}
 }
+
+func TestParsePlanNetworkActions(t *testing.T) {
+	p, err := ParsePlan("repl.send@1=partition, repl.recv=dup, repl.apply=slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Check("repl.send"); err != nil {
+		t.Error("first repl.send hit is skipped by @1")
+	}
+	var ne *NetError
+	err = p.Check("repl.send")
+	if !errors.Is(err, ErrNet) || !errors.As(err, &ne) || ne.Kind != NetPartition || ne.Point != "repl.send" {
+		t.Errorf("partition = %v (%+v)", err, ne)
+	}
+	if errors.Is(err, ErrCrash) {
+		t.Error("a network fault must not read as a crash")
+	}
+	err = p.Check("repl.recv")
+	if !errors.As(err, &ne) || ne.Kind != NetDup {
+		t.Errorf("dup = %v", err)
+	}
+	if got := ne.Error(); got != "limits: injected network fault at repl.recv (dup)" {
+		t.Errorf("NetError.Error() = %q", got)
+	}
+	// A slow link delays but succeeds.
+	start := time.Now()
+	if err := p.Check("repl.apply"); err != nil {
+		t.Errorf("slow link must succeed, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < SlowLinkDelay {
+		t.Errorf("slow link slept %v, want >= %v", elapsed, SlowLinkDelay)
+	}
+}
+
+func TestStorageTaxonomy(t *testing.T) {
+	err := NewError(ErrStorage, Truncation{})
+	if LimitName(err) != LimitStorage {
+		t.Errorf("LimitName = %q, want %q", LimitName(err), LimitStorage)
+	}
+	w := ToWire(err)
+	if w.Limit != LimitStorage {
+		t.Errorf("wire limit = %q", w.Limit)
+	}
+	back := w.Err()
+	if !errors.Is(back, ErrStorage) {
+		t.Errorf("wire round-trip lost the storage sentinel: %v", back)
+	}
+}

@@ -1,0 +1,99 @@
+// Satellite coverage for the recovery matrix: a crash injected *during* a
+// checkpoint ("wal.checkpoint" fires between the snapshot rename and the
+// WAL reset, in torn and flip modes), followed by reopen-then-replicate.
+// The snapshot-tmp/rename discipline must never leave a replica able to
+// stream a state the primary cannot itself recover to: everything a
+// post-recovery replica receives is exactly the reopened primary's state.
+package repl_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/limits"
+	"repro/internal/rdf"
+	"repro/internal/repl"
+	"repro/internal/store"
+)
+
+func TestCheckpointCrashThenReplicate(t *testing.T) {
+	for _, mode := range []limits.CrashMode{limits.CrashTorn, limits.CrashFlip, limits.CrashClean} {
+		t.Run(mode.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			plan := limits.NewPlan(limits.Fault{Point: "wal.checkpoint", Action: limits.ActCrash, Mode: mode})
+			primary, _, err := store.Open(store.Config{Dir: dir, CheckpointEvery: 3, Faults: plan})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Mutate until the checkpoint-triggering commit dies. The commit
+			// itself swapped in (and its snapshot renamed durably) before the
+			// crash point fired, so the state at the crash epoch is exactly
+			// what recovery must reproduce.
+			model := rdf.NewGraph()
+			var crashEpoch uint64
+			for i := 0; ; i++ {
+				if i > 10 {
+					t.Fatal("checkpoint crash never fired")
+				}
+				tr := rdf.T(fmt.Sprintf("s%d", i), "partOf", fmt.Sprintf("s%d", i+1))
+				e, _, err := primary.Insert([]rdf.Triple{tr})
+				if errors.Is(err, limits.ErrCrash) {
+					model.Add(tr) // committed, then the checkpoint died
+					crashEpoch = e.Seq
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				model.Add(tr)
+				crashEpoch = e.Seq
+			}
+			primary.Close()
+
+			// A torn checkpoint may also leave a half-written snapshot tmp
+			// behind; recovery must ignore it (only the renamed snapshot.nt
+			// counts).
+			if err := os.WriteFile(filepath.Join(dir, "snapshot.nt.tmp"), []byte("# epoch 999\ngarbage"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			reopened, rec, err := store.Open(store.Config{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { reopened.Close() })
+			if rec.Epoch != crashEpoch || !reopened.Current().Graph.Equal(model) {
+				t.Fatalf("recovered epoch %d (%d triples), want epoch %d (%d triples)",
+					rec.Epoch, rec.Triples, crashEpoch, model.Len())
+			}
+
+			// Reopen-then-replicate: a fresh replica streaming from zero must
+			// land bit-identically on the recovered state — the stream can
+			// never hand out a state the primary cannot recover to.
+			srv := startServer(t, repl.StreamHandler(reopened, nil, repl.StreamOptions{Heartbeat: testHeartbeat}))
+			replica := newStore(t, store.Config{Dir: t.TempDir()})
+			startReplica(t, repl.Config{Primary: srv.URL, Store: replica})
+			waitConverged(t, reopened, replica)
+			if !replica.Current().Graph.Equal(model) {
+				t.Fatalf("replica state diverges from the recovered primary")
+			}
+			if got, want := answers(t, replica.Current().Graph), answers(t, model); !equalRows(got, want) {
+				t.Fatalf("replica answers %v != fresh chase %v", got, want)
+			}
+
+			// And the replicated epochs keep lining up for post-recovery writes.
+			e2, _, err := reopened.Insert([]rdf.Triple{rdf.T("post", "partOf", "recovery")})
+			if err != nil {
+				t.Fatal(err)
+			}
+			waitConverged(t, reopened, replica)
+			if replica.Current().Seq != e2.Seq {
+				t.Fatalf("replica epoch %d != primary epoch %d", replica.Current().Seq, e2.Seq)
+			}
+		})
+	}
+}

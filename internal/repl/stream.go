@@ -1,0 +1,161 @@
+// Package repl is WAL-shipping replication for the store: a primary
+// streams its commit log (plus snapshots for far-behind subscribers) over
+// HTTP, replicas apply the records through the store's epoch machinery and
+// serve reads, and a health-based promotion path turns a replica into a
+// writable primary from its own recovered WAL.
+//
+// The wire format is exactly the store's WAL framing (store.Record /
+// store.EncodeRecord / store.ReadRecord): length-prefixed CRC32-C records,
+// extended on the wire with OpSnapshot (full-state transfer) and
+// OpHeartbeat (liveness + lag accounting while the write path is idle).
+// Epoch numbering is the correctness contract: a replica at epoch E holds
+// bit-identical triples to the primary at epoch E, so the paper's
+// certain-answer semantics guarantees identical query answers at equal
+// epochs — which is what the chaos differential suite checks.
+//
+// Fault points (TRIQ_FAULTS): "repl.send" fires before each frame leaves
+// the primary, "repl.recv" before each frame is read on the replica, and
+// "repl.apply" before a mutation record is folded into the replica's
+// store. The network actions partition / slow / dup (and the crash action
+// torn, which cuts the stream mid-record) model the classic asynchronous-
+// network failure modes; receiver-side idempotency (ApplyReplicated's
+// dup-skip) and epoch-gap detection make all of them safe.
+package repl
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/limits"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// DefaultHeartbeat is the idle-stream heartbeat cadence.
+const DefaultHeartbeat = 500 * time.Millisecond
+
+// StreamOptions tunes a stream handler.
+type StreamOptions struct {
+	// Heartbeat is the cadence of OpHeartbeat frames on an idle stream
+	// (default DefaultHeartbeat). Replicas use heartbeats for lag accounting
+	// and for the promote-on-loss grace clock.
+	Heartbeat time.Duration
+	// Faults arms the "repl.send" point (default: the store's plan).
+	Faults *limits.Plan
+}
+
+// errStreamDrop makes the handler sever the connection (injected partition
+// or torn stream).
+var errStreamDrop = errors.New("repl: stream dropped")
+
+// StreamHandler serves GET /repl/stream?from=<epoch>: it subscribes to the
+// store's commit stream and ships records — prefixed by a snapshot frame
+// when the requested epoch predates the retained changelog — until the
+// client goes away, the subscriber overflows, or the store closes. The
+// response is a flushed-per-frame application/octet-stream of WAL records.
+func StreamHandler(st *store.Store, o *obs.Obs, opt StreamOptions) http.Handler {
+	if opt.Heartbeat <= 0 {
+		opt.Heartbeat = DefaultHeartbeat
+	}
+	if opt.Faults == nil {
+		opt.Faults = st.Faults()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "stream is GET-only", http.StatusMethodNotAllowed)
+			return
+		}
+		var from uint64
+		if q := r.URL.Query().Get("from"); q != "" {
+			v, err := strconv.ParseUint(q, 10, 64)
+			if err != nil {
+				http.Error(w, "bad from epoch", http.StatusBadRequest)
+				return
+			}
+			from = v
+		}
+		sub, snap, err := st.Subscribe(from)
+		if err != nil {
+			switch {
+			case errors.Is(err, store.ErrFutureEpoch):
+				// The subscriber is ahead of us — a promoted ex-replica being
+				// asked to feed a stale primary, or a split brain. Refuse.
+				http.Error(w, err.Error(), http.StatusConflict)
+			default:
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			}
+			return
+		}
+		defer sub.Close()
+
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Triq-Epoch", strconv.FormatUint(st.Current().Seq, 10))
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		o.Count("repl.streams_opened", 1)
+
+		send := func(rec store.Record) error {
+			frame := store.EncodeRecord(rec)
+			writes := 1
+			if err := limits.Hit(opt.Faults, "repl.send"); err != nil {
+				var ne *limits.NetError
+				var ce *limits.CrashError
+				switch {
+				case errors.As(err, &ne) && ne.Kind == limits.NetDup:
+					writes = 2 // duplicate the frame on the wire
+				case errors.As(err, &ce) && ce.Mode == limits.CrashTorn:
+					// Torn stream: half a frame, then sever. The receiver's
+					// framing layer must reject the torn tail.
+					if _, werr := w.Write(frame[:len(frame)/2]); werr == nil && flusher != nil {
+						flusher.Flush()
+					}
+					return errStreamDrop
+				default:
+					return errStreamDrop // partition (or any other injected fault)
+				}
+			}
+			for i := 0; i < writes; i++ {
+				if _, err := w.Write(frame); err != nil {
+					return err
+				}
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			o.Count("repl.records_sent", 1)
+			return nil
+		}
+
+		if snap != nil {
+			o.Count("repl.snapshots_sent", 1)
+			if err := send(store.SnapshotRecord(*snap)); err != nil {
+				return
+			}
+		}
+
+		hb := time.NewTicker(opt.Heartbeat)
+		defer hb.Stop()
+		for {
+			select {
+			case rec, ok := <-sub.Records():
+				if !ok {
+					// Overflow or store close: the replica reconnects and
+					// resubscribes from wherever it got to.
+					return
+				}
+				if err := send(rec); err != nil {
+					return
+				}
+			case <-hb.C:
+				if err := send(store.Record{Op: store.OpHeartbeat, Epoch: st.Current().Seq}); err != nil {
+					return
+				}
+			case <-r.Context().Done():
+				return
+			}
+		}
+	})
+}

@@ -9,7 +9,9 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -48,6 +50,12 @@ type LoadConfig struct {
 	MutateBase string
 	// WriteBatch is the triples per mutation batch (default 8).
 	WriteBatch int
+	// RetryBudget is the total number of 503 retries the whole run may
+	// spend. A shed response carrying Retry-After is retried after honoring
+	// the hint (capped at maxRetryWait, at most maxRetriesPerReq attempts
+	// per request) while budget remains; exhausted budget counts the 503 as
+	// shed, as before. Zero disables retrying.
+	RetryBudget int
 }
 
 // LoadResult aggregates a load run.
@@ -72,6 +80,9 @@ type LoadResult struct {
 	Writes, WriteOK int
 	// LastEpoch is the highest store epoch any mutation acknowledged.
 	LastEpoch uint64
+	// Retried counts 503 responses that were retried out of the budget;
+	// RetriedOK counts requests that succeeded on a retry.
+	Retried, RetriedOK int
 }
 
 func (r *LoadResult) String() string {
@@ -84,11 +95,35 @@ func (r *LoadResult) String() string {
 	if r.Writes > 0 {
 		s += fmt.Sprintf(" writes=%d write_ok=%d last_epoch=%d", r.Writes, r.WriteOK, r.LastEpoch)
 	}
+	if r.Retried > 0 {
+		s += fmt.Sprintf(" retried=%d retried_ok=%d", r.Retried, r.RetriedOK)
+	}
 	return s
 }
 
 // maxSampledTraceIDs caps the trace ids retained in a LoadResult.
 const maxSampledTraceIDs = 64
+
+// maxRetryWait caps how long a client sleeps on one Retry-After hint, and
+// maxRetriesPerReq caps how much of the budget a single request may burn
+// (a persistently-shedding server should fail the request, not stall the
+// run).
+const (
+	maxRetryWait     = 2 * time.Second
+	maxRetriesPerReq = 3
+)
+
+// retryBudget is the shared pool of 503 retries one run may spend.
+type retryBudget struct{ left atomic.Int64 }
+
+func newRetryBudget(n int) *retryBudget {
+	b := &retryBudget{}
+	b.left.Store(int64(n))
+	return b
+}
+
+// take spends one retry; it reports false when the pool is dry.
+func (b *retryBudget) take() bool { return b.left.Add(-1) >= 0 }
 
 // RunLoad fires cfg.Requests POSTs at cfg.URL from cfg.Parallel goroutines
 // and aggregates outcomes. Shed (503) responses are expected under overload
@@ -147,6 +182,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 		latencies []time.Duration
 		res       LoadResult
 	)
+	budget := newRetryBudget(cfg.RetryBudget)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -171,9 +207,41 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 					}
 					traceparent = obs.FormatTraceparent(tid, ids.SpanID(), flags)
 				}
-				t0 := time.Now()
-				status, respBody, echoed, err := post(ctx, client, url, body, traceparent, tid, isWrite)
-				lat := time.Since(t0)
+				var (
+					status   int
+					respBody []byte
+					echoed   bool
+					err      error
+					lat      time.Duration
+				)
+				retries := 0
+				for {
+					t0 := time.Now()
+					var retryAfter time.Duration
+					status, respBody, echoed, retryAfter, err = post(ctx, client, url, body, traceparent, tid, isWrite)
+					lat = time.Since(t0)
+					// A shed response is retried after honoring its
+					// Retry-After hint while budget remains; with the pool
+					// dry (or per-request retries spent) it stays a shed.
+					if err != nil || status != http.StatusServiceUnavailable ||
+						retries >= maxRetriesPerReq || !budget.take() {
+						break
+					}
+					if retryAfter <= 0 {
+						retryAfter = 50 * time.Millisecond
+					}
+					if retryAfter > maxRetryWait {
+						retryAfter = maxRetryWait
+					}
+					retries++
+					select {
+					case <-time.After(retryAfter):
+					case <-ctx.Done():
+					}
+					if ctx.Err() != nil {
+						break
+					}
+				}
 				var epoch uint64
 				if isWrite && err == nil && status == http.StatusOK {
 					var mr MutationResponse
@@ -200,6 +268,10 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 					if epoch > res.LastEpoch {
 						res.LastEpoch = epoch
 					}
+				}
+				res.Retried += retries
+				if retries > 0 && err == nil && status == http.StatusOK {
+					res.RetriedOK++
 				}
 				if echoed {
 					res.TraceEchoed++
@@ -256,11 +328,13 @@ func mutationJob(url string, b, n int) loadMutation {
 
 // post sends one request; echoed reports whether the response traceparent
 // carried the same trace id the request sent. The body is returned only
-// when capture is set (mutations need the acknowledged epoch).
-func post(ctx context.Context, client *http.Client, url string, body []byte, traceparent string, tid obs.TraceID, capture bool) (int, []byte, bool, error) {
+// when capture is set (mutations need the acknowledged epoch). On a 503
+// the server's retry hint comes back too — Failure.RetryAfterMS when the
+// body has it (millisecond granularity), the Retry-After header otherwise.
+func post(ctx context.Context, client *http.Client, url string, body []byte, traceparent string, tid obs.TraceID, capture bool) (int, []byte, bool, time.Duration, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return 0, nil, false, err
+		return 0, nil, false, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	if traceparent != "" {
@@ -268,21 +342,31 @@ func post(ctx context.Context, client *http.Client, url string, body []byte, tra
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, nil, false, err
+		return 0, nil, false, 0, err
 	}
 	defer resp.Body.Close()
 	var respBody []byte
-	if capture {
+	if capture || resp.StatusCode == http.StatusServiceUnavailable {
 		respBody, _ = io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
+	var retryAfter time.Duration
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs >= 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+		var f Failure
+		if json.Unmarshal(respBody, &f) == nil && f.RetryAfterMS > 0 {
+			retryAfter = time.Duration(f.RetryAfterMS) * time.Millisecond
+		}
+	}
 	echoed := false
 	if traceparent != "" {
 		if rtid, _, _, perr := obs.ParseTraceparent(resp.Header.Get("traceparent")); perr == nil {
 			echoed = rtid == tid
 		}
 	}
-	return resp.StatusCode, respBody, echoed, nil
+	return resp.StatusCode, respBody, echoed, retryAfter, nil
 }
 
 // quantileDur picks the q-th quantile of a sorted slice (nearest-rank).

@@ -3,9 +3,14 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/limits"
 	"repro/internal/store"
 )
 
@@ -86,5 +91,96 @@ func TestRunLoadWriteMix(t *testing.T) {
 	// WritePct without MutateBase is a configuration error.
 	if _, err := RunLoad(context.Background(), LoadConfig{URL: ts.URL + "/query", Body: body, Requests: 1, WritePct: 10}); err == nil {
 		t.Fatal("want an error for WritePct without MutateBase")
+	}
+}
+
+// TestRunLoadRetryBudget puts a shedding front in front of the handler: the
+// first attempt of every request is refused with 503 + a millisecond
+// Retry-After hint, so each success costs exactly one retry. The budget
+// bounds how many requests may recover; without budget every shed stays a
+// shed.
+func TestRunLoadRetryBudget(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	var hits sync.Map
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key := r.Header.Get("traceparent")
+		if key == "" {
+			key = "untraced"
+		}
+		if _, retried := hits.LoadOrStore(key, true); !retried && key != "untraced" {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, Failure{
+				WireError:    limits.ToWire(ErrQueueFull),
+				RetryAfterMS: 20,
+			})
+			return
+		}
+		r.URL.Host = ""
+		proxyReq, _ := http.NewRequest(http.MethodPost, ts.URL+r.URL.Path, r.Body)
+		proxyReq.Header = r.Header
+		resp, err := http.DefaultClient.Do(proxyReq)
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	}))
+	defer front.Close()
+
+	body, _ := json.Marshal(QueryRequest{Program: testProgram})
+	res, err := RunLoad(context.Background(), LoadConfig{
+		URL:         front.URL + "/query",
+		Body:        body,
+		Parallel:    4,
+		Requests:    12,
+		Trace:       true, // per-request traceparent keys the first-attempt shed
+		Seed:        7,
+		RetryBudget: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK != 12 || res.Shed != 0 {
+		t.Fatalf("with budget: %+v, want every request to recover on retry", res)
+	}
+	if res.Retried != 12 || res.RetriedOK != 12 {
+		t.Fatalf("retry accounting: %+v, want 12 retried / 12 recovered", res)
+	}
+
+	// Budget exhausted mid-run: only the budgeted retries recover.
+	hits = sync.Map{}
+	res, err = RunLoad(context.Background(), LoadConfig{
+		URL:         front.URL + "/query",
+		Body:        body,
+		Parallel:    1,
+		Requests:    8,
+		Trace:       true,
+		Seed:        11,
+		RetryBudget: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retried != 3 || res.RetriedOK != 3 || res.OK != 3 || res.Shed != 5 {
+		t.Fatalf("budgeted run: %+v, want 3 recovered and 5 shed", res)
+	}
+
+	// Zero budget: no retries at all.
+	hits = sync.Map{}
+	res, err = RunLoad(context.Background(), LoadConfig{
+		URL:      front.URL + "/query",
+		Body:     body,
+		Parallel: 2,
+		Requests: 6,
+		Trace:    true,
+		Seed:     13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retried != 0 || res.Shed != 6 {
+		t.Fatalf("no-budget run: %+v, want every first attempt shed", res)
 	}
 }

@@ -13,16 +13,29 @@
 //	500 — internal error (recovered panic) or a transient fault that
 //	      survived every retry
 //	503 — load shed: queue full, queue deadline exceeded, circuit open,
-//	      draining, or still recovering the WAL; always carries Retry-After
+//	      draining, still recovering the WAL, or a bounded-staleness wait
+//	      that expired; always carries Retry-After
 //	504 — the per-request evaluation deadline expired
 //
 // Mutations (POST /insert, POST /delete) add:
 //
 //	413 — request body over the configured size cap
 //	501 — the server has no store (query-only deployment)
+//	503 — the node is an unpromoted replica (the primary's address rides
+//	      the X-Triq-Primary header and Failure.Primary; with ProxyWrites
+//	      the write is forwarded instead), or the store latched read-only
+//	      after a WAL write failure
+//
+// Replication (internal/repl) rides the same surface: GET /repl/stream is
+// the primary's record stream, POST /repl/promote flips a replica into a
+// writable primary (409 on a non-replica), every query response carries
+// the pinned epoch in the X-Triq-Epoch header and QueryResponse.Epoch, and
+// requests demand freshness with min_epoch / X-Triq-Min-Epoch — the
+// bounded-staleness token that buys read-your-writes on any replica.
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -40,6 +53,7 @@ import (
 	"repro/internal/limits"
 	"repro/internal/obs"
 	"repro/internal/rdf"
+	"repro/internal/repl"
 	"repro/internal/store"
 )
 
@@ -86,6 +100,16 @@ type Config struct {
 	// MaxBodyBytes caps request bodies on every POST endpoint (default
 	// 8 MiB; negative disables). Oversized bodies get 413.
 	MaxBodyBytes int64
+	// StalenessWait bounds how long a query carrying a min-epoch token waits
+	// for the local store to catch up before shedding 503 + Retry-After
+	// (default 2s; negative sheds stale reads immediately).
+	StalenessWait time.Duration
+	// ReplHeartbeat is the idle-stream heartbeat cadence of GET /repl/stream
+	// (default repl.DefaultHeartbeat).
+	ReplHeartbeat time.Duration
+	// ProxyWrites forwards writes arriving at a replica to its primary
+	// instead of rejecting them with 503 + the primary's address.
+	ProxyWrites bool
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +121,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 8 << 20
+	}
+	if c.StalenessWait == 0 {
+		c.StalenessWait = 2 * time.Second
 	}
 	return c
 }
@@ -118,6 +145,10 @@ type Server struct {
 	mu    sync.RWMutex
 	graph *repro.Graph
 	store *store.Store
+	rep   *repl.Replica
+
+	// proxy forwards replica-received writes to the primary (ProxyWrites).
+	proxy *http.Client
 
 	// recovering is set while boot-time WAL replay runs; /readyz reports 503
 	// {"state":"recovering"} and mutations shed until it clears.
@@ -160,6 +191,7 @@ func New(cfg Config) *Server {
 			"query":  newBreaker(cfg.Breaker),
 			"sparql": newBreaker(cfg.Breaker),
 		},
+		proxy: &http.Client{Timeout: 30 * time.Second},
 	}
 	s.trackCond = sync.NewCond(&s.trackMu)
 	s.traces = newTracer(cfg.Trace, cfg.Obs, cfg.SlowLog.Threshold)
@@ -209,10 +241,33 @@ func (s *Server) SetStore(st *store.Store) {
 // WAL replay and clears it once the recovered epoch is live.
 func (s *Server) SetRecovering(v bool) { s.recovering.Store(v) }
 
+// SetReplica installs the replication handle: /readyz reports the replica
+// states, writes proxy-or-503 to the primary, /repl/promote comes alive,
+// and the repl.* gauges appear on /metrics. Install it before starting the
+// replica so no state transition is missed.
+func (s *Server) SetReplica(rep *repl.Replica) {
+	s.mu.Lock()
+	s.rep = rep
+	s.mu.Unlock()
+}
+
 func (s *Server) storeNow() *store.Store {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.store
+}
+
+func (s *Server) replicaNow() *repl.Replica {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rep
+}
+
+// asReplica returns the replica handle iff the node currently refuses
+// local writes: a configured replica that has not been promoted.
+func (s *Server) asReplica() (*repl.Replica, bool) {
+	rep := s.replicaNow()
+	return rep, rep != nil && !rep.IsPromoted()
 }
 
 func (s *Server) graphNow() *repro.Graph {
@@ -222,6 +277,19 @@ func (s *Server) graphNow() *repro.Graph {
 		return s.store.Current().Graph
 	}
 	return s.graph
+}
+
+// pinEpoch atomically pins the graph a request evaluates against together
+// with the epoch token it advertises. Graph-only deployments (no store)
+// have no epochs and report ok=false.
+func (s *Server) pinEpoch() (*repro.Graph, uint64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.store != nil {
+		cur := s.store.Current()
+		return cur.Graph, cur.Seq, true
+	}
+	return s.graph, 0, false
 }
 
 // isDraining reports whether Drain has begun.
@@ -272,7 +340,14 @@ func (s *Server) Drain(ctx context.Context) error {
 //	GET  /healthz — liveness (200 while the process runs)
 //	GET  /readyz  — readiness JSON {"state":...}: 200 "ready" only with data
 //	               loaded, not draining, and recovery finished; 503 with
-//	               "recovering", "draining", or "empty" otherwise
+//	               "recovering", "draining", or "empty" otherwise. A
+//	               replica reports 200 {"state":"replica","lag_epochs":N,
+//	               "primary":addr} once streaming, 503 "catching-up" before
+//	GET  /repl/stream   — the primary's WAL record stream (octet-stream;
+//	                      ?from=<epoch> resumes, snapshot fallback below the
+//	                      retained changelog; requires a store)
+//	POST /repl/promote  — promote this replica to a writable primary (409
+//	                      when the node is not a replica)
 //	GET  /metrics — Prometheus text exposition (counters, gauges, histograms
 //	                with cumulative buckets)
 //	GET  /metrics.json    — the same registry as structured JSON
@@ -296,34 +371,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /delete", func(w http.ResponseWriter, r *http.Request) {
 		s.serveMutation(w, r, false)
 	})
+	mux.HandleFunc("GET /repl/stream", s.serveReplStream)
+	mux.HandleFunc("POST /repl/promote", s.servePromote)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
-		type readiness struct {
-			State string `json:"state"`
-			Epoch uint64 `json:"epoch,omitempty"`
-		}
-		var ready readiness
-		status := http.StatusOK
-		switch {
-		case s.isDraining():
-			ready.State = "draining"
-			status = http.StatusServiceUnavailable
-		case s.recovering.Load():
-			ready.State = "recovering"
-			status = http.StatusServiceUnavailable
-		case s.graphNow() == nil:
-			ready.State = "empty"
-			status = http.StatusServiceUnavailable
-		default:
-			ready.State = "ready"
-			if st := s.storeNow(); st != nil {
-				ready.Epoch = st.Current().Seq
-			}
-		}
-		writeJSON(w, status, ready)
+		s.serveReadyz(w)
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		reg := s.metricsRegistry()
@@ -387,6 +442,84 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// serveReadyz renders the readiness JSON. Replica states ride the same
+// endpoint: "catching-up" (503) until the stream is live — reads before
+// that would be arbitrarily stale — then "replica" (200) with the lag and
+// the primary's address; a promoted ex-replica reports plain "ready".
+func (s *Server) serveReadyz(w http.ResponseWriter) {
+	type readiness struct {
+		State     string `json:"state"`
+		Epoch     uint64 `json:"epoch,omitempty"`
+		LagEpochs uint64 `json:"lag_epochs,omitempty"`
+		Primary   string `json:"primary,omitempty"`
+	}
+	var ready readiness
+	status := http.StatusOK
+	rep, isReplica := s.asReplica()
+	switch {
+	case s.isDraining():
+		ready.State = "draining"
+		status = http.StatusServiceUnavailable
+	case s.recovering.Load():
+		ready.State = "recovering"
+		status = http.StatusServiceUnavailable
+	case isReplica:
+		rst := rep.State()
+		ready.Epoch = rst.Epoch
+		ready.LagEpochs = rst.LagEpochs
+		ready.Primary = rst.Primary
+		if rst.State == repl.StateReplica {
+			ready.State = "replica"
+		} else {
+			ready.State = "catching-up"
+			status = http.StatusServiceUnavailable
+		}
+	case s.graphNow() == nil:
+		ready.State = "empty"
+		status = http.StatusServiceUnavailable
+	default:
+		ready.State = "ready"
+		if st := s.storeNow(); st != nil {
+			ready.Epoch = st.Current().Seq
+		}
+	}
+	writeJSON(w, status, ready)
+}
+
+// serveReplStream serves the primary's record stream (GET /repl/stream).
+// A promoted ex-replica serves it too — that is how a failed-over pair
+// re-forms with the roles swapped.
+func (s *Server) serveReplStream(w http.ResponseWriter, r *http.Request) {
+	st := s.storeNow()
+	if st == nil {
+		s.fail(w, http.StatusNotImplemented,
+			errors.New("serve: no store configured (replication needs one)"), 0)
+		return
+	}
+	if s.isDraining() {
+		s.count("serve.shed.draining")
+		s.shed(w, ErrDraining)
+		return
+	}
+	s.count("serve.repl_streams")
+	repl.StreamHandler(st, s.obs, repl.StreamOptions{Heartbeat: s.cfg.ReplHeartbeat}).ServeHTTP(w, r)
+}
+
+// servePromote flips a replica into a writable primary (POST /repl/promote)
+// and returns the resulting replica state. Idempotent — promoting an
+// already-promoted node is a 200 — but a node that was never a replica is
+// a 409.
+func (s *Server) servePromote(w http.ResponseWriter, _ *http.Request) {
+	rep := s.replicaNow()
+	if rep == nil {
+		s.fail(w, http.StatusConflict, errors.New("serve: not a replica"), 0)
+		return
+	}
+	rep.Promote("api request")
+	s.count("serve.promotions")
+	writeJSON(w, http.StatusOK, rep.State())
+}
+
 // metricsRegistry returns the registry backing /metrics and /metrics.json
 // with the point-in-time server gauges (inflight, queue depth, breaker
 // states) refreshed. With observability disabled it builds a gauges-only
@@ -403,11 +536,27 @@ func (s *Server) metricsRegistry() *obs.Registry {
 		cur := st.Current()
 		reg.SetGauge("store.epoch", float64(cur.Seq))
 		reg.SetGauge("store.triples", float64(cur.Graph.Len()))
+		reg.SetGauge("store.readonly", boolGauge(st.ReadOnly()))
+	}
+	if rep := s.replicaNow(); rep != nil {
+		rst := rep.State()
+		reg.SetGauge("repl.lag_epochs", float64(rst.LagEpochs))
+		reg.SetGauge("repl.primary_epoch", float64(rst.PrimaryEpoch))
+		reg.SetGauge("repl.connected", boolGauge(rst.Connected))
+		reg.SetGauge("repl.promoted", boolGauge(rst.State == repl.StatePromoted))
 	}
 	for name, b := range s.breakers {
 		reg.SetGauge("serve.breaker_state."+name, breakerStateNum(b.snapshot()))
 	}
 	return reg
+}
+
+// boolGauge is the 0/1 gauge encoding of a flag.
+func boolGauge(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
 }
 
 // breakerStateNum maps a breaker state name to its gauge encoding:
@@ -494,12 +643,39 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint str
 	if r.URL.Query().Get("explain") == "1" {
 		req.Explain = true
 	}
-	g := s.graphNow()
+	g, epoch, hasStore := s.pinEpoch()
 	if g == nil {
 		done(false)
 		s.shed(w, errors.New("serve: no graph loaded"))
 		rt.finish(http.StatusServiceUnavailable, queueWait, 0, time.Since(start))
 		return
+	}
+
+	// Bounded staleness: a min-epoch token makes the read wait (inside its
+	// admission slot, up to StalenessWait) for the local store to reach that
+	// epoch — read-your-writes across a primary/replica pair — and shed
+	// 503 + Retry-After when it cannot. Staleness sheds are not the
+	// endpoint's fault, so they do not count against the breaker.
+	if min := minEpochOf(&req, r); min > epoch {
+		waited := false
+		if st := s.storeNow(); st != nil && s.cfg.StalenessWait > 0 {
+			wctx, wcancel := context.WithTimeout(r.Context(), s.cfg.StalenessWait)
+			waited = st.WaitEpoch(wctx, min) == nil
+			wcancel()
+		}
+		if !waited {
+			done(false)
+			s.count("serve.shed.stale")
+			s.shed(w, fmt.Errorf("serve: local epoch %d behind requested min_epoch %d", epoch, min))
+			rt.finish(http.StatusServiceUnavailable, queueWait, 0, time.Since(start))
+			return
+		}
+		g, epoch, hasStore = s.pinEpoch()
+	}
+	if hasStore {
+		// The epoch token rides the header so clients (and the loadgen) can
+		// chain read-your-writes requests without parsing the body.
+		w.Header().Set("X-Triq-Epoch", strconv.FormatUint(epoch, 10))
 	}
 
 	// The evaluation context: the client's own context (disconnect cancels
@@ -551,6 +727,9 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint str
 		s.count("serve.truncated")
 	}
 	s.count("serve.ok")
+	if hasStore {
+		resp.Epoch = epoch
+	}
 	resp.ElapsedUS = time.Since(start).Microseconds()
 	if s.obs.Enabled() {
 		s.obs.Observe("serve.latency_us", float64(resp.ElapsedUS))
@@ -585,6 +764,18 @@ func (s *Server) limitBody(w http.ResponseWriter, r *http.Request) io.ReadCloser
 	return http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 }
 
+// minEpochOf resolves a request's bounded-staleness floor: the body's
+// min_epoch or the X-Triq-Min-Epoch header, whichever is larger.
+func minEpochOf(req *QueryRequest, r *http.Request) uint64 {
+	min := req.MinEpoch
+	if h := r.Header.Get("X-Triq-Min-Epoch"); h != "" {
+		if v, err := strconv.ParseUint(h, 10, 64); err == nil && v > min {
+			min = v
+		}
+	}
+	return min
+}
+
 // serveMutation is the POST /insert and /delete flow: gate → decode → parse
 // N-Triples → apply one atomic batch through the store → acknowledge with
 // the new epoch. Batches serialize on the store's writer lock; queries are
@@ -605,6 +796,27 @@ func (s *Server) serveMutation(w http.ResponseWriter, r *http.Request, insert bo
 	if s.recovering.Load() {
 		s.count("serve.shed.recovering")
 		s.shed(w, errors.New("serve: recovering"))
+		return
+	}
+	// A replica refuses local writes: 503 with the primary's address (in
+	// the X-Triq-Primary header and Failure.Primary) so clients re-aim, or
+	// a transparent forward to the primary when ProxyWrites is on. A
+	// promoted ex-replica falls through to the normal write path.
+	if rep, isReplica := s.asReplica(); isReplica {
+		primary := rep.State().Primary
+		if s.cfg.ProxyWrites {
+			s.proxyMutation(w, r, primary)
+			return
+		}
+		s.count("serve.shed.replica")
+		w.Header().Set("X-Triq-Primary", primary)
+		retryAfter := time.Second
+		w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter.Seconds())))
+		writeJSON(w, http.StatusServiceUnavailable, Failure{
+			WireError:    limits.ToWire(fmt.Errorf("serve: read-only replica; write to the primary at %s", primary)),
+			RetryAfterMS: retryAfter.Milliseconds(),
+			Primary:      primary,
+		})
 		return
 	}
 	st := s.storeNow()
@@ -647,6 +859,14 @@ func (s *Server) serveMutation(w http.ResponseWriter, r *http.Request, insert bo
 		epoch, applied, err = st.Delete(triples)
 	}
 	if err != nil {
+		if errors.Is(err, limits.ErrStorage) {
+			// The WAL failed underneath us and the store latched read-only.
+			// Reads stay up; writes shed with a retry hint while an operator
+			// (or a failover) restores the write path.
+			s.count("serve.shed.readonly")
+			s.fail(w, http.StatusServiceUnavailable, err, 0)
+			return
+		}
 		s.count("serve.internal_errors")
 		s.fail(w, http.StatusInternalServerError, err, 0)
 		return
@@ -663,6 +883,46 @@ func (s *Server) serveMutation(w http.ResponseWriter, r *http.Request, insert bo
 		Durable:   st.AckDurable(),
 		ElapsedUS: time.Since(start).Microseconds(),
 	})
+}
+
+// proxyMutation forwards a write that arrived at a replica to the primary
+// and relays the response verbatim, tagged with X-Triq-Primary so the
+// client can see where the write actually landed.
+func (s *Server) proxyMutation(w http.ResponseWriter, r *http.Request, primary string) {
+	s.count("serve.proxied_writes")
+	body, err := io.ReadAll(s.limitBody(w, r))
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.count("serve.body_too_large")
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.fail(w, status, fmt.Errorf("bad request body: %w", err), 0)
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, primary+r.URL.Path, bytes.NewReader(body))
+	if err != nil {
+		s.count("serve.internal_errors")
+		s.fail(w, http.StatusInternalServerError, err, 0)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.proxy.Do(req)
+	if err != nil {
+		s.count("serve.proxy_errors")
+		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("serve: primary unreachable: %w", err), 0)
+		return
+	}
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set("X-Triq-Primary", primary)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
 }
 
 // recordSlow feeds the slow-query log and the auto-profiler; it runs exactly

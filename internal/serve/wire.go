@@ -42,6 +42,13 @@ type QueryRequest struct {
 	// prover instead of the sound chase approximation. Supported by both
 	// endpoints for TriQ-Lite 1.0 programs (Corollaries 5.4 / 6.2).
 	Exact bool `json:"exact,omitempty"`
+	// MinEpoch is the bounded-staleness floor: the evaluation waits (up to
+	// the server's StalenessWait) for the local store to reach this epoch,
+	// and sheds 503 + Retry-After if it cannot. Clients take the token from
+	// a write's MutationResponse.Epoch (or any X-Triq-Epoch header) to get
+	// read-your-writes on a replica. The X-Triq-Min-Epoch request header is
+	// an equivalent spelling; the larger of the two wins.
+	MinEpoch uint64 `json:"min_epoch,omitempty"`
 }
 
 // QueryResponse is the 200 body. A truncated evaluation is still a 200 — the
@@ -74,6 +81,9 @@ type QueryResponse struct {
 	// Resources is the request's resource account, present when the request
 	// asked for Explain (it also rides inside Explain.Resources).
 	Resources *obs.Account `json:"resources,omitempty"`
+	// Epoch is the store epoch the evaluation pinned (also in the
+	// X-Triq-Epoch response header). Zero on graph-only deployments.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // MutationRequest is the body of POST /insert and POST /delete: a batch of
@@ -105,6 +115,9 @@ type Failure struct {
 	limits.WireError
 	// RetryAfterMS mirrors the Retry-After header in milliseconds.
 	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// Primary is the primary's address, set when a replica refuses a write
+	// (mirrors the X-Triq-Primary header) so clients can re-aim.
+	Primary string `json:"primary,omitempty"`
 }
 
 // parseLang maps the wire name to a dialect.

@@ -8,10 +8,10 @@ import (
 // FuzzWALRecord is the WAL framing fuzz target: arbitrary bytes must scan
 // without panicking into a clean prefix + truncation point (re-scanning the
 // prefix is clean and stable), and any payload must round-trip through
-// encodeRecord/scanRecords bit-identically.
+// EncodeRecord/scanRecords bit-identically.
 func FuzzWALRecord(f *testing.F) {
-	one := encodeRecord(record{op: opInsert, epoch: 1, text: []byte("a p b .\n")})
-	two := append(append([]byte{}, one...), encodeRecord(record{op: opDelete, epoch: 2, text: []byte("a p b .\n")})...)
+	one := EncodeRecord(Record{Op: OpInsert, Epoch: 1, Text: []byte("a p b .\n")})
+	two := append(append([]byte{}, one...), EncodeRecord(Record{Op: OpDelete, Epoch: 2, Text: []byte("a p b .\n")})...)
 	f.Add([]byte{})
 	f.Add(one)
 	f.Add(two)
@@ -35,12 +35,12 @@ func FuzzWALRecord(f *testing.F) {
 		}
 
 		// Any byte string is a legal payload and must round-trip.
-		buf := encodeRecord(record{op: opDelete, epoch: 7, text: data})
+		buf := EncodeRecord(Record{Op: OpDelete, Epoch: 7, Text: data})
 		rt, v, d := scanRecords(buf)
 		if d || v != len(buf) || len(rt) != 1 {
 			t.Fatalf("round-trip scan: valid=%d damaged=%v records=%d", v, d, len(rt))
 		}
-		if rt[0].op != opDelete || rt[0].epoch != 7 || !bytes.Equal(rt[0].text, data) {
+		if rt[0].Op != OpDelete || rt[0].Epoch != 7 || !bytes.Equal(rt[0].Text, data) {
 			t.Fatalf("round-trip mismatch: %+v", rt[0])
 		}
 	})

@@ -102,6 +102,10 @@ type Config struct {
 	// CheckpointBytes triggers a checkpoint once the WAL exceeds this size
 	// (default 64 MiB; negative disables size-triggered checkpoints).
 	CheckpointBytes int64
+	// ReplLog is how many committed records the in-memory changelog retains
+	// for replication catch-up (default 4096; negative disables retention, so
+	// every reconnecting replica gets a full snapshot).
+	ReplLog int
 	// Faults arms the store's crash/corruption points for tests; the
 	// process-global TRIQ_FAULTS plan is always consulted as well.
 	Faults *limits.Plan
@@ -116,6 +120,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointBytes == 0 {
 		c.CheckpointBytes = 64 << 20
+	}
+	if c.ReplLog == 0 {
+		c.ReplLog = 4096
 	}
 	return c
 }
@@ -179,8 +186,19 @@ type Store struct {
 	w      *wal // nil in memory-only mode
 	closed bool
 
-	crashed atomic.Bool
-	batches int // committed batches since the last checkpoint
+	crashed  atomic.Bool
+	readonly atomic.Bool // latched by a real WAL I/O failure; see repl.go
+	batches  int         // committed batches since the last checkpoint
+
+	// Replication state (repl.go): the changelog retains the last ReplLog
+	// committed records — epochs clFloor+1 through cur.Seq, contiguous — so a
+	// reconnecting replica can catch up without a snapshot; subs fan commits
+	// out to live streams; watch is closed and remade on every epoch swap so
+	// bounded-staleness readers can wait for an epoch.
+	changelog []Record
+	clFloor   uint64
+	subs      map[*Sub]struct{}
+	watch     chan struct{}
 
 	stopSync chan struct{} // interval-syncer lifecycle
 	syncWG   sync.WaitGroup
@@ -192,7 +210,11 @@ type Store struct {
 // directory yields epoch 0 with an empty graph — seed it with Bootstrap.
 func Open(cfg Config) (*Store, *Recovery, error) {
 	cfg = cfg.withDefaults()
-	s := &Store{cfg: cfg}
+	s := &Store{
+		cfg:   cfg,
+		subs:  make(map[*Sub]struct{}),
+		watch: make(chan struct{}),
+	}
 	rec := &Recovery{}
 	start := time.Now()
 
@@ -231,6 +253,7 @@ func Open(cfg Config) (*Store, *Recovery, error) {
 	}
 
 	s.cur.Store(&Epoch{Seq: epoch, Graph: g})
+	s.clFloor = epoch // nothing retained yet: pre-open epochs need a snapshot
 	rec.Epoch = epoch
 	rec.Triples = g.Len()
 	rec.Elapsed = time.Since(start)
@@ -247,32 +270,32 @@ func (s *Store) replay(w *wal, g *rdf.Graph, snapEpoch uint64, rec *Recovery) (u
 	recs, valid, damaged := scanRecords(buf)
 	epoch := snapEpoch
 	for _, r := range recs {
-		if r.epoch <= snapEpoch {
+		if r.Epoch <= snapEpoch {
 			// Stale record from before the snapshot: a crash interrupted a
 			// checkpoint after the rename, before the WAL reset.
 			rec.Skipped++
 			continue
 		}
-		if r.epoch != epoch+1 {
+		if r.Epoch != epoch+1 {
 			// A gap between the snapshot and the first live record: the
 			// remainder of the log is not continuable. Cut here.
 			valid, damaged = int(r.off), true
 			break
 		}
-		batch, perr := rdf.ParseNTriplesString(string(r.text))
+		batch, perr := rdf.ParseNTriplesString(string(r.Text))
 		if perr != nil {
 			// Checksum-valid but unparseable — treat like corruption and
 			// truncate; nothing after it can be trusted to apply in order.
 			valid, damaged = int(r.off), true
 			break
 		}
-		switch r.op {
-		case opInsert:
+		switch r.Op {
+		case OpInsert:
 			g.AddGraph(batch)
-		case opDelete:
+		case OpDelete:
 			g.Remove(batch.Triples()...)
 		}
-		epoch = r.epoch
+		epoch = r.Epoch
 		rec.Records++
 	}
 	if damaged {
@@ -301,7 +324,11 @@ func (s *Store) syncLoop() {
 		select {
 		case <-t.C:
 			if !s.crashed.Load() {
-				_ = s.w.sync()
+				if err := s.w.sync(); err != nil {
+					// A background fsync failure is a real I/O error with no
+					// caller to report to: degrade to read-only (repl.go).
+					s.readonly.Store(true)
+				}
 			}
 		case <-s.stopSync:
 			return
@@ -328,7 +355,7 @@ func (s *Store) Crashed() bool { return s.crashed.Load() }
 func (s *Store) Bootstrap(g *rdf.Graph) (Epoch, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.usable(); err != nil {
+	if err := s.usableWrite(); err != nil {
 		return Epoch{}, err
 	}
 	cur := s.cur.Load()
@@ -337,6 +364,13 @@ func (s *Store) Bootstrap(g *rdf.Graph) (Epoch, error) {
 	}
 	e := &Epoch{Seq: 1, Graph: g.Clone()}
 	s.cur.Store(e)
+	// A bootstrap has no changelog record; move the retention floor past it
+	// so subscribers resync via snapshot, and drop any that subscribed to
+	// the empty store (they would wait forever for a record that never
+	// comes).
+	s.clFloor = e.Seq
+	s.dropAllSubsLocked()
+	s.wakeWaitersLocked()
 	if s.w != nil {
 		if err := s.checkpointLocked(); err != nil {
 			return Epoch{}, err
@@ -350,20 +384,20 @@ func (s *Store) Bootstrap(g *rdf.Graph) (Epoch, error) {
 // is a no-op that neither logs nor bumps the epoch. The batch is atomic:
 // after a crash it is recovered entirely or not at all.
 func (s *Store) Insert(triples []rdf.Triple) (Epoch, int, error) {
-	return s.apply(opInsert, triples)
+	return s.apply(OpInsert, triples)
 }
 
 // Delete commits one batch of removals as a new epoch, returning the new
 // epoch and how many triples were actually removed. Missing triples are
 // ignored; a batch removing nothing is a no-op.
 func (s *Store) Delete(triples []rdf.Triple) (Epoch, int, error) {
-	return s.apply(opDelete, triples)
+	return s.apply(OpDelete, triples)
 }
 
 func (s *Store) apply(op byte, triples []rdf.Triple) (Epoch, int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.usable(); err != nil {
+	if err := s.usableWrite(); err != nil {
 		return Epoch{}, 0, err
 	}
 	cur := s.cur.Load()
@@ -372,7 +406,7 @@ func (s *Store) apply(op byte, triples []rdf.Triple) (Epoch, int, error) {
 	// pinned the current epoch keeps an untouched graph.
 	next := cur.Graph.Clone()
 	var n int
-	if op == opInsert {
+	if op == OpInsert {
 		n = next.Add(triples...)
 	} else {
 		n = next.Remove(triples...)
@@ -381,12 +415,10 @@ func (s *Store) apply(op byte, triples []rdf.Triple) (Epoch, int, error) {
 		return *cur, 0, nil
 	}
 
-	seq := cur.Seq + 1
+	r := Record{Op: op, Epoch: cur.Seq + 1, Text: encodeTriples(triples)}
 	if s.w != nil {
-		r := record{op: op, epoch: seq, text: encodeTriples(triples)}
 		if err := s.w.append(r); err != nil {
-			s.noteCrash(err)
-			return Epoch{}, 0, err
+			return Epoch{}, 0, s.writeFailed("wal append", err)
 		}
 	}
 
@@ -397,9 +429,10 @@ func (s *Store) apply(op byte, triples []rdf.Triple) (Epoch, int, error) {
 		s.noteCrash(err)
 		return Epoch{}, 0, err
 	}
-	e := &Epoch{Seq: seq, Graph: next}
+	e := &Epoch{Seq: r.Epoch, Graph: next}
 	s.cur.Store(e)
 	s.batches++
+	s.noteCommitLocked(r)
 
 	if err := s.maybeCheckpointLocked(); err != nil {
 		// The mutation itself is committed and visible; the failed
@@ -413,7 +446,7 @@ func (s *Store) apply(op byte, triples []rdf.Triple) (Epoch, int, error) {
 func (s *Store) Checkpoint() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.usable(); err != nil {
+	if err := s.usableWrite(); err != nil {
 		return err
 	}
 	return s.checkpointLocked()
@@ -471,6 +504,8 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.dropAllSubsLocked()
+	s.wakeWaitersLocked() // WaitEpoch callers recheck, see closed, and return
 	if s.stopSync != nil {
 		close(s.stopSync)
 		s.syncWG.Wait()
@@ -487,13 +522,25 @@ func (s *Store) Close() error {
 	return nil
 }
 
-// usable gates every mutating entry point.
+// usable gates every entry point that needs a live store.
 func (s *Store) usable() error {
 	if s.crashed.Load() {
 		return ErrCrashed
 	}
 	if s.closed {
 		return ErrClosed
+	}
+	return nil
+}
+
+// usableWrite additionally rejects writes once a WAL I/O failure degraded
+// the store to read-only (repl.go); reads are unaffected.
+func (s *Store) usableWrite() error {
+	if err := s.usable(); err != nil {
+		return err
+	}
+	if s.readonly.Load() {
+		return &StorageError{Op: "write"}
 	}
 	return nil
 }

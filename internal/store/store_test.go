@@ -27,14 +27,14 @@ func openT(t *testing.T, cfg Config) (*Store, *Recovery) {
 }
 
 func TestEncodeScanRoundTrip(t *testing.T) {
-	recs := []record{
-		{op: opInsert, epoch: 1, text: []byte("a p b .\n")},
-		{op: opDelete, epoch: 2, text: []byte("a p b .\n")},
-		{op: opInsert, epoch: 3, text: nil},
+	recs := []Record{
+		{Op: OpInsert, Epoch: 1, Text: []byte("a p b .\n")},
+		{Op: OpDelete, Epoch: 2, Text: []byte("a p b .\n")},
+		{Op: OpInsert, Epoch: 3, Text: nil},
 	}
 	var buf []byte
 	for _, r := range recs {
-		buf = append(buf, encodeRecord(r)...)
+		buf = append(buf, EncodeRecord(r)...)
 	}
 	got, valid, damaged := scanRecords(buf)
 	if damaged || valid != len(buf) {
@@ -44,14 +44,14 @@ func TestEncodeScanRoundTrip(t *testing.T) {
 		t.Fatalf("scan: %d records, want %d", len(got), len(recs))
 	}
 	for i, r := range got {
-		if r.op != recs[i].op || r.epoch != recs[i].epoch || !bytes.Equal(r.text, recs[i].text) {
+		if r.Op != recs[i].Op || r.Epoch != recs[i].Epoch || !bytes.Equal(r.Text, recs[i].Text) {
 			t.Fatalf("record %d: got %+v want %+v", i, r, recs[i])
 		}
 	}
 }
 
 func TestScanStopsAtDamage(t *testing.T) {
-	whole := encodeRecord(record{op: opInsert, epoch: 1, text: []byte("a p b .\n")})
+	whole := EncodeRecord(Record{Op: OpInsert, Epoch: 1, Text: []byte("a p b .\n")})
 	cases := map[string][]byte{
 		"torn header":  append(append([]byte{}, whole...), 0x01, 0x02),
 		"torn payload": append(append([]byte{}, whole...), whole[:len(whole)-3]...),
@@ -63,7 +63,7 @@ func TestScanStopsAtDamage(t *testing.T) {
 			return buf
 		}(),
 		"bad opcode": func() []byte {
-			second := encodeRecord(record{op: 9, epoch: 2, text: []byte("x")})
+			second := EncodeRecord(Record{Op: 9, Epoch: 2, Text: []byte("x")})
 			return append(append([]byte{}, whole...), second...)
 		}(),
 		"length bomb": func() []byte {
@@ -72,7 +72,7 @@ func TestScanStopsAtDamage(t *testing.T) {
 			return append(append([]byte{}, whole...), bomb...)
 		}(),
 		"epoch gap": func() []byte {
-			second := encodeRecord(record{op: opInsert, epoch: 5, text: []byte("x p y .\n")})
+			second := EncodeRecord(Record{Op: OpInsert, Epoch: 5, Text: []byte("x p y .\n")})
 			return append(append([]byte{}, whole...), second...)
 		}(),
 	}

@@ -1,10 +1,12 @@
 package store
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"sync/atomic"
 
@@ -23,11 +25,25 @@ import (
 // truncates the file at the first torn or corrupt byte. Nothing in the
 // format is position-dependent, so a checkpoint resets the log by
 // truncating it to zero.
+//
+// The same framing is the replication wire format (internal/repl): a
+// primary ships Records over HTTP exactly as they land in its WAL, plus the
+// two stream-only opcodes OpSnapshot and OpHeartbeat that never appear in a
+// log file.
 
 const (
-	// opInsert / opDelete are the record operations.
-	opInsert byte = 1
-	opDelete byte = 2
+	// OpInsert / OpDelete are the mutation record operations; they appear
+	// both in WAL files and on replication streams.
+	OpInsert byte = 1
+	OpDelete byte = 2
+	// OpSnapshot is stream-only: a full N-Triples dump of the graph at
+	// Record.Epoch, sent when a replica is too far behind the retained
+	// changelog to catch up record-by-record.
+	OpSnapshot byte = 3
+	// OpHeartbeat is stream-only: an empty-payload liveness frame carrying
+	// the primary's current epoch, so a replica can account lag while the
+	// write path is idle.
+	OpHeartbeat byte = 4
 
 	// recHeaderLen is the fixed record header: length + checksum.
 	recHeaderLen = 8
@@ -40,24 +56,75 @@ const (
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// record is one decoded WAL entry.
-type record struct {
-	op    byte
-	epoch uint64
-	text  []byte // N-Triples payload
-	off   int64  // file offset of the record start (set by scanRecords)
+// Record is one framed entry: a WAL record or a replication stream frame.
+type Record struct {
+	// Op is one of the Op* constants.
+	Op byte
+	// Epoch is the commit epoch the record creates (OpInsert/OpDelete), the
+	// epoch a snapshot represents (OpSnapshot), or the primary's current
+	// epoch (OpHeartbeat).
+	Epoch uint64
+	// Text is the N-Triples payload (empty for heartbeats).
+	Text []byte
 }
 
-// encodeRecord renders a record in the on-disk format.
-func encodeRecord(r record) []byte {
-	n := recPayloadMin + len(r.text)
+// walRec is a scanned Record plus its file offset (for tail truncation).
+type walRec struct {
+	Record
+	off int64
+}
+
+// EncodeRecord renders a record in the on-disk / on-wire format.
+func EncodeRecord(r Record) []byte {
+	n := recPayloadMin + len(r.Text)
 	buf := make([]byte, recHeaderLen+n)
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(n))
-	buf[8] = r.op
-	binary.LittleEndian.PutUint64(buf[9:17], r.epoch)
-	copy(buf[17:], r.text)
+	buf[8] = r.Op
+	binary.LittleEndian.PutUint64(buf[9:17], r.Epoch)
+	copy(buf[17:], r.Text)
 	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(buf[8:], crcTable))
 	return buf
+}
+
+// ErrBadFrame reports a framing/checksum/opcode violation on a streamed
+// record — the receiver must drop the connection and resynchronize.
+var ErrBadFrame = errors.New("store: bad record frame")
+
+// ReadRecord decodes one framed record from a stream, validating framing,
+// checksum, and opcode (any Op* constant is accepted — streams carry
+// snapshot and heartbeat frames that never appear in WAL files). io.EOF at
+// a frame boundary is returned as-is; a partial frame surfaces as
+// io.ErrUnexpectedEOF, and corruption as an error wrapping ErrBadFrame.
+func ReadRecord(br *bufio.Reader) (Record, error) {
+	var hdr [recHeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:1]); err != nil {
+		return Record{}, err // EOF at a boundary stays io.EOF
+	}
+	if _, err := io.ReadFull(br, hdr[1:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return Record{}, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	if n < recPayloadMin || n > maxRecordLen {
+		return Record{}, fmt.Errorf("%w: payload length %d", ErrBadFrame, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return Record{}, err
+	}
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return Record{}, fmt.Errorf("%w: checksum mismatch", ErrBadFrame)
+	}
+	op := payload[0]
+	if op != OpInsert && op != OpDelete && op != OpSnapshot && op != OpHeartbeat {
+		return Record{}, fmt.Errorf("%w: unknown opcode %d", ErrBadFrame, op)
+	}
+	return Record{Op: op, Epoch: binary.LittleEndian.Uint64(payload[1:9]), Text: payload[9:]}, nil
 }
 
 // scanRecords walks buf from the start and returns the records of the
@@ -65,7 +132,7 @@ func encodeRecord(r record) []byte {
 // stopped at a torn or corrupt tail (false means it consumed buf exactly).
 // It validates framing, checksums, opcodes, and that epochs are strictly
 // sequential; it never panics on arbitrary input.
-func scanRecords(buf []byte) (recs []record, valid int, damaged bool) {
+func scanRecords(buf []byte) (recs []walRec, valid int, damaged bool) {
 	off := 0
 	var lastEpoch uint64
 	for off < len(buf) {
@@ -85,19 +152,17 @@ func scanRecords(buf []byte) (recs []record, valid int, damaged bool) {
 			return recs, off, true // checksum mismatch
 		}
 		op := payload[0]
-		if op != opInsert && op != opDelete {
-			return recs, off, true // unknown opcode
+		if op != OpInsert && op != OpDelete {
+			return recs, off, true // unknown opcode (stream-only ops never hit disk)
 		}
 		epoch := binary.LittleEndian.Uint64(payload[1:9])
 		if epoch == 0 || (lastEpoch != 0 && epoch != lastEpoch+1) {
 			return recs, off, true // epoch sequence break
 		}
 		lastEpoch = epoch
-		recs = append(recs, record{
-			op:    op,
-			epoch: epoch,
-			text:  payload[9:],
-			off:   int64(off),
+		recs = append(recs, walRec{
+			Record: Record{Op: op, Epoch: epoch, Text: payload[9:]},
+			off:    int64(off),
 		})
 		off += recHeaderLen + n
 	}
@@ -131,8 +196,8 @@ func openWAL(path string, policy SyncPolicy, faults *limits.Plan) (*wal, error) 
 // between the write and the fsync; an injected crash leaves the file exactly
 // as a killed process would (nothing, a torn prefix, or a bit-flipped
 // record) and surfaces as an error wrapping limits.ErrCrash.
-func (w *wal) append(r record) error {
-	buf := encodeRecord(r)
+func (w *wal) append(r Record) error {
+	buf := EncodeRecord(r)
 	if err := limits.Hit(w.faults, "wal.append"); err != nil {
 		var ce *limits.CrashError
 		if errors.As(err, &ce) {
