@@ -31,7 +31,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment by id (T1, F1, E1 … E9, E11 … E15)")
+	only := flag.String("only", "", "run a single experiment by id (T1, F1, E1 … E9, E11 … E16)")
 	asJSON := flag.Bool("json", false, "emit the tables as JSON (with per-stage engine breakdowns) instead of markdown")
 	parallelism := flag.Int("parallelism", 0, "chase workers for every experiment (0 = GOMAXPROCS, 1 = sequential; E11 sweeps its own)")
 	server := flag.String("server", "", "concurrent-client mode: base URL of a running triqd (e.g. http://localhost:8471)")
@@ -61,7 +61,7 @@ func main() {
 		"E4": bench.RunE4, "E5": bench.RunE5, "E6": bench.RunE6,
 		"E7": bench.RunE7, "E8": bench.RunE8, "E9": bench.RunE9,
 		"E11": bench.RunE11, "E12": bench.RunE12, "E13": bench.RunE13, "E14": bench.RunE14,
-		"E15": bench.RunE15,
+		"E15": bench.RunE15, "E16": bench.RunE16,
 	}
 
 	var tables []*bench.Table

@@ -51,6 +51,8 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/chase"
+	"repro/internal/mat"
 	"repro/internal/obs"
 	"repro/internal/owl"
 	"repro/internal/rdf"
@@ -80,6 +82,10 @@ type config struct {
 	drainTimeout   time.Duration // graceful-shutdown budget
 	retries        int           // attempts per evaluation (1 = no retries)
 	parallelism    int           // chase workers per evaluation (0 = GOMAXPROCS)
+
+	materialize bool // maintain chased materializations across epochs
+	matMaxFacts int  // cap per materialized instance (0 = chase default)
+	matPrograms int  // how many programs stay materialized (0 = default 4)
 
 	replicaOf     string        // primary base URL ("" = primary / standalone)
 	promoteOnLoss bool          // self-promote after promoteGrace of primary silence
@@ -119,6 +125,9 @@ func main() {
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 15*time.Second, "graceful-shutdown budget; stragglers are canceled when it expires")
 	flag.IntVar(&cfg.retries, "retries", 3, "evaluation attempts per request (1 disables retrying)")
 	flag.IntVar(&cfg.parallelism, "parallelism", 1, "chase workers per evaluation (0 = GOMAXPROCS, 1 = sequential; keep slots × workers ≈ cores)")
+	flag.BoolVar(&cfg.materialize, "materialize", false, "maintain chased materializations incrementally across epochs and serve matching queries from them")
+	flag.IntVar(&cfg.matMaxFacts, "mat-max-facts", 0, "with -materialize: drop a materialized instance that grows past this many facts (0 = the chase fact budget)")
+	flag.IntVar(&cfg.matPrograms, "mat-programs", 0, "with -materialize: how many distinct programs stay materialized at once (0 = 4)")
 	flag.StringVar(&cfg.replicaOf, "replica-of", "", "boot as a read replica of this primary base URL (e.g. http://10.0.0.1:8471)")
 	flag.BoolVar(&cfg.promoteOnLoss, "promote-on-loss", false, "with -replica-of: self-promote to writable primary after -promote-grace of primary silence")
 	flag.DurationVar(&cfg.promoteGrace, "promote-grace", repl.DefaultPromoteGrace, "with -promote-on-loss: how long the primary may be silent before failover")
@@ -224,6 +233,18 @@ func run(ctx context.Context, cfg config, ln net.Listener, stop <-chan os.Signal
 		}
 	}
 	o := obs.New()
+	// The materializer's chase bounds must match the ones serve's evaluate
+	// uses for ordinary requests (it declines to serve under mismatched
+	// bounds), so both are configured from the same flags here.
+	var m *mat.Materializer
+	if cfg.materialize {
+		m = mat.New(mat.Config{
+			Chase:       chase.Options{Parallelism: cfg.parallelism},
+			MaxFacts:    cfg.matMaxFacts,
+			MaxPrograms: cfg.matPrograms,
+			Obs:         o,
+		})
+	}
 	srv := serve.New(serve.Config{
 		Admission: serve.AdmissionConfig{
 			MaxConcurrent: cfg.concurrency,
@@ -251,6 +272,7 @@ func run(ctx context.Context, cfg config, ln net.Listener, stop <-chan os.Signal
 		MaxBodyBytes:   cfg.maxBodyBytes,
 		StalenessWait:  cfg.stalenessWait,
 		ProxyWrites:    cfg.proxyWrites,
+		Mat:            m,
 	})
 
 	// The listener answers immediately — /readyz reports 503
@@ -262,11 +284,17 @@ func run(ctx context.Context, cfg config, ln net.Listener, stop <-chan os.Signal
 	go func() { serveErr <- hs.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "triqd: listening on %s, recovering store\n", ln.Addr())
 
-	st, err := openStore(cfg, syncPolicy)
+	st, err := openStore(cfg, syncPolicy, m)
 	if err != nil {
 		hs.Close()
 		<-serveErr
 		return err
+	}
+	if m != nil {
+		// Pin the materializer to the recovered (or freshly seeded) epoch;
+		// from here every commit flows through OnCommit and keeps it exact.
+		m.Reset(st.Current().Seq)
+		fmt.Fprintf(os.Stderr, "triqd: incremental materialization enabled at epoch %d\n", st.Current().Seq)
 	}
 	srv.SetStore(st)
 
@@ -327,14 +355,18 @@ func run(ctx context.Context, cfg config, ln net.Listener, stop <-chan os.Signal
 // openStore opens (or creates) the store, replays its WAL, and seeds it from
 // -data when it is brand new. An existing store wins over -data: the seed
 // file reflects the world before any acknowledged mutations.
-func openStore(cfg config, sync repro.StoreSyncPolicy) (*repro.Store, error) {
-	st, rec, err := repro.OpenStore(repro.StoreConfig{
+func openStore(cfg config, sync repro.StoreSyncPolicy, m *mat.Materializer) (*repro.Store, error) {
+	scfg := repro.StoreConfig{
 		Dir:             cfg.walDir,
 		Sync:            sync,
 		SyncInterval:    cfg.walSyncInterval,
 		CheckpointEvery: cfg.checkpointEvery,
 		CheckpointBytes: cfg.checkpointBytes,
-	})
+	}
+	if m != nil {
+		scfg.OnCommit = m.OnCommit
+	}
+	st, rec, err := repro.OpenStore(scfg)
 	if err != nil {
 		return nil, err
 	}

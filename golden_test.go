@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -9,6 +10,8 @@ import (
 	"testing"
 
 	"repro/internal/chase"
+	"repro/internal/limits"
+	"repro/internal/mat"
 	"repro/internal/triq"
 )
 
@@ -130,6 +133,127 @@ func TestGolden(t *testing.T) {
 			dir := filepath.Join("testdata", "golden", c.name)
 			seq := goldenRun(t, c, dir, 1)
 			par := goldenRun(t, c, dir, 8)
+			if seq != par {
+				t.Fatalf("%s: sequential and parallel runs disagree:\n--- P=1\n%s--- P=8\n%s", c.name, seq, par)
+			}
+			expPath := filepath.Join(dir, "expected.txt")
+			if *updateGolden {
+				if err := os.WriteFile(expPath, []byte(seq), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(expPath)
+			if err != nil {
+				t.Fatalf("%s: %v (run with -update to create)", c.name, err)
+			}
+			if string(want) != seq {
+				t.Errorf("%s: answers changed:\n--- want\n%s--- got\n%s", c.name, want, seq)
+			}
+		})
+	}
+}
+
+// goldenDeleteCases pin the incremental deletion path: each fixture carries a
+// delete.nt batch alongside graph.nt and a recursive program.dlog. The graph
+// is committed to a live store wired into a materializer, the program's
+// materialization is built warm, the batch is deleted — folded by DRed, since
+// every program here is recursive — and the post-delete answers, served from
+// the maintained instance, are the golden bytes. A from-scratch chase of the
+// post-delete graph must agree exactly.
+var goldenDeleteCases = []goldenCase{
+	{name: "delete-transport", lang: TriQLite10, output: "query"},
+	{name: "delete-diamond", lang: TriQLite10, output: "query"},
+	{name: "delete-hub", lang: TriQLite10, output: "query"},
+}
+
+func goldenDeleteRun(t *testing.T, c goldenCase, dir string, parallelism int) string {
+	t.Helper()
+	g := goldenGraph(t, dir)
+	delSrc, err := os.ReadFile(filepath.Join(dir, "delete.nt"))
+	if err != nil {
+		t.Fatalf("%s: %v", dir, err)
+	}
+	del, err := ParseGraph(string(delSrc))
+	if err != nil {
+		t.Fatalf("%s: parse delete.nt: %v", dir, err)
+	}
+	progSrc, err := os.ReadFile(filepath.Join(dir, "program.dlog"))
+	if err != nil {
+		t.Fatalf("%s: %v", dir, err)
+	}
+	q, err := ParseQuery(string(progSrc), c.output)
+	if err != nil {
+		t.Fatalf("%s: parse program: %v", dir, err)
+	}
+
+	copts := chase.Options{Parallelism: parallelism}
+	m := mat.New(mat.Config{Chase: copts})
+	st, _, err := OpenStore(StoreConfig{OnCommit: m.OnCommit})
+	if err != nil {
+		t.Fatalf("%s: open store: %v", dir, err)
+	}
+	defer st.Close()
+	m.Reset(st.Current().Seq)
+	if _, _, err := st.Insert(g.Triples()); err != nil {
+		goldenSkipInjected(t, err)
+		t.Fatalf("%s: insert: %v", dir, err)
+	}
+	opts := Options{Chase: copts, Mat: m, MatEpoch: st.Current().Seq}
+	if _, err := Ask(st.Current().Graph, q, c.lang, opts); err != nil {
+		goldenSkipInjected(t, err)
+		t.Fatalf("%s: cold build: %v", dir, err)
+	}
+	if _, _, err := st.Delete(del.Triples()); err != nil {
+		goldenSkipInjected(t, err)
+		t.Fatalf("%s: delete: %v", dir, err)
+	}
+	if snap := m.Snapshot(); snap.Programs != 1 && os.Getenv("TRIQ_FAULTS") == "" {
+		t.Fatalf("%s: materialization dropped during delete maintenance", dir)
+	}
+	ep := st.Current()
+	opts.MatEpoch = ep.Seq
+	res, err := Ask(ep.Graph, q, c.lang, opts)
+	if err != nil {
+		goldenSkipInjected(t, err)
+		t.Fatalf("%s: ask after delete: %v", dir, err)
+	}
+	plain, err := Ask(ep.Graph, q, c.lang, Options{Chase: copts})
+	if err != nil {
+		goldenSkipInjected(t, err)
+		t.Fatalf("%s: chase after delete: %v", dir, err)
+	}
+	got, want := renderGolden(res), renderGolden(plain)
+	if got != want {
+		t.Fatalf("%s: DRed-maintained answers diverge from the re-chase:\n--- maintained\n%s--- chase\n%s", dir, got, want)
+	}
+	return got
+}
+
+func renderGolden(res *Results) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "inconsistent: %v\n", res.Inconsistent)
+	for _, row := range res.Rows() {
+		b.WriteString(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func goldenSkipInjected(t *testing.T, err error) {
+	t.Helper()
+	if err != nil && errors.Is(err, limits.ErrInjected) {
+		t.Skipf("injected fault (TRIQ_FAULTS armed)")
+	}
+}
+
+func TestGoldenDelete(t *testing.T) {
+	for _, c := range goldenDeleteCases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "golden", c.name)
+			seq := goldenDeleteRun(t, c, dir, 1)
+			par := goldenDeleteRun(t, c, dir, 8)
 			if seq != par {
 				t.Fatalf("%s: sequential and parallel runs disagree:\n--- P=1\n%s--- P=8\n%s", c.name, seq, par)
 			}

@@ -84,6 +84,11 @@ type Options struct {
 	Faults *limits.Plan
 }
 
+// WithDefaults returns the options with every zero field replaced by its
+// default; the materialization layer uses it to compare a query's effective
+// bounds against its own.
+func (o Options) WithDefaults() Options { return o.withDefaults() }
+
 func (o Options) withDefaults() Options {
 	if o.MaxDepth == 0 {
 		o.MaxDepth = 12
@@ -515,7 +520,7 @@ func (e *engine) fire(c *compiledRule, ev *env) ([]datalog.Atom, error) {
 			}
 		}
 		for k, s := range c.exSlots {
-			key := e.skolemKeyFor(c, k, ev)
+			key := skolemKeyFor(c, k, ev)
 			if e.opts.Mode == Restricted {
 				// Restricted-mode nulls are always fresh.
 				key += "|#" + strconv.Itoa(e.nextNull)
@@ -562,7 +567,12 @@ func (e *engine) fire(c *compiledRule, ev *env) ([]datalog.Atom, error) {
 	return added, nil
 }
 
-func (e *engine) skolemKeyFor(c *compiledRule, exIdx int, ev *env) string {
+// skolemKeyFor renders the Skolem-function key of one existential variable
+// under a frontier binding. It depends only on the rule and the environment,
+// so the incremental maintenance engine shares it with the batch engine: the
+// same trigger always maps to the same key, and therefore (through the
+// persistent skolem table) to the same null.
+func skolemKeyFor(c *compiledRule, exIdx int, ev *env) string {
 	buf := make([]byte, 0, 32)
 	buf = append(buf, 'r')
 	buf = strconv.AppendInt(buf, int64(c.idx), 10)

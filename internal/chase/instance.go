@@ -110,6 +110,121 @@ func (i *Instance) Add(a datalog.Atom) bool {
 	return true
 }
 
+// internKey returns the packed set key for a ground atom, interning any
+// previously-unseen terms and predicate. Unlike factKey it always succeeds;
+// interning is monotone, so the key stays stable for the instance's lifetime
+// whether or not the atom is ever added. The incremental maintenance engine
+// uses it to address support counters for facts that are about to exist.
+func (i *Instance) internKey(a datalog.Atom) string {
+	pid := i.internPred(a.Pred)
+	var idsArr [8]uint32
+	ids := idsArr[:0]
+	if len(a.Args) > len(idsArr) {
+		ids = make([]uint32, 0, len(a.Args))
+	}
+	for _, t := range a.Args {
+		ids = append(ids, i.internTerm(t))
+	}
+	return i.key(pid, ids)
+}
+
+// factKey returns the packed set key for a ground atom without interning new
+// dictionary entries; ok is false when the atom mentions a term or predicate
+// the instance has never seen (and therefore cannot contain).
+func (i *Instance) factKey(a datalog.Atom) (string, bool) {
+	pid, ok := i.predID[a.Pred]
+	if !ok {
+		return "", false
+	}
+	var idsArr [8]uint32
+	ids := idsArr[:0]
+	if len(a.Args) > len(idsArr) {
+		ids = make([]uint32, 0, len(a.Args))
+	}
+	for _, t := range a.Args {
+		tid, ok := i.termID[t]
+		if !ok {
+			return "", false
+		}
+		ids = append(ids, tid)
+	}
+	return i.key(pid, ids), true
+}
+
+// RemoveBatch deletes the given ground atoms and returns how many were
+// actually present. The dictionary keeps its term/pred ids (interning is
+// monotone), but the set, per-predicate slices, and per-position indexes are
+// filtered in one pass per touched bucket, so a batch removal costs
+// O(|touched buckets|) rather than O(|batch| × |bucket|).
+func (i *Instance) RemoveBatch(atoms []datalog.Atom) int {
+	dropped := make(map[string]struct{}, len(atoms))
+	preds := make(map[string]struct{})
+	for _, a := range atoms {
+		k, ok := i.factKey(a)
+		if !ok {
+			continue
+		}
+		if _, present := i.set[k]; !present {
+			continue
+		}
+		if _, dup := dropped[k]; dup {
+			continue
+		}
+		dropped[k] = struct{}{}
+		delete(i.set, k)
+		preds[a.Pred] = struct{}{}
+		i.n--
+	}
+	if len(dropped) == 0 {
+		return 0
+	}
+	// gone reports whether an atom was part of this batch. Keys re-pack from
+	// the (still intact) dictionary, so membership agrees with dropped.
+	gone := func(a datalog.Atom) bool {
+		k, ok := i.factKey(a)
+		if !ok {
+			return false
+		}
+		_, hit := dropped[k]
+		return hit
+	}
+	for p := range preds {
+		bucket := i.byPred[p]
+		kept := bucket[:0]
+		pid := i.predID[p]
+		touched := make(map[uint64]struct{})
+		for _, a := range bucket {
+			if gone(a) {
+				for pos, t := range a.Args {
+					touched[idxKey(pid, pos, i.termID[t])] = struct{}{}
+				}
+				continue
+			}
+			kept = append(kept, a)
+		}
+		if len(kept) == 0 {
+			delete(i.byPred, p)
+		} else {
+			i.byPred[p] = kept
+		}
+		for kk := range touched {
+			lst := i.idx[kk]
+			keptIdx := lst[:0]
+			for _, a := range lst {
+				if !gone(a) {
+					keptIdx = append(keptIdx, a)
+				}
+			}
+			if len(keptIdx) == 0 {
+				delete(i.idx, kk)
+			} else {
+				i.idx[kk] = keptIdx
+			}
+		}
+	}
+	return len(dropped)
+}
+
 // Has reports whether the ground atom is present.
 func (i *Instance) Has(a datalog.Atom) bool {
 	pid, ok := i.predID[a.Pred]

@@ -79,10 +79,18 @@ func Program() *datalog.Program {
 func GraphToDB(g *rdf.Graph) []datalog.Atom {
 	out := make([]datalog.Atom, 0, g.Len())
 	for _, t := range g.SortedTriples() {
-		out = append(out, datalog.NewAtom("triple",
-			termConst(t.S), termConst(t.P), termConst(t.O)))
+		out = append(out, TripleAtom(t))
 	}
 	return out
+}
+
+// TripleAtom converts one RDF triple into its τ_db atom triple(s, p, o).
+// The incremental materialization layer uses it to turn store delta batches
+// into EDB deltas; because it is the same encoding GraphToDB uses per triple,
+// folding the deltas of a graph reaches exactly the database GraphToDB would
+// build from the final graph.
+func TripleAtom(t rdf.Triple) datalog.Atom {
+	return datalog.NewAtom("triple", termConst(t.S), termConst(t.P), termConst(t.O))
 }
 
 func termConst(t rdf.Term) datalog.Term {

@@ -51,6 +51,7 @@ import (
 
 	"repro"
 	"repro/internal/limits"
+	"repro/internal/mat"
 	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/repl"
@@ -110,6 +111,11 @@ type Config struct {
 	// ProxyWrites forwards writes arriving at a replica to its primary
 	// instead of rejecting them with 503 + the primary's address.
 	ProxyWrites bool
+	// Mat, when non-nil, serves queries pinned to the materializer's epoch
+	// from incrementally maintained materializations (wire the same instance
+	// as store.Config.OnCommit so commits keep it caught up). Queries that
+	// miss fall back to the from-scratch chase.
+	Mat *mat.Materializer
 }
 
 func (c Config) withDefaults() Config {
@@ -545,6 +551,12 @@ func (s *Server) metricsRegistry() *obs.Registry {
 		reg.SetGauge("repl.connected", boolGauge(rst.Connected))
 		reg.SetGauge("repl.promoted", boolGauge(rst.State == repl.StatePromoted))
 	}
+	if m := s.cfg.Mat; m != nil {
+		mst := m.Snapshot()
+		reg.SetGauge("mat.epoch", float64(mst.Epoch))
+		reg.SetGauge("mat.programs", float64(mst.Programs))
+		reg.SetGauge("mat.facts", float64(mst.Facts))
+	}
 	for name, b := range s.breakers {
 		reg.SetGauge("serve.breaker_state."+name, breakerStateNum(b.snapshot()))
 	}
@@ -698,7 +710,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint str
 	// pprof labels tag the evaluation's CPU samples (and every goroutine it
 	// spawns) with the trace id, so auto-captured profiles slice by request.
 	rtpprof.Do(ctx, rtpprof.Labels("trace_id", rt.traceID(), "endpoint", endpoint), func(ctx context.Context) {
-		resp, report, evalErr = s.evaluate(ctx, g, endpoint, &req)
+		resp, report, evalErr = s.evaluate(ctx, g, epoch, hasStore, endpoint, &req)
 	})
 	exec := time.Since(execStart)
 	if evalErr != nil {
@@ -984,13 +996,20 @@ func (s *Server) maybeCountSlow(e SlowEntry) {
 // runs through the explain entry points and the report comes back alongside
 // the response (the per-query observations still fold into the server
 // registry, so /metrics sees explained runs too).
-func (s *Server) evaluate(ctx context.Context, g *repro.Graph, endpoint string, req *QueryRequest) (*QueryResponse, *repro.ExplainReport, error) {
+func (s *Server) evaluate(ctx context.Context, g *repro.Graph, epoch uint64, hasStore bool, endpoint string, req *QueryRequest) (*QueryResponse, *repro.ExplainReport, error) {
 	opts := repro.Options{}
 	opts.Chase.MaxFacts = req.MaxFacts
 	opts.Chase.MaxRounds = req.MaxRounds
 	opts.Chase.Parallelism = s.cfg.Parallelism
 	opts.Chase.Obs = s.obs
 	opts.Chase.Progress = s.progress
+	if s.cfg.Mat != nil && hasStore {
+		// The request is pinned to this epoch: a materialization may answer
+		// only if it is at exactly the same one. The exact (prover) path
+		// ignores these fields.
+		opts.Mat = s.cfg.Mat
+		opts.MatEpoch = epoch
+	}
 	wantReport := req.Explain || s.slow.enabled()
 
 	var report *repro.ExplainReport

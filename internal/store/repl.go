@@ -276,6 +276,9 @@ func (s *Store) ApplyReplicated(r Record) (Epoch, bool, error) {
 	s.cur.Store(e)
 	s.batches++
 	s.noteCommitLocked(r)
+	if s.cfg.OnCommit != nil {
+		s.cfg.OnCommit(CommitEvent{Epoch: e.Seq, Op: r.Op, Triples: batch.Triples()})
+	}
 	if err := s.maybeCheckpointLocked(); err != nil {
 		return *e, true, err
 	}
@@ -298,6 +301,9 @@ func (s *Store) InstallSnapshot(epoch uint64, g *rdf.Graph) (Epoch, error) {
 	s.changelog = nil
 	s.clFloor = epoch
 	s.dropAllSubsLocked()
+	if s.cfg.OnCommit != nil {
+		s.cfg.OnCommit(CommitEvent{Epoch: e.Seq, Op: OpSnapshot})
+	}
 	if s.w != nil {
 		if err := s.checkpointLocked(); err != nil {
 			return Epoch{}, err

@@ -109,6 +109,30 @@ type Config struct {
 	// Faults arms the store's crash/corruption points for tests; the
 	// process-global TRIQ_FAULTS plan is always consulted as well.
 	Faults *limits.Plan
+	// OnCommit, when set, observes every epoch swap: committed mutation
+	// batches (OpInsert/OpDelete with the batch's triples) and wholesale
+	// state replacements (OpSnapshot from Bootstrap/InstallSnapshot, no
+	// triples — downstream state must be rebuilt from the graph). It runs
+	// synchronously under the store's write lock, before the mutation is
+	// acknowledged, so an incremental materialization folded here is never
+	// behind an acknowledged write; it must be fast and must not call back
+	// into the store. No-op primary batches commit no epoch and are not
+	// reported; replicated no-op records are (the replica's epoch advances).
+	OnCommit func(CommitEvent)
+}
+
+// CommitEvent describes one epoch swap for Config.OnCommit.
+type CommitEvent struct {
+	// Epoch is the sequence number just swapped in.
+	Epoch uint64
+	// Op is OpInsert or OpDelete for a mutation batch, OpSnapshot for a
+	// wholesale state replacement (bootstrap or replica snapshot install).
+	Op byte
+	// Triples is the mutation batch as submitted (inserts may contain
+	// duplicates of present triples, deletes may name absent ones — both are
+	// no-ops at the graph level and folding them must tolerate that). Nil
+	// for OpSnapshot events.
+	Triples []rdf.Triple
 }
 
 func (c Config) withDefaults() Config {
@@ -371,6 +395,9 @@ func (s *Store) Bootstrap(g *rdf.Graph) (Epoch, error) {
 	s.clFloor = e.Seq
 	s.dropAllSubsLocked()
 	s.wakeWaitersLocked()
+	if s.cfg.OnCommit != nil {
+		s.cfg.OnCommit(CommitEvent{Epoch: e.Seq, Op: OpSnapshot})
+	}
 	if s.w != nil {
 		if err := s.checkpointLocked(); err != nil {
 			return Epoch{}, err
@@ -433,6 +460,9 @@ func (s *Store) apply(op byte, triples []rdf.Triple) (Epoch, int, error) {
 	s.cur.Store(e)
 	s.batches++
 	s.noteCommitLocked(r)
+	if s.cfg.OnCommit != nil {
+		s.cfg.OnCommit(CommitEvent{Epoch: e.Seq, Op: op, Triples: triples})
+	}
 
 	if err := s.maybeCheckpointLocked(); err != nil {
 		// The mutation itself is committed and visible; the failed

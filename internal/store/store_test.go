@@ -131,6 +131,52 @@ func TestBootstrapInsertDeleteEpochs(t *testing.T) {
 	}
 }
 
+// TestDeleteAbsentTripleNoOp pins the regression that deleting a triple that
+// was never inserted is a pure no-op: acknowledged at the current epoch with
+// zero removals, no WAL record appended, and no commit event delivered to a
+// wired OnCommit observer (the materializer's epoch tracking relies on no-op
+// batches committing nothing).
+func TestDeleteAbsentTripleNoOp(t *testing.T) {
+	dir := t.TempDir()
+	var events []CommitEvent
+	st, _ := openT(t, Config{Dir: dir, OnCommit: func(ev CommitEvent) { events = append(events, ev) }})
+	if _, err := st.Bootstrap(rdf.NewGraph(tr("a", "p", "b"))); err != nil {
+		t.Fatal(err)
+	}
+	before := st.Current()
+	evBefore := len(events)
+
+	e, n, err := st.Delete([]rdf.Triple{tr("never", "p", "x")})
+	if err != nil {
+		t.Fatalf("delete absent: %v", err)
+	}
+	if n != 0 || e.Seq != before.Seq {
+		t.Fatalf("delete absent: removed %d at epoch %d, want no-op ack at epoch %d", n, e.Seq, before.Seq)
+	}
+	// A mixed batch where only part is absent still commits, removing just
+	// the present triple.
+	e2, n, err := st.Delete([]rdf.Triple{tr("never", "p", "x"), tr("a", "p", "b")})
+	if err != nil || n != 1 || e2.Seq != before.Seq+1 {
+		t.Fatalf("mixed delete: removed %d at epoch %d err %v, want 1 at %d", n, e2.Seq, err, before.Seq+1)
+	}
+	if got := len(events) - evBefore; got != 1 {
+		t.Fatalf("%d commit events fired, want 1 (the no-op must not be observed)", got)
+	}
+
+	// The no-op left no WAL record behind: reopening replays exactly the one
+	// real delete on top of the bootstrap snapshot.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, rec := openT(t, Config{Dir: dir})
+	if rec.Records != 1 || rec.Epoch != before.Seq+1 {
+		t.Fatalf("recovery = %+v, want 1 record to epoch %d", rec, before.Seq+1)
+	}
+	if st2.Current().Graph.Len() != 0 {
+		t.Fatalf("recovered graph not empty: %s", st2.Current().Graph)
+	}
+}
+
 func TestReopenReplaysWAL(t *testing.T) {
 	dir := t.TempDir()
 	st, _ := openT(t, Config{Dir: dir, CheckpointEvery: -1, CheckpointBytes: -1})

@@ -198,6 +198,14 @@ func (tr *Translation) EvaluateFull(g *rdf.Graph, opts triq.Options) (*sparql.Ma
 // limit semantics. The decode phase carries the "translate.decode" fault
 // point.
 func (tr *Translation) EvaluateFullCtx(ctx context.Context, g *rdf.Graph, opts triq.Options) (*sparql.MappingSet, *triq.Result, error) {
+	// Warm-materialization fast path: a materialization of this translated
+	// program pinned to opts.MatEpoch answers without building τ_db(G) at
+	// all. (The materialized instance includes the seed fact, since it was
+	// built from a loadDB instance; store deltas only ever touch triple
+	// atoms.) On a miss, EvalCtx below may still build one from the db.
+	if res, ok := triq.ServeMaterialized(tr.Query, triq.Unrestricted, opts); ok {
+		return tr.decode(ctx, res, opts)
+	}
 	db, err := tr.loadDB(ctx, g, opts)
 	if err != nil {
 		return nil, nil, err

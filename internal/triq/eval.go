@@ -78,6 +78,15 @@ type Options struct {
 	// procedure (EvalExact); 0 selects the ProofOptions default. Ignored by
 	// the bottom-up evaluator.
 	MaxVisits int
+	// Mat, when non-nil, lets evaluation answer from an incrementally
+	// maintained materialization instead of chasing, provided Mat holds (or
+	// can build) an instance for this program at exactly MatEpoch. On any
+	// miss evaluation falls back to the from-scratch chase; Result.Path
+	// reports which way the answer was produced.
+	Mat Materializer
+	// MatEpoch is the store epoch the query is pinned to; a materialization
+	// serves only on an exact epoch match.
+	MatEpoch uint64
 }
 
 // Result is the outcome of evaluating a TriQ query.
@@ -101,6 +110,10 @@ type Result struct {
 	Truncation *limits.Truncation
 	// Depth is the null-nesting depth at which the result was computed.
 	Depth int
+	// Path reports how the answer was produced: PathMaterialized (warm
+	// materialization hit), PathMaterializedBuild (materialization built
+	// during this query), or PathChase (from-scratch chase).
+	Path  string
 	Stats chase.Stats
 }
 
@@ -137,16 +150,23 @@ func EvalCtx(ctx context.Context, db *chase.Instance, q datalog.Query, lang Lang
 		obs.F("lang", lang.String()),
 		obs.F("output", q.Output),
 		obs.F("db_facts", db.Len()))
-	prog := q.Program
-	if len(prog.Constraints) > 0 {
-		prog = prog.Clone()
-		for _, c := range prog.Constraints {
-			prog.Add(datalog.Rule{BodyPos: c.Body, Head: []datalog.Atom{{Pred: inconsistencyMarker}}})
+	prog := rewriteConstraints(q.Program)
+	if opts.Mat != nil {
+		if served := opts.Mat.Serve(prog, opts.MatEpoch, q.Output, opts.Chase); served != nil {
+			res := servedResult(served, PathMaterialized)
+			sp.End(obs.F("path", res.Path), obs.F("depth", res.Depth))
+			return res, nil
 		}
-		prog.Constraints = nil
+		if served, merr := opts.Mat.BuildServe(ctx, db, prog, opts.MatEpoch, q.Output, opts.Chase); merr == nil && served != nil {
+			res := servedResult(served, PathMaterializedBuild)
+			sp.End(obs.F("path", res.Path), obs.F("depth", res.Depth))
+			return res, nil
+		}
+		// Decline or failed build: fall through to the chase. A failed build
+		// is not a query error — the chase remains authoritative.
 	}
 	gr, err := chase.StableGroundCtx(ctx, db, prog, opts.Chase, opts.StabilityWindow)
-	res := &Result{}
+	res := &Result{Path: PathChase}
 	if err != nil {
 		if gr == nil || !limits.IsBudget(err) {
 			sp.End(obs.F("error", true))

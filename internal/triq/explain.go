@@ -79,6 +79,10 @@ type ExplainReport struct {
 	// Regime is the SPARQL entailment regime (SPARQL path only).
 	Regime string `json:"regime,omitempty"`
 
+	// Path reports how the answer was produced: "materialized" (warm
+	// materialization hit), "materialized-build", or "chase".
+	Path string `json:"path,omitempty"`
+
 	Answers      int                `json:"answers"`
 	Inconsistent bool               `json:"inconsistent,omitempty"`
 	Exact        bool               `json:"exact"`
@@ -168,6 +172,7 @@ func ExplainExactCtx(ctx context.Context, db *chase.Instance, q datalog.Query, o
 // package importing the translator.
 func BuildExplain(res *Result, reg *obs.Registry, elapsed time.Duration) *ExplainReport {
 	rep := &ExplainReport{
+		Path:       res.Path,
 		Exact:      res.Exact,
 		Incomplete: res.Incomplete,
 		Truncation: res.Truncation,
@@ -285,7 +290,11 @@ func (r *ExplainReport) String() string {
 	if r.Regime != "" {
 		fmt.Fprintf(&b, " regime=%s", r.Regime)
 	}
-	fmt.Fprintf(&b, "  total=%s\n", obs.FormatDuration(time.Duration(r.TotalUS)*time.Microsecond))
+	fmt.Fprintf(&b, "  total=%s", obs.FormatDuration(time.Duration(r.TotalUS)*time.Microsecond))
+	if r.Path != "" {
+		fmt.Fprintf(&b, "  path=%s", r.Path)
+	}
+	b.WriteByte('\n')
 	switch {
 	case r.Inconsistent:
 		b.WriteString("result: ⊤ (inconsistent)\n")

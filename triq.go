@@ -220,6 +220,13 @@ func Ask(g *Graph, q Query, lang Language, opts Options) (*Results, error) {
 // ErrInternal.
 func AskCtx(ctx context.Context, g *Graph, q Query, lang Language, opts Options) (out *Results, err error) {
 	defer limits.Recover(&err)
+	// Warm-materialization fast path: when a materialization of this program
+	// is pinned to opts.MatEpoch, answer from it without even loading the
+	// graph into an instance. On a miss, EvalCtx still gets a chance to
+	// build one (and answers by chase regardless).
+	if res, ok := triq.ServeMaterialized(q, lang, opts); ok {
+		return resultsOf(res), nil
+	}
 	db, err := chase.FromFacts(owl.GraphToDB(g))
 	if err != nil {
 		return nil, err
