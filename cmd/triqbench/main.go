@@ -31,7 +31,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment by id (T1, F1, E1 … E9, E11 … E16)")
+	only := flag.String("only", "", "run a single experiment by id (T1, F1, E1 … E9, E11 … E17)")
 	asJSON := flag.Bool("json", false, "emit the tables as JSON (with per-stage engine breakdowns) instead of markdown")
 	parallelism := flag.Int("parallelism", 0, "chase workers for every experiment (0 = GOMAXPROCS, 1 = sequential; E11 sweeps its own)")
 	server := flag.String("server", "", "concurrent-client mode: base URL of a running triqd (e.g. http://localhost:8471)")
@@ -43,6 +43,7 @@ func main() {
 	writePct := flag.Float64("write-pct", 0, "with -server: percentage of requests sent as /insert-/delete batches (write soak)")
 	writeBatch := flag.Int("write-batch", 8, "with -server: triples per mutation batch")
 	retryBudget := flag.Int("retry-budget", 0, "with -server: total 503 retries the run may spend honoring Retry-After (0 = no retries)")
+	readYourWrites := flag.Bool("read-your-writes", false, "with -server: reads demand the highest acknowledged write epoch (X-Triq-Min-Epoch); reports observed staleness waits")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -51,7 +52,7 @@ func main() {
 	}
 
 	if *server != "" {
-		os.Exit(clientMain(*server, *endpoint, *reqBody, *parallel, *requests, *traceSample, *writePct, *writeBatch, *retryBudget, *asJSON))
+		os.Exit(clientMain(*server, *endpoint, *reqBody, *parallel, *requests, *traceSample, *writePct, *writeBatch, *retryBudget, *readYourWrites, *asJSON))
 	}
 	bench.SetParallelism(*parallelism)
 
@@ -61,7 +62,7 @@ func main() {
 		"E4": bench.RunE4, "E5": bench.RunE5, "E6": bench.RunE6,
 		"E7": bench.RunE7, "E8": bench.RunE8, "E9": bench.RunE9,
 		"E11": bench.RunE11, "E12": bench.RunE12, "E13": bench.RunE13, "E14": bench.RunE14,
-		"E15": bench.RunE15, "E16": bench.RunE16,
+		"E15": bench.RunE15, "E16": bench.RunE16, "E17": bench.RunE17,
 	}
 
 	var tables []*bench.Table
@@ -108,23 +109,26 @@ func main() {
 const defaultClientBody = `{"program": "triple(?X, partOf, transportService) -> ts(?X). triple(?X, partOf, ?Y), ts(?Y) -> ts(?X). ts(?T), triple(?X, ?T, ?Y) -> conn(?X, ?Y). ts(?T), triple(?X, ?T, ?Z), conn(?Z, ?Y) -> conn(?X, ?Y). conn(?X, ?Y) -> query(?X, ?Y)."}`
 
 // clientMain is the concurrent-client mode: drive a running triqd and
-// report throughput + latency quantiles.
-func clientMain(server, endpoint, body string, parallel, requests int, traceSample, writePct float64, writeBatch, retryBudget int, asJSON bool) int {
+// report throughput + latency quantiles (plus observed staleness waits and
+// the node's replication lag, in epochs and seconds, from /readyz).
+func clientMain(server, endpoint, body string, parallel, requests int, traceSample, writePct float64, writeBatch, retryBudget int, readYourWrites, asJSON bool) int {
 	if body == "" {
 		body = defaultClientBody
 	}
 	res, err := serve.RunLoad(context.Background(), serve.LoadConfig{
-		URL:         strings.TrimRight(server, "/") + endpoint,
-		Body:        []byte(body),
-		Parallel:    parallel,
-		Requests:    requests,
-		Timeout:     60 * time.Second,
-		Trace:       traceSample > 0,
-		TraceSample: traceSample,
-		WritePct:    writePct,
-		MutateBase:  strings.TrimRight(server, "/"),
-		WriteBatch:  writeBatch,
-		RetryBudget: retryBudget,
+		URL:            strings.TrimRight(server, "/") + endpoint,
+		Body:           []byte(body),
+		Parallel:       parallel,
+		Requests:       requests,
+		Timeout:        60 * time.Second,
+		Trace:          traceSample > 0,
+		TraceSample:    traceSample,
+		WritePct:       writePct,
+		MutateBase:     strings.TrimRight(server, "/"),
+		WriteBatch:     writeBatch,
+		RetryBudget:    retryBudget,
+		ReadYourWrites: readYourWrites,
+		StatusBase:     strings.TrimRight(server, "/"),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "triqbench:", err)

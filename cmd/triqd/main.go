@@ -15,7 +15,18 @@
 //	      [-default-timeout 10s] [-max-timeout 60s] [-drain-timeout 15s] \
 //	      [-retries 3] [-parallelism 1] \
 //	      [-replica-of http://primary:8471 [-promote-on-loss] \
-//	       [-promote-grace 5s] [-proxy-writes]] [-staleness-wait 2s]
+//	       [-promote-grace 5s] [-proxy-writes]] [-staleness-wait 2s] \
+//	      [-slo-query-p99 250ms] [-slo-commit-p99 50ms] \
+//	      [-slo-error-rate 0.01] [-slo-shed-rate 0.05] \
+//	      [-slo-replica-lag 5s] [-slo-interval 1s] \
+//	      [-slo-window-fast 30s] [-slo-window-slow 150s] \
+//	      [-alert-log alerts.jsonl]
+//
+// The -slo-* flags arm the in-process SLO watchdog: each non-zero target
+// becomes an objective evaluated with multi-window burn-rate rules over the
+// server's own metrics; firing/cleared alerts are served at /debug/alerts
+// (with auto-captured profiles and pinned traces attached on a breach) and
+// appended to -alert-log as JSON lines.
 //
 // With -wal-dir the listener answers immediately and /readyz reports
 // {"state":"recovering"} (503) until the snapshot and WAL have replayed;
@@ -58,6 +69,7 @@ import (
 	"repro/internal/rdf"
 	"repro/internal/repl"
 	"repro/internal/serve"
+	"repro/internal/slo"
 )
 
 // config collects the triqd flags.
@@ -104,6 +116,18 @@ type config struct {
 	autoprofileCPU  time.Duration // CPU profile capture duration
 	autoprofileCool time.Duration // minimum time between auto-captures
 	healthInterval  time.Duration // runtime health sampling cadence
+
+	timelineCap int // epoch-timeline ring capacity (0 = 512)
+
+	sloQueryP99   time.Duration // query p99 latency target (0 = objective off)
+	sloCommitP99  time.Duration // commit-visible p99 latency target
+	sloErrorRate  float64       // request error-rate budget (fraction)
+	sloShedRate   float64       // admission shed-rate budget (fraction)
+	sloReplicaLag time.Duration // replica wall-clock lag target
+	sloInterval   time.Duration // watchdog sampling cadence
+	sloFast       time.Duration // fast (reactive) burn window
+	sloSlow       time.Duration // slow (confirming) burn window
+	alertLog      string        // JSONL alert-transition sink file
 }
 
 func main() {
@@ -143,6 +167,16 @@ func main() {
 	flag.DurationVar(&cfg.autoprofileCPU, "autoprofile-cpu", 2*time.Second, "CPU profile duration per auto-capture")
 	flag.DurationVar(&cfg.autoprofileCool, "autoprofile-cooldown", time.Minute, "minimum time between auto-captures")
 	flag.DurationVar(&cfg.healthInterval, "health-interval", 10*time.Second, "runtime health sampling cadence for /metrics (negative disables)")
+	flag.IntVar(&cfg.timelineCap, "timeline-cap", 512, "epoch-timeline ring capacity behind /debug/epochs")
+	flag.DurationVar(&cfg.sloQueryP99, "slo-query-p99", 0, "SLO: query p99 latency target; burn-rate alerts at /debug/alerts (0 disables this objective)")
+	flag.DurationVar(&cfg.sloCommitP99, "slo-commit-p99", 0, "SLO: commit-visible p99 latency target (WAL append to reader-visible swap)")
+	flag.Float64Var(&cfg.sloErrorRate, "slo-error-rate", 0, "SLO: request error-rate budget as a fraction, e.g. 0.01 (0 disables)")
+	flag.Float64Var(&cfg.sloShedRate, "slo-shed-rate", 0, "SLO: admission shed-rate budget as a fraction (0 disables)")
+	flag.DurationVar(&cfg.sloReplicaLag, "slo-replica-lag", 0, "SLO: replica wall-clock staleness target behind the primary (0 disables)")
+	flag.DurationVar(&cfg.sloInterval, "slo-interval", time.Second, "SLO: watchdog sampling cadence")
+	flag.DurationVar(&cfg.sloFast, "slo-window-fast", 30*time.Second, "SLO: fast burn window (reacts and clears)")
+	flag.DurationVar(&cfg.sloSlow, "slo-window-slow", 0, "SLO: slow burn window confirming a sustained burn (0 = 5× fast)")
+	flag.StringVar(&cfg.alertLog, "alert-log", "", "append SLO alert transitions as JSON lines to this file")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -284,7 +318,7 @@ func run(ctx context.Context, cfg config, ln net.Listener, stop <-chan os.Signal
 	go func() { serveErr <- hs.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "triqd: listening on %s, recovering store\n", ln.Addr())
 
-	st, err := openStore(cfg, syncPolicy, m)
+	st, err := openStore(cfg, syncPolicy, m, o)
 	if err != nil {
 		hs.Close()
 		<-serveErr
@@ -309,12 +343,58 @@ func run(ctx context.Context, cfg config, ln net.Listener, stop <-chan os.Signal
 			Obs:           o,
 			PromoteOnLoss: cfg.promoteOnLoss,
 			PromoteGrace:  cfg.promoteGrace,
+			// Replica-apply spans land in the same store /debug/trace serves,
+			// so a sampled mutation's distributed trace is inspectable here.
+			Traces:    srv.TraceStore(),
+			TraceSeed: cfg.traceSeed,
 		})
 		srv.SetReplica(rep)
 		rep.Start(ctx)
 		fmt.Fprintf(os.Stderr, "triqd: replica of %s (epoch %d at boot)\n",
 			cfg.replicaOf, st.Current().Seq)
 	}
+	// The SLO watchdog samples the server's own registry on a cadence and
+	// serves burn-rate alerts at /debug/alerts; a breach captures profiles
+	// and pins the implicated traces via the server's OnSLOBreach hook.
+	objectives := slo.DefaultObjectives(
+		float64(cfg.sloQueryP99.Microseconds()),
+		float64(cfg.sloCommitP99.Microseconds()),
+		cfg.sloErrorRate,
+		cfg.sloShedRate,
+		cfg.sloReplicaLag.Seconds(),
+	)
+	var watch *slo.Watchdog
+	if len(objectives) > 0 {
+		watch, err = slo.New(slo.Config{
+			Objectives: objectives,
+			Interval:   cfg.sloInterval,
+			FastWindow: cfg.sloFast,
+			SlowWindow: cfg.sloSlow,
+			Source:     srv.MetricsRegistry,
+			OnBreach:   srv.OnSLOBreach,
+			LogPath:    cfg.alertLog,
+			Obs:        o,
+		})
+		if err != nil {
+			if rep != nil {
+				rep.Stop()
+			}
+			st.Close()
+			hs.Close()
+			<-serveErr
+			return err
+		}
+		srv.SetSLO(watch)
+		watch.Start()
+		defer watch.Stop()
+		slow := cfg.sloSlow
+		if slow <= 0 {
+			slow = 5 * cfg.sloFast
+		}
+		fmt.Fprintf(os.Stderr, "triqd: SLO watchdog armed: %d objective(s), windows %s/%s\n",
+			len(objectives), cfg.sloFast, slow)
+	}
+
 	srv.SetRecovering(false)
 	fmt.Fprintf(os.Stderr, "triqd: ready: epoch %d, %d triples\n",
 		st.Current().Seq, st.Current().Graph.Len())
@@ -355,13 +435,15 @@ func run(ctx context.Context, cfg config, ln net.Listener, stop <-chan os.Signal
 // openStore opens (or creates) the store, replays its WAL, and seeds it from
 // -data when it is brand new. An existing store wins over -data: the seed
 // file reflects the world before any acknowledged mutations.
-func openStore(cfg config, sync repro.StoreSyncPolicy, m *mat.Materializer) (*repro.Store, error) {
+func openStore(cfg config, sync repro.StoreSyncPolicy, m *mat.Materializer, o *obs.Obs) (*repro.Store, error) {
 	scfg := repro.StoreConfig{
 		Dir:             cfg.walDir,
 		Sync:            sync,
 		SyncInterval:    cfg.walSyncInterval,
 		CheckpointEvery: cfg.checkpointEvery,
 		CheckpointBytes: cfg.checkpointBytes,
+		Obs:             o,
+		TimelineCap:     cfg.timelineCap,
 	}
 	if m != nil {
 		scfg.OnCommit = m.OnCommit

@@ -635,7 +635,7 @@ func RunE8() *Table {
 // RunAll executes every experiment in order.
 func RunAll() []*Table {
 	return []*Table{
-		RunT1(), RunF1(), RunE1(), RunE2(), RunE3(), RunE4(), RunE5(), RunE6(), RunE7(), RunE8(), RunE9(), RunE11(), RunE12(), RunE13(), RunE14(), RunE15(), RunE16(),
+		RunT1(), RunF1(), RunE1(), RunE2(), RunE3(), RunE4(), RunE5(), RunE6(), RunE7(), RunE8(), RunE9(), RunE11(), RunE12(), RunE13(), RunE14(), RunE15(), RunE16(), RunE17(),
 	}
 }
 

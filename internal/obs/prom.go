@@ -62,18 +62,35 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		kind string
 		emit func(name string)
 	}
+	// A histogram family owns its derived series names; a counter or gauge
+	// that sanitizes onto one of them would emit a duplicate series, so the
+	// histogram wins and the scalar is dropped from this exposition.
+	reserved := make(map[string]bool, 4*len(hists))
+	for n, h := range hists {
+		if h.Snapshot().Count == 0 {
+			continue
+		}
+		base := PromName(n)
+		for _, s := range []string{base, base + "_bucket", base + "_sum", base + "_count"} {
+			reserved[s] = true
+		}
+	}
 	families := make(map[string]family, len(counters)+len(gauges)+len(hists))
 	for n, v := range counters {
 		v := v
-		families[PromName(n)] = family{kind: "counter", emit: func(name string) {
-			fmt.Fprintf(w, "%s %d\n", name, v)
-		}}
+		if name := PromName(n); !reserved[name] {
+			families[name] = family{kind: "counter", emit: func(name string) {
+				fmt.Fprintf(w, "%s %d\n", name, v)
+			}}
+		}
 	}
 	for n, v := range gauges {
 		v := v
-		families[PromName(n)] = family{kind: "gauge", emit: func(name string) {
-			fmt.Fprintf(w, "%s %s\n", name, formatPromFloat(v))
-		}}
+		if name := PromName(n); !reserved[name] {
+			families[name] = family{kind: "gauge", emit: func(name string) {
+				fmt.Fprintf(w, "%s %s\n", name, formatPromFloat(v))
+			}}
+		}
 	}
 	for n, h := range hists {
 		s := h.Snapshot()

@@ -215,6 +215,7 @@ type Trace struct {
 	start    time.Time
 	end      time.Time
 	slow     bool
+	pinned   bool
 	rootName string
 }
 
@@ -273,6 +274,28 @@ func (t *Trace) Slow() bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.slow
+}
+
+// Pin exempts the trace from store eviction entirely — the SLO watchdog pins
+// the traces implicated in a breach so they are still inspectable when the
+// operator arrives.
+func (t *Trace) Pin() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.pinned = true
+	t.mu.Unlock()
+}
+
+// Pinned reports whether Pin was called.
+func (t *Trace) Pinned() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pinned
 }
 
 // Finish closes the trace. Any span node still open (a panic or a hard

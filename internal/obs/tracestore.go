@@ -49,14 +49,22 @@ func (st *TraceStore) Add(t *Trace) {
 	if len(st.traces) >= st.cap {
 		victim := -1
 		for i, old := range st.traces { // oldest first
-			if !old.Slow() && !old.Recording() {
+			if !old.Pinned() && !old.Slow() && !old.Recording() {
 				victim = i
 				break
 			}
 		}
 		if victim < 0 {
 			for i, old := range st.traces {
-				if !old.Slow() {
+				if !old.Pinned() && !old.Slow() {
+					victim = i
+					break
+				}
+			}
+		}
+		if victim < 0 {
+			for i, old := range st.traces {
+				if !old.Pinned() {
 					victim = i
 					break
 				}
@@ -69,6 +77,17 @@ func (st *TraceStore) Add(t *Trace) {
 		st.evicted++
 	}
 	st.traces = append(st.traces, t)
+}
+
+// Pin marks the stored trace with the given hex id as eviction-exempt,
+// reporting whether it was found.
+func (st *TraceStore) Pin(id string) bool {
+	t := st.Get(id)
+	if t == nil {
+		return false
+	}
+	t.Pin()
+	return true
 }
 
 // Get returns the stored trace with the given hex id, or nil.
@@ -95,6 +114,7 @@ type TraceSummary struct {
 	Spans     int64   `json:"spans"`
 	Recording bool    `json:"recording"`
 	Slow      bool    `json:"slow"`
+	Pinned    bool    `json:"pinned,omitempty"`
 	Account   Account `json:"account"`
 }
 
@@ -117,6 +137,7 @@ func (st *TraceStore) List() (rows []TraceSummary, added, evicted int64) {
 			Spans:     int64(len(t.spans)),
 			Recording: t.recording,
 			Slow:      t.slow,
+			Pinned:    t.pinned,
 			Account:   t.account,
 		})
 		t.mu.Unlock()

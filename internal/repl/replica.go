@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -46,6 +47,14 @@ type Config struct {
 	PromoteGrace time.Duration
 	// Backoff is the reconnect backoff floor (default 50ms, doubling to 1s).
 	Backoff time.Duration
+	// Traces, when set, receives a replica-apply trace for every shipped
+	// record that carried a sampled trace-context sidecar (OpTrace frame):
+	// the apply span joins the client's trace id with the primary's span as
+	// remote parent, so /debug/trace on the replica shows the distributed
+	// tail of the mutation.
+	Traces *obs.TraceStore
+	// TraceSeed seeds the replica's span-id generator (0 = clock-derived).
+	TraceSeed int64
 }
 
 // State is a point-in-time snapshot of the replica for /readyz and metrics.
@@ -60,6 +69,12 @@ type State struct {
 	PrimaryEpoch uint64 `json:"primary_epoch"`
 	// LagEpochs is max(PrimaryEpoch-Epoch, 0).
 	LagEpochs uint64 `json:"lag_epochs"`
+	// LagSeconds is the replica's wall-clock staleness: local now minus the
+	// primary clock carried by the last heartbeat. It keeps growing while
+	// the primary is unreachable — exactly the signal an operator (and the
+	// replica-lag SLO) needs during a partition. Zero before the first
+	// wall-clock heartbeat.
+	LagSeconds float64 `json:"lag_seconds"`
 	// Connected reports a live stream.
 	Connected bool `json:"connected"`
 }
@@ -76,6 +91,14 @@ type Replica struct {
 	lastContact  time.Time
 	promoted     bool
 	promoteOnce  sync.Once
+	primaryClock time.Time // primary wall clock from the last heartbeat
+
+	// pendingTrace is the traceparent from the last OpTrace sidecar, keyed
+	// by the epoch it annotates; it is consumed by the next mutation frame.
+	pendingTrace      string
+	pendingTraceEpoch uint64
+
+	ids *obs.IDSource
 
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -95,7 +118,7 @@ func New(cfg Config) *Replica {
 	if cfg.Backoff <= 0 {
 		cfg.Backoff = 50 * time.Millisecond
 	}
-	return &Replica{cfg: cfg, state: StateConnecting, done: make(chan struct{})}
+	return &Replica{cfg: cfg, state: StateConnecting, done: make(chan struct{}), ids: obs.NewIDSource(cfg.TraceSeed)}
 }
 
 // Start launches the streaming loop. It returns immediately.
@@ -159,6 +182,11 @@ func (r *Replica) State() State {
 	if r.primaryEpoch > epoch {
 		st.LagEpochs = r.primaryEpoch - epoch
 	}
+	if !r.primaryClock.IsZero() {
+		if lag := time.Since(r.primaryClock).Seconds(); lag > 0 {
+			st.LagSeconds = lag
+		}
+	}
 	return st
 }
 
@@ -187,6 +215,22 @@ func (r *Replica) touch(pe uint64) {
 	}
 	r.cfg.Obs.Gauge("repl.lag_epochs", float64(lag))
 	r.cfg.Obs.Gauge("repl.primary_epoch", float64(pe))
+}
+
+// touchClock records the primary wall clock carried by a heartbeat and
+// refreshes the seconds-lag gauge.
+func (r *Replica) touchClock(primaryNow time.Time) {
+	r.mu.Lock()
+	if primaryNow.After(r.primaryClock) {
+		r.primaryClock = primaryNow
+	}
+	pc := r.primaryClock
+	r.mu.Unlock()
+	lag := time.Since(pc).Seconds()
+	if lag < 0 {
+		lag = 0
+	}
+	r.cfg.Obs.Gauge("repl.lag_seconds", lag)
 }
 
 // loop reconnects with backoff until the context ends or the replica is
@@ -279,11 +323,67 @@ func (r *Replica) stream(ctx context.Context) error {
 	}
 }
 
+// applyTraceStart opens the replica-apply span when the record was preceded
+// by a trace sidecar with a sampled traceparent: the span joins the client's
+// trace id with the primary's span as remote parent, so the distributed
+// trace ends on the replica.
+func (r *Replica) applyTraceStart(rec store.Record) (*obs.Trace, *obs.Span) {
+	r.mu.Lock()
+	tp := ""
+	if r.pendingTrace != "" && r.pendingTraceEpoch == rec.Epoch {
+		tp = r.pendingTrace
+		r.pendingTrace, r.pendingTraceEpoch = "", 0
+	}
+	r.mu.Unlock()
+	if tp == "" || r.cfg.Traces == nil {
+		return nil, nil
+	}
+	tid, sid, flags, err := obs.ParseTraceparent(tp)
+	if err != nil || flags&obs.FlagSampled == 0 {
+		return nil, nil
+	}
+	t := obs.NewTrace(tid, r.ids, true)
+	t.SetRemoteParent(sid)
+	op := "insert"
+	if rec.Op == store.OpDelete {
+		op = "delete"
+	}
+	ctx := obs.ContextWithTrace(context.Background(), t)
+	_, sp := obs.StartSpan(ctx, r.cfg.Obs, "repl.apply",
+		obs.F("repl.epoch", int64(rec.Epoch)), obs.F("repl.op", op), obs.F("repl.primary", r.cfg.Primary))
+	return t, sp
+}
+
+// applyTraceEnd closes and stores the replica-apply trace.
+func (r *Replica) applyTraceEnd(t *obs.Trace, sp *obs.Span, applied bool, err error) {
+	if t == nil {
+		return
+	}
+	attrs := []obs.KV{obs.F("repl.applied", applied)}
+	if err != nil {
+		attrs = append(attrs, obs.F("error", err.Error()))
+	}
+	sp.End(attrs...)
+	t.Finish()
+	r.cfg.Traces.Add(t)
+}
+
 // handle dispatches one frame.
 func (r *Replica) handle(rec store.Record) error {
 	switch rec.Op {
 	case store.OpHeartbeat:
+		if len(rec.Text) > 0 {
+			if ns, err := strconv.ParseInt(string(rec.Text), 10, 64); err == nil {
+				r.touchClock(time.Unix(0, ns))
+			}
+		}
 		r.touch(rec.Epoch)
+		return nil
+	case store.OpTrace:
+		r.mu.Lock()
+		r.pendingTrace = string(rec.Text)
+		r.pendingTraceEpoch = rec.Epoch
+		r.mu.Unlock()
 		return nil
 	case store.OpSnapshot:
 		r.setState(StateCatchingUp)
@@ -309,13 +409,17 @@ func (r *Replica) handle(rec store.Record) error {
 				return err
 			}
 		}
+		tr, sp := r.applyTraceStart(rec)
+		start := time.Now()
 		_, applied, err := r.cfg.Store.ApplyReplicated(rec)
+		r.applyTraceEnd(tr, sp, applied, err)
 		if err != nil {
 			// An epoch gap means the stream skipped records (e.g. after an
 			// injected duplicate-connection shuffle): reconnect and resync
 			// from the local epoch.
 			return err
 		}
+		r.cfg.Obs.Observe("repl.apply_us", float64(time.Since(start).Microseconds()))
 		if applied {
 			r.cfg.Obs.Count("repl.records_applied", 1)
 		} else {

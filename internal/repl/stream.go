@@ -135,6 +135,14 @@ func StreamHandler(st *store.Store, o *obs.Obs, opt StreamOptions) http.Handler 
 				return
 			}
 		}
+		// An immediate heartbeat seeds the replica's wall-clock lag account
+		// without waiting a full heartbeat interval.
+		if err := send(store.Record{
+			Op: store.OpHeartbeat, Epoch: st.Current().Seq,
+			Text: []byte(strconv.FormatInt(time.Now().UnixNano(), 10)),
+		}); err != nil {
+			return
+		}
 
 		hb := time.NewTicker(opt.Heartbeat)
 		defer hb.Stop()
@@ -146,11 +154,25 @@ func StreamHandler(st *store.Store, o *obs.Obs, opt StreamOptions) http.Handler 
 					// resubscribes from wherever it got to.
 					return
 				}
+				if rec.Trace != "" {
+					// Trace-context sidecar: announce the originating
+					// traceparent so the replica's apply span joins the
+					// client's distributed trace.
+					if err := send(store.Record{Op: store.OpTrace, Epoch: rec.Epoch, Text: []byte(rec.Trace)}); err != nil {
+						return
+					}
+				}
+				shipStart := time.Now()
 				if err := send(rec); err != nil {
 					return
 				}
+				o.Observe("repl.ship_us", float64(time.Since(shipStart).Microseconds()))
+				st.Timeline().Stamp(rec.Epoch, store.StageShip)
 			case <-hb.C:
-				if err := send(store.Record{Op: store.OpHeartbeat, Epoch: st.Current().Seq}); err != nil {
+				// The heartbeat carries the primary's wall clock so replicas
+				// can report lag in seconds, not just epochs.
+				now := strconv.FormatInt(time.Now().UnixNano(), 10)
+				if err := send(store.Record{Op: store.OpHeartbeat, Epoch: st.Current().Seq, Text: []byte(now)}); err != nil {
 					return
 				}
 			case <-r.Context().Done():

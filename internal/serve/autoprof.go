@@ -84,6 +84,24 @@ func (p *autoProfiler) maybeCapture(total time.Duration, traceID string) (cpuFil
 	if p == nil || total < p.cfg.Threshold {
 		return "", ""
 	}
+	if traceID == "" {
+		traceID = "untraced"
+	}
+	return p.capture(traceID, obs.F("total_us", total.Microseconds()))
+}
+
+// forceCapture bypasses the latency threshold — the SLO watchdog calls it on
+// a burn-rate breach so the profile shows what the process was doing while
+// the budget burned — but still honors the cooldown and lifetime cap.
+func (p *autoProfiler) forceCapture(tag string) (cpuFile, heapFile string) {
+	if p == nil {
+		return "", ""
+	}
+	return p.capture(tag, obs.F("forced", true))
+}
+
+// capture runs one rate-limited CPU+heap capture tagged into the file names.
+func (p *autoProfiler) capture(tag string, extra ...obs.KV) (cpuFile, heapFile string) {
 	p.mu.Lock()
 	now := time.Now()
 	if p.active || p.captures >= p.cfg.MaxCaptures ||
@@ -96,12 +114,9 @@ func (p *autoProfiler) maybeCapture(total time.Duration, traceID string) (cpuFil
 	p.last = now
 	p.mu.Unlock()
 
-	if traceID == "" {
-		traceID = "untraced"
-	}
 	stamp := now.UnixNano()
-	cpuFile = filepath.Join(p.cfg.Dir, fmt.Sprintf("cpu-%d-%s.pprof", stamp, traceID))
-	heapFile = filepath.Join(p.cfg.Dir, fmt.Sprintf("heap-%d-%s.pprof", stamp, traceID))
+	cpuFile = filepath.Join(p.cfg.Dir, fmt.Sprintf("cpu-%d-%s.pprof", stamp, tag))
+	heapFile = filepath.Join(p.cfg.Dir, fmt.Sprintf("heap-%d-%s.pprof", stamp, tag))
 
 	cf, err := os.Create(cpuFile)
 	if err != nil {
@@ -116,8 +131,7 @@ func (p *autoProfiler) maybeCapture(total time.Duration, traceID string) (cpuFil
 		cpuFile = ""
 	}
 	p.obs.Count("serve.autoprofile_captures", 1)
-	p.obs.Event("serve.autoprofile", obs.F("trace_id", traceID),
-		obs.F("total_us", total.Microseconds()))
+	p.obs.Event("serve.autoprofile", append([]obs.KV{obs.F("tag", tag)}, extra...)...)
 
 	p.wg.Add(1)
 	go func() {

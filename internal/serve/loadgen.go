@@ -56,6 +56,15 @@ type LoadConfig struct {
 	// per request) while budget remains; exhausted budget counts the 503 as
 	// shed, as before. Zero disables retrying.
 	RetryBudget int
+	// ReadYourWrites makes every read demand the highest epoch any write in
+	// the run has acknowledged so far (X-Triq-Min-Epoch), exercising the
+	// bounded-staleness path; the observed waits (from the server's
+	// X-Triq-Staleness-Wait-US header) come back in the result.
+	ReadYourWrites bool
+	// StatusBase, when set, is a server base URL whose /readyz is sampled at
+	// the end of the run to report the node's replication lag (epochs and
+	// wall-clock seconds behind the primary; zero on a primary).
+	StatusBase string
 }
 
 // LoadResult aggregates a load run.
@@ -83,6 +92,17 @@ type LoadResult struct {
 	// Retried counts 503 responses that were retried out of the budget;
 	// RetriedOK counts requests that succeeded on a retry.
 	Retried, RetriedOK int
+	// StalenessWaits counts reads the server stalled for a min-epoch floor
+	// (bounded staleness) and StalenessWait sums the observed waits — both
+	// from the X-Triq-Staleness-Wait-US response header.
+	StalenessWaits int
+	StalenessWait  time.Duration
+	// ReplicaLagEpochs / ReplicaLagSeconds are the serving node's
+	// replication lag sampled from /readyz at the end of the run (zero on a
+	// primary or when LoadConfig.StatusBase is unset) — the epoch lag and
+	// the wall-clock time-lag behind the primary.
+	ReplicaLagEpochs  uint64
+	ReplicaLagSeconds float64
 }
 
 func (r *LoadResult) String() string {
@@ -97,6 +117,14 @@ func (r *LoadResult) String() string {
 	}
 	if r.Retried > 0 {
 		s += fmt.Sprintf(" retried=%d retried_ok=%d", r.Retried, r.RetriedOK)
+	}
+	if r.StalenessWaits > 0 {
+		s += fmt.Sprintf(" staleness_waits=%d staleness_wait_total=%s",
+			r.StalenessWaits, r.StalenessWait.Round(time.Microsecond))
+	}
+	if r.ReplicaLagEpochs > 0 || r.ReplicaLagSeconds > 0 {
+		s += fmt.Sprintf(" replica_lag_epochs=%d replica_lag_seconds=%.3f",
+			r.ReplicaLagEpochs, r.ReplicaLagSeconds)
 	}
 	return s
 }
@@ -181,6 +209,9 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 		mu        sync.Mutex
 		latencies []time.Duration
 		res       LoadResult
+		// lastEpoch is the read-your-writes floor: the highest epoch any
+		// write has acknowledged, demanded by subsequent reads.
+		lastEpoch atomic.Uint64
 	)
 	budget := newRetryBudget(cfg.RetryBudget)
 	jobs := make(chan int)
@@ -207,18 +238,23 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 					}
 					traceparent = obs.FormatTraceparent(tid, ids.SpanID(), flags)
 				}
+				var minEpoch uint64
+				if cfg.ReadYourWrites && !isWrite {
+					minEpoch = lastEpoch.Load()
+				}
 				var (
-					status   int
-					respBody []byte
-					echoed   bool
-					err      error
-					lat      time.Duration
+					status    int
+					respBody  []byte
+					echoed    bool
+					err       error
+					lat       time.Duration
+					staleWait time.Duration
 				)
 				retries := 0
 				for {
 					t0 := time.Now()
 					var retryAfter time.Duration
-					status, respBody, echoed, retryAfter, err = post(ctx, client, url, body, traceparent, tid, isWrite)
+					status, respBody, echoed, retryAfter, staleWait, err = post(ctx, client, url, body, traceparent, tid, minEpoch, isWrite)
 					lat = time.Since(t0)
 					// A shed response is retried after honoring its
 					// Retry-After hint while budget remains; with the pool
@@ -248,6 +284,12 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 					if json.Unmarshal(respBody, &mr) == nil {
 						epoch = mr.Epoch
 					}
+					for { // publish the read-your-writes floor (max wins)
+						cur := lastEpoch.Load()
+						if epoch <= cur || lastEpoch.CompareAndSwap(cur, epoch) {
+							break
+						}
+					}
 				}
 				mu.Lock()
 				res.Total++
@@ -273,6 +315,10 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 				if retries > 0 && err == nil && status == http.StatusOK {
 					res.RetriedOK++
 				}
+				if staleWait > 0 {
+					res.StalenessWaits++
+					res.StalenessWait += staleWait
+				}
 				if echoed {
 					res.TraceEchoed++
 				}
@@ -296,6 +342,9 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 	res.Elapsed = time.Since(start)
 	if res.Elapsed > 0 {
 		res.Throughput = float64(res.Total) / res.Elapsed.Seconds()
+	}
+	if cfg.StatusBase != "" {
+		res.ReplicaLagEpochs, res.ReplicaLagSeconds = fetchReadyLag(ctx, client, cfg.StatusBase)
 	}
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	res.P50 = quantileDur(latencies, 0.50)
@@ -326,23 +375,51 @@ func mutationJob(url string, b, n int) loadMutation {
 	return loadMutation{url: url, body: body}
 }
 
+// fetchReadyLag samples /readyz for the node's replication lag. Decoding is
+// best-effort and status-agnostic (a catching-up replica answers 503 with
+// the same body shape); a primary has no lag fields and reports zeros.
+func fetchReadyLag(ctx context.Context, client *http.Client, base string) (lagEpochs uint64, lagSeconds float64) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/readyz", nil)
+	if err != nil {
+		return 0, 0
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0
+	}
+	defer resp.Body.Close()
+	var ready struct {
+		LagEpochs  uint64  `json:"lag_epochs"`
+		LagSeconds float64 `json:"lag_seconds"`
+	}
+	if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&ready) != nil {
+		return 0, 0
+	}
+	return ready.LagEpochs, ready.LagSeconds
+}
+
 // post sends one request; echoed reports whether the response traceparent
 // carried the same trace id the request sent. The body is returned only
 // when capture is set (mutations need the acknowledged epoch). On a 503
 // the server's retry hint comes back too — Failure.RetryAfterMS when the
 // body has it (millisecond granularity), the Retry-After header otherwise.
-func post(ctx context.Context, client *http.Client, url string, body []byte, traceparent string, tid obs.TraceID, capture bool) (int, []byte, bool, time.Duration, error) {
+// A non-zero minEpoch rides X-Triq-Min-Epoch (bounded staleness), and any
+// observed X-Triq-Staleness-Wait-US comes back as staleWait.
+func post(ctx context.Context, client *http.Client, url string, body []byte, traceparent string, tid obs.TraceID, minEpoch uint64, capture bool) (int, []byte, bool, time.Duration, time.Duration, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return 0, nil, false, 0, err
+		return 0, nil, false, 0, 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	if traceparent != "" {
 		req.Header.Set("traceparent", traceparent)
 	}
+	if minEpoch > 0 {
+		req.Header.Set("X-Triq-Min-Epoch", strconv.FormatUint(minEpoch, 10))
+	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, nil, false, 0, err
+		return 0, nil, false, 0, 0, err
 	}
 	defer resp.Body.Close()
 	var respBody []byte
@@ -366,7 +443,13 @@ func post(ctx context.Context, client *http.Client, url string, body []byte, tra
 			echoed = rtid == tid
 		}
 	}
-	return resp.StatusCode, respBody, echoed, retryAfter, nil
+	var staleWait time.Duration
+	if h := resp.Header.Get("X-Triq-Staleness-Wait-US"); h != "" {
+		if us, werr := strconv.ParseInt(h, 10, 64); werr == nil && us > 0 {
+			staleWait = time.Duration(us) * time.Microsecond
+		}
+	}
+	return resp.StatusCode, respBody, echoed, retryAfter, staleWait, nil
 }
 
 // quantileDur picks the q-th quantile of a sorted slice (nearest-rank).

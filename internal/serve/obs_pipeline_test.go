@@ -1,0 +1,362 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/repl"
+	"repro/internal/slo"
+	"repro/internal/store"
+)
+
+// The write-pipeline observability surface: mutation slow-log entries carry
+// the committed epoch, batch size, and WAL-sync wait; GET /debug/epochs
+// exposes the store's per-stage epoch timeline; GET /debug/alerts serves the
+// SLO watchdog (with breach annotations pinning traces); and a sampled
+// traceparent on an insert propagates across replication so the replica's
+// trace store holds the distributed repl.apply span.
+
+func TestMutationSlowlogRecordsEpochBatchAndWALWait(t *testing.T) {
+	_, st, ts := newStoreServer(t,
+		Config{SlowLog: SlowLogConfig{Threshold: time.Nanosecond}},
+		store.Config{Dir: t.TempDir(), CheckpointEvery: -1})
+	base := st.Current().Seq
+
+	status, body := postMutation(t, ts.URL+"/insert", MutationRequest{
+		Triples: "Shuttle partOf TheAirline .\nFerry partOf TheAirline .\n",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("insert = %d, body %s", status, body)
+	}
+	var mr MutationResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.TraceID == "" {
+		t.Fatalf("mutation ack carries no trace id: %+v", mr)
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/slowlog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var log struct {
+		Entries []SlowEntry `json:"entries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&log); err != nil {
+		t.Fatal(err)
+	}
+	var entry *SlowEntry
+	for i := range log.Entries {
+		if log.Entries[i].Endpoint == "insert" {
+			entry = &log.Entries[i]
+		}
+	}
+	if entry == nil {
+		t.Fatalf("no insert entry in slowlog: %+v", log.Entries)
+	}
+	if entry.Epoch != base+1 || entry.Batch != 2 {
+		t.Fatalf("slowlog entry epoch/batch = %d/%d, want %d/2", entry.Epoch, entry.Batch, base+1)
+	}
+	if entry.TraceID != mr.TraceID {
+		t.Fatalf("slowlog trace id %q != ack trace id %q", entry.TraceID, mr.TraceID)
+	}
+	// SyncAlways: the fsync stamp exists, so the wait is attributable
+	// (it may round to 0µs on a fast disk, but must not be negative).
+	if entry.WALSyncWaitUS < 0 {
+		t.Fatalf("negative WAL-sync wait: %+v", entry)
+	}
+}
+
+func TestDebugEpochsExposesPipelineStages(t *testing.T) {
+	_, st, ts := newStoreServer(t, Config{}, store.Config{Dir: t.TempDir(), CheckpointEvery: -1})
+
+	status, body := postMutation(t, ts.URL+"/insert", MutationRequest{Triples: "a partOf b .\n"})
+	if status != http.StatusOK {
+		t.Fatalf("insert = %d, body %s", status, body)
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/epochs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Epoch  uint64 `json:"epoch"`
+		Epochs []struct {
+			Epoch  uint64           `json:"epoch"`
+			Stages map[string]int64 `json:"stages"`
+		} `json:"epochs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Epoch != st.Current().Seq {
+		t.Fatalf("current epoch = %d, store at %d", out.Epoch, st.Current().Seq)
+	}
+	var found bool
+	for _, row := range out.Epochs {
+		if row.Epoch != st.Current().Seq {
+			continue
+		}
+		found = true
+		for _, stage := range []string{"start", "append", "sync", "commit"} {
+			if row.Stages[stage] == 0 {
+				t.Fatalf("epoch %d missing stage %q: %v", row.Epoch, stage, row.Stages)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("committed epoch %d not in timeline: %+v", st.Current().Seq, out.Epochs)
+	}
+}
+
+func TestDebugEpochsWithoutStoreIs404(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/debug/epochs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/epochs without store = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestDebugAlertsServesWatchdogAndPinsTraces(t *testing.T) {
+	srv, _, ts := newStoreServer(t, Config{}, store.Config{})
+
+	// Without a watchdog the endpoint reports disabled, not an error.
+	var out struct {
+		Enabled bool        `json:"enabled"`
+		Firing  int         `json:"firing"`
+		Alerts  []slo.Alert `json:"alerts"`
+	}
+	getAlerts := func() {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/debug/alerts")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out = struct {
+			Enabled bool        `json:"enabled"`
+			Firing  int         `json:"firing"`
+			Alerts  []slo.Alert `json:"alerts"`
+		}{}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	getAlerts()
+	if out.Enabled || len(out.Alerts) != 0 {
+		t.Fatalf("alerts without watchdog = %+v", out)
+	}
+
+	// Seed the trace store with a recorded request (sampled traceparent) so
+	// the breach hook has something to pin.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/query",
+		bytes.NewReader(mustJSON(t, QueryRequest{Program: testProgram})))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", "00-0123456789abcdef0123456789abcdef-0123456789abcdef-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced query = %d", resp.StatusCode)
+	}
+
+	// A watchdog over a hand-fed registry, installed on the live server, with
+	// the server's own breach hook. A sustained saturated error ratio fires
+	// after the fake clock walks both windows.
+	reg := obs.NewRegistry()
+	now := time.Unix(5000, 0)
+	wd, err := slo.New(slo.Config{
+		Objectives: []slo.Objective{{
+			Name: "error_rate", Kind: slo.KindRatio,
+			Bad: "errs", Total: "reqs", Threshold: 0.01,
+			Description: "request error rate burning the budget",
+		}},
+		Interval: time.Second, FastWindow: 3 * time.Second, SlowWindow: 9 * time.Second,
+		Source:   func() *obs.Registry { return reg },
+		OnBreach: srv.OnSLOBreach,
+		Now:      func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetSLO(wd)
+	for i := 0; i < 12; i++ {
+		reg.Add("reqs", 100)
+		reg.Add("errs", 100)
+		now = now.Add(time.Second)
+		wd.Tick()
+	}
+
+	getAlerts()
+	if !out.Enabled || out.Firing != 1 || len(out.Alerts) != 1 {
+		t.Fatalf("alerts after breach = %+v", out)
+	}
+	a := out.Alerts[0]
+	if a.Name != "error_rate" || a.State != "firing" || a.Fires != 1 {
+		t.Fatalf("alert = %+v", a)
+	}
+	if len(a.TraceIDs) == 0 {
+		t.Fatalf("breach pinned no traces: %+v", a)
+	}
+	// The pinned trace is the recorded one and survives in /debug/trace.
+	if tr := srv.TraceStore().Get(a.TraceIDs[0]); tr == nil || !tr.Pinned() {
+		t.Fatalf("pinned trace %q not retained/pinned", a.TraceIDs[0])
+	}
+
+	// Recovery clears through the same endpoint.
+	for i := 0; i < 6; i++ {
+		reg.Add("reqs", 100)
+		now = now.Add(time.Second)
+		wd.Tick()
+	}
+	getAlerts()
+	if out.Firing != 0 || out.Alerts[0].State != "cleared" {
+		t.Fatalf("alerts after recovery = %+v", out)
+	}
+}
+
+// newTracedPair is newPair with a replica-side trace store wired in, so
+// shipped trace sidecars land replica-apply spans.
+func newTracedPair(t *testing.T) (pri *httptest.Server, priStore, repStore *store.Store, traces *obs.TraceStore) {
+	t.Helper()
+	var priSrv *Server
+	priSrv, priStore, pri = newStoreServer(t, Config{}, store.Config{})
+	_ = priSrv
+
+	repObs := obs.New()
+	var err error
+	repStore, _, err = store.Open(store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { repStore.Close() })
+
+	traces = obs.NewTraceStore(64, "triq-replica")
+	replica := repl.New(repl.Config{
+		Primary: pri.URL, Store: repStore, Obs: repObs,
+		Backoff: 5 * time.Millisecond,
+		Traces:  traces, TraceSeed: 42,
+	})
+	replica.Start(context.Background())
+	t.Cleanup(replica.Stop)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := repStore.WaitEpoch(ctx, priStore.Current().Seq); err != nil {
+		t.Fatalf("replica never caught up: %v", err)
+	}
+	return pri, priStore, repStore, traces
+}
+
+func TestTracePropagatesAcrossReplication(t *testing.T) {
+	pri, _, repStore, traces := newTracedPair(t)
+
+	const tid = "00112233445566778899aabbccddeeff"
+	req, _ := http.NewRequest(http.MethodPost, pri.URL+"/insert",
+		bytes.NewReader(mustJSON2(t, MutationRequest{Triples: "Shuttle partOf TheAirline .\n"})))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", "00-"+tid+"-0123456789abcdef-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced insert = %d, body %s", resp.StatusCode, body)
+	}
+	var mr MutationResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.TraceID != tid {
+		t.Fatalf("ack trace id = %q, want the client's %q", mr.TraceID, tid)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := repStore.WaitEpoch(ctx, mr.Epoch); err != nil {
+		t.Fatalf("replica never applied epoch %d: %v", mr.Epoch, err)
+	}
+	// The apply span is stored right after the epoch swap; poll briefly.
+	var tr *obs.Trace
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if tr = traces.Get(tid); tr != nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if tr == nil {
+		t.Fatalf("replica trace store has no trace %s", tid)
+	}
+	var apply *obs.TraceSpan
+	spans := tr.Spans()
+	for i := range spans {
+		if spans[i].Name == "repl.apply" {
+			apply = &spans[i]
+		}
+	}
+	if apply == nil {
+		t.Fatalf("no repl.apply span in replica trace: %+v", spans)
+	}
+	// The span joins the client's trace with the primary's span as remote
+	// parent — a stitched distributed tree, not an orphan.
+	if apply.Parent.IsZero() {
+		t.Fatalf("repl.apply span has no remote parent: %+v", apply)
+	}
+	if apply.End.IsZero() {
+		t.Fatalf("repl.apply span never closed: %+v", apply)
+	}
+}
+
+func TestStalenessWaitHeaderOnBoundedReads(t *testing.T) {
+	_, st, ts := newStoreServer(t, Config{}, store.Config{})
+	base := st.Current().Seq
+
+	// The read demands an epoch that does not exist yet; a concurrent write
+	// commits it shortly after, so the read waits, succeeds, and reports the
+	// time bounded staleness cost it.
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		postMutation(t, ts.URL+"/insert", MutationRequest{Triples: "late partOf write .\n"})
+	}()
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/query",
+		bytes.NewReader(mustJSON(t, QueryRequest{Program: testProgram})))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Triq-Min-Epoch", strconv.FormatUint(base+1, 10))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bounded read = %d", resp.StatusCode)
+	}
+	h := resp.Header.Get("X-Triq-Staleness-Wait-US")
+	if h == "" {
+		t.Fatal("no X-Triq-Staleness-Wait-US header on a waiting min-epoch read")
+	}
+	if us, err := strconv.ParseInt(h, 10, 64); err != nil || us <= 0 {
+		t.Fatalf("staleness-wait header = %q (err %v), want a positive wait", h, err)
+	}
+}

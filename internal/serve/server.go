@@ -55,6 +55,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/repl"
+	"repro/internal/slo"
 	"repro/internal/store"
 )
 
@@ -152,6 +153,7 @@ type Server struct {
 	graph *repro.Graph
 	store *store.Store
 	rep   *repl.Replica
+	watch *slo.Watchdog // SLO burn-rate watchdog behind /debug/alerts
 
 	// proxy forwards replica-received writes to the primary (ProxyWrites).
 	proxy *http.Client
@@ -362,6 +364,11 @@ func (s *Server) Drain(ctx context.Context) error {
 //	GET  /debug/trace     — retained request traces (?id=<hex> for one
 //	                        trace as OTLP-shaped JSON with the span tree
 //	                        and resource account)
+//	GET  /debug/epochs    — the store's epoch timeline: per-stage wall-clock
+//	                        stamps (append/sync/mat/commit/checkpoint/ship/
+//	                        apply) for every retained epoch
+//	GET  /debug/alerts    — the SLO watchdog's alert states (firing/cleared,
+//	                        windowed values, pinned traces, profile links)
 //	     /debug/pprof/    — runtime profiles
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -440,6 +447,29 @@ func (s *Server) Handler() http.Handler {
 			Traces  []obs.TraceSummary `json:"traces"`
 		}{s.traces.cfg.Sample, added, evicted, rows})
 	})
+	mux.HandleFunc("GET /debug/epochs", func(w http.ResponseWriter, _ *http.Request) {
+		st := s.storeNow()
+		if st == nil {
+			http.Error(w, "no store (query-only deployment)", http.StatusNotFound)
+			return
+		}
+		snap := st.Timeline().Snapshot()
+		type row struct {
+			Epoch  uint64           `json:"epoch"`
+			Stages map[string]int64 `json:"stages"` // stage → unix nanos
+		}
+		rows := make([]row, 0, len(snap))
+		for _, es := range snap {
+			rows = append(rows, row{Epoch: es.Epoch, Stages: es.Stages()})
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Epoch  uint64 `json:"epoch"`
+			Epochs []row  `json:"epochs"`
+		}{st.Current().Seq, rows})
+	})
+	mux.HandleFunc("GET /debug/alerts", func(w http.ResponseWriter, _ *http.Request) {
+		s.serveAlerts(w)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -454,10 +484,11 @@ func (s *Server) Handler() http.Handler {
 // the primary's address; a promoted ex-replica reports plain "ready".
 func (s *Server) serveReadyz(w http.ResponseWriter) {
 	type readiness struct {
-		State     string `json:"state"`
-		Epoch     uint64 `json:"epoch,omitempty"`
-		LagEpochs uint64 `json:"lag_epochs,omitempty"`
-		Primary   string `json:"primary,omitempty"`
+		State      string  `json:"state"`
+		Epoch      uint64  `json:"epoch,omitempty"`
+		LagEpochs  uint64  `json:"lag_epochs,omitempty"`
+		LagSeconds float64 `json:"lag_seconds,omitempty"`
+		Primary    string  `json:"primary,omitempty"`
 	}
 	var ready readiness
 	status := http.StatusOK
@@ -473,6 +504,7 @@ func (s *Server) serveReadyz(w http.ResponseWriter) {
 		rst := rep.State()
 		ready.Epoch = rst.Epoch
 		ready.LagEpochs = rst.LagEpochs
+		ready.LagSeconds = rst.LagSeconds
 		ready.Primary = rst.Primary
 		if rst.State == repl.StateReplica {
 			ready.State = "replica"
@@ -547,6 +579,7 @@ func (s *Server) metricsRegistry() *obs.Registry {
 	if rep := s.replicaNow(); rep != nil {
 		rst := rep.State()
 		reg.SetGauge("repl.lag_epochs", float64(rst.LagEpochs))
+		reg.SetGauge("repl.lag_seconds", rst.LagSeconds)
 		reg.SetGauge("repl.primary_epoch", float64(rst.PrimaryEpoch))
 		reg.SetGauge("repl.connected", boolGauge(rst.Connected))
 		reg.SetGauge("repl.promoted", boolGauge(rst.State == repl.StatePromoted))
@@ -672,8 +705,15 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint str
 		waited := false
 		if st := s.storeNow(); st != nil && s.cfg.StalenessWait > 0 {
 			wctx, wcancel := context.WithTimeout(r.Context(), s.cfg.StalenessWait)
+			w0 := time.Now()
 			waited = st.WaitEpoch(wctx, min) == nil
+			staleWait := time.Since(w0)
 			wcancel()
+			// The observed wait rides a header (and a histogram) whether the
+			// catch-up succeeded or shed, so load generators can report how
+			// much time bounded staleness actually cost.
+			w.Header().Set("X-Triq-Staleness-Wait-US", strconv.FormatInt(staleWait.Microseconds(), 10))
+			s.obs.Observe("serve.staleness_wait_us", float64(staleWait.Microseconds()))
 		}
 		if !waited {
 			done(false)
@@ -800,14 +840,22 @@ func (s *Server) serveMutation(w http.ResponseWriter, r *http.Request, insert bo
 		endpoint = "insert"
 	}
 
+	// Mutations are traced like queries: the trace opens before any shed so
+	// even refused writes echo a traceparent, and the store hands the trace
+	// context to the replication stream so a replica's apply span joins the
+	// same distributed trace.
+	rt := s.traces.start(w, r, endpoint)
+
 	if s.isDraining() {
 		s.count("serve.shed.draining")
 		s.shed(w, ErrDraining)
+		rt.finish(http.StatusServiceUnavailable, 0, 0, time.Since(start))
 		return
 	}
 	if s.recovering.Load() {
 		s.count("serve.shed.recovering")
 		s.shed(w, errors.New("serve: recovering"))
+		rt.finish(http.StatusServiceUnavailable, 0, 0, time.Since(start))
 		return
 	}
 	// A replica refuses local writes: 503 with the primary's address (in
@@ -817,9 +865,11 @@ func (s *Server) serveMutation(w http.ResponseWriter, r *http.Request, insert bo
 	if rep, isReplica := s.asReplica(); isReplica {
 		primary := rep.State().Primary
 		if s.cfg.ProxyWrites {
-			s.proxyMutation(w, r, primary)
+			status := s.proxyMutation(w, r, primary)
+			rt.finish(status, 0, 0, time.Since(start))
 			return
 		}
+		s.count("serve.shed")
 		s.count("serve.shed.replica")
 		w.Header().Set("X-Triq-Primary", primary)
 		retryAfter := time.Second
@@ -829,12 +879,14 @@ func (s *Server) serveMutation(w http.ResponseWriter, r *http.Request, insert bo
 			RetryAfterMS: retryAfter.Milliseconds(),
 			Primary:      primary,
 		})
+		rt.finish(http.StatusServiceUnavailable, 0, 0, time.Since(start))
 		return
 	}
 	st := s.storeNow()
 	if st == nil {
 		s.fail(w, http.StatusNotImplemented,
 			errors.New("serve: no store configured (query-only deployment; start triqd with a store to enable mutations)"), 0)
+		rt.finish(http.StatusNotImplemented, 0, 0, time.Since(start))
 		return
 	}
 
@@ -847,15 +899,18 @@ func (s *Server) serveMutation(w http.ResponseWriter, r *http.Request, insert bo
 			status = http.StatusRequestEntityTooLarge
 		}
 		s.fail(w, status, fmt.Errorf("bad request body: %w", err), 0)
+		rt.finish(status, 0, 0, time.Since(start))
 		return
 	}
 	batch, err := rdf.ParseNTriplesString(req.Triples)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad triples: %w", err), 0)
+		rt.finish(http.StatusBadRequest, 0, 0, time.Since(start))
 		return
 	}
 	if batch.Len() == 0 {
 		s.fail(w, http.StatusBadRequest, errors.New("empty batch"), 0)
+		rt.finish(http.StatusBadRequest, 0, 0, time.Since(start))
 		return
 	}
 
@@ -863,24 +918,31 @@ func (s *Server) serveMutation(w http.ResponseWriter, r *http.Request, insert bo
 	defer s.trackEnd()
 
 	triples := batch.SortedTriples()
+	applySpan := rt.span("serve.apply", obs.F("batch", batch.Len()))
 	var epoch store.Epoch
 	var applied int
 	if insert {
-		epoch, applied, err = st.Insert(triples)
+		epoch, applied, err = st.InsertTraced(triples, rt.traceparent())
 	} else {
-		epoch, applied, err = st.Delete(triples)
+		epoch, applied, err = st.DeleteTraced(triples, rt.traceparent())
 	}
+	exec := time.Since(start)
+	applySpan.End(obs.F("applied", applied), obs.F("epoch", int64(epoch.Seq)), obs.F("ok", err == nil))
 	if err != nil {
+		var status int
 		if errors.Is(err, limits.ErrStorage) {
 			// The WAL failed underneath us and the store latched read-only.
 			// Reads stay up; writes shed with a retry hint while an operator
 			// (or a failover) restores the write path.
 			s.count("serve.shed.readonly")
-			s.fail(w, http.StatusServiceUnavailable, err, 0)
-			return
+			status = http.StatusServiceUnavailable
+		} else {
+			s.count("serve.internal_errors")
+			status = http.StatusInternalServerError
 		}
-		s.count("serve.internal_errors")
-		s.fail(w, http.StatusInternalServerError, err, 0)
+		s.fail(w, status, err, 0)
+		rt.finish(status, 0, exec, time.Since(start))
+		s.recordSlowMutation(endpoint, &req, batch.Len(), 0, status, err, exec, rt)
 		return
 	}
 	s.count("serve." + endpoint + "s")
@@ -888,19 +950,66 @@ func (s *Server) serveMutation(w http.ResponseWriter, r *http.Request, insert bo
 		s.obs.Count("serve.mutation_triples", int64(applied))
 		s.obs.Observe("serve.mutation_latency_us", float64(time.Since(start).Microseconds()))
 	}
-	writeJSON(w, http.StatusOK, MutationResponse{
+	rt.finish(http.StatusOK, 0, exec, time.Since(start))
+	resp := MutationResponse{
 		Epoch:     epoch.Seq,
 		Applied:   applied,
 		Batch:     batch.Len(),
 		Durable:   st.AckDurable(),
 		ElapsedUS: time.Since(start).Microseconds(),
-	})
+		TraceID:   rt.traceID(),
+	}
+	writeJSON(w, http.StatusOK, resp)
+	s.recordSlowMutation(endpoint, &req, batch.Len(), epoch.Seq, http.StatusOK, nil, exec, rt)
+}
+
+// recordSlowMutation feeds the slow log from the write path. Beyond the
+// shared fields it records the committed epoch, the batch size, and the
+// WAL-sync wait the batch saw (read back from the store's epoch timeline),
+// so a slow insert is attributable to fsync stalls vs. apply cost.
+func (s *Server) recordSlowMutation(endpoint string, req *MutationRequest, batch int, epoch uint64, status int, evalErr error, exec time.Duration, rt *reqTrace) {
+	cpuFile, heapFile := s.autoprof.maybeCapture(exec, rt.traceID())
+	if !s.slow.enabled() {
+		return
+	}
+	q, cut := truncateQuery(req.Triples)
+	e := SlowEntry{
+		Time:           time.Now(),
+		Endpoint:       endpoint,
+		Query:          q,
+		QueryTruncated: cut,
+		Status:         status,
+		ExecUS:         exec.Microseconds(),
+		TotalUS:        exec.Microseconds(),
+		Epoch:          epoch,
+		Batch:          batch,
+		TraceID:        rt.traceID(),
+		ProfileCPU:     cpuFile,
+		ProfileHeap:    heapFile,
+	}
+	if st := s.storeNow(); st != nil && epoch != 0 {
+		if stamps, ok := st.Timeline().Lookup(epoch); ok {
+			m := stamps.Stages()
+			if a, b := m["append"], m["sync"]; a != 0 && b > a {
+				e.WALSyncWaitUS = (b - a) / 1000
+			}
+		}
+	}
+	if rt != nil {
+		acct := rt.account()
+		e.Resources = &acct
+	}
+	if evalErr != nil {
+		e.Error = evalErr.Error()
+	}
+	s.maybeCountSlow(e)
 }
 
 // proxyMutation forwards a write that arrived at a replica to the primary
 // and relays the response verbatim, tagged with X-Triq-Primary so the
-// client can see where the write actually landed.
-func (s *Server) proxyMutation(w http.ResponseWriter, r *http.Request, primary string) {
+// client can see where the write actually landed. It returns the status it
+// wrote, for the caller's trace.
+func (s *Server) proxyMutation(w http.ResponseWriter, r *http.Request, primary string) int {
 	s.count("serve.proxied_writes")
 	body, err := io.ReadAll(s.limitBody(w, r))
 	if err != nil {
@@ -911,20 +1020,20 @@ func (s *Server) proxyMutation(w http.ResponseWriter, r *http.Request, primary s
 			status = http.StatusRequestEntityTooLarge
 		}
 		s.fail(w, status, fmt.Errorf("bad request body: %w", err), 0)
-		return
+		return status
 	}
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, primary+r.URL.Path, bytes.NewReader(body))
 	if err != nil {
 		s.count("serve.internal_errors")
 		s.fail(w, http.StatusInternalServerError, err, 0)
-		return
+		return http.StatusInternalServerError
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := s.proxy.Do(req)
 	if err != nil {
 		s.count("serve.proxy_errors")
 		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("serve: primary unreachable: %w", err), 0)
-		return
+		return http.StatusServiceUnavailable
 	}
 	defer resp.Body.Close()
 	for _, h := range []string{"Content-Type", "Retry-After"} {
@@ -935,6 +1044,7 @@ func (s *Server) proxyMutation(w http.ResponseWriter, r *http.Request, primary s
 	w.Header().Set("X-Triq-Primary", primary)
 	w.WriteHeader(resp.StatusCode)
 	_, _ = io.Copy(w, resp.Body)
+	return resp.StatusCode
 }
 
 // recordSlow feeds the slow-query log and the auto-profiler; it runs exactly
@@ -1141,7 +1251,10 @@ func statusOf(err error) int {
 }
 
 // shed writes the 503 + Retry-After response for load-shedding rejections.
+// Every shed also bumps the aggregate serve.shed counter — the numerator of
+// the shed-rate SLO — alongside the per-cause serve.shed.* counters.
 func (s *Server) shed(w http.ResponseWriter, err error) {
+	s.count("serve.shed")
 	retryAfter := time.Second
 	w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter.Seconds())))
 	writeJSON(w, http.StatusServiceUnavailable, Failure{
@@ -1150,8 +1263,13 @@ func (s *Server) shed(w http.ResponseWriter, err error) {
 	})
 }
 
-// fail writes a non-200 taxonomy error body.
+// fail writes a non-200 taxonomy error body. Server faults (500/504) also
+// bump the aggregate serve.errors counter — the numerator of the error-rate
+// SLO; client errors and sheds do not burn that budget.
 func (s *Server) fail(w http.ResponseWriter, status int, err error, retryAfter time.Duration) {
+	if status == http.StatusInternalServerError || status == http.StatusGatewayTimeout {
+		s.count("serve.errors")
+	}
 	f := Failure{WireError: limits.ToWire(err)}
 	if status == http.StatusServiceUnavailable {
 		if retryAfter <= 0 {

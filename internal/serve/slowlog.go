@@ -65,6 +65,13 @@ type SlowEntry struct {
 	// auto-profiler for this request, when it tripped.
 	ProfileCPU  string `json:"profile_cpu,omitempty"`
 	ProfileHeap string `json:"profile_heap,omitempty"`
+	// Epoch, Batch, and WALSyncWaitUS describe mutation entries: the epoch
+	// the batch committed, the triples in the batch, and how long the commit
+	// waited on the WAL fsync (from the store's epoch timeline; absent under
+	// interval/none sync).
+	Epoch         uint64 `json:"epoch,omitempty"`
+	Batch         int    `json:"batch,omitempty"`
+	WALSyncWaitUS int64  `json:"wal_sync_wait_us,omitempty"`
 }
 
 // slowLog is the ring + sink behind /debug/slowlog.

@@ -138,6 +138,21 @@ func (rt *reqTrace) span(name string, kv ...obs.KV) *obs.Span {
 	return rt.root.Span(name, kv...)
 }
 
+// traceparent renders the trace context a mutation hands to the store: the
+// request's trace id with this request's root span as parent, sampled iff
+// the trace is recording. The replication stream ships it so the replica's
+// apply span joins the client's distributed trace.
+func (rt *reqTrace) traceparent() string {
+	if rt == nil {
+		return ""
+	}
+	var flags byte
+	if rt.tr.Recording() {
+		flags = obs.FlagSampled
+	}
+	return obs.FormatTraceparent(rt.tr.ID(), rt.rootSID, flags)
+}
+
 // traceID returns the hex trace id ("" when tracing is off).
 func (rt *reqTrace) traceID() string {
 	if rt == nil {

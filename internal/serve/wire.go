@@ -107,6 +107,10 @@ type MutationResponse struct {
 	Durable bool `json:"durable"`
 	// ElapsedUS is the server-side mutation time in microseconds.
 	ElapsedUS int64 `json:"elapsed_us"`
+	// TraceID identifies the mutation's trace (also echoed in the
+	// traceparent response header); a sampled trace gains a replica-side
+	// repl.apply span once the record ships.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Failure is the non-200 body: the taxonomy wire error plus an optional

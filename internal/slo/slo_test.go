@@ -1,0 +1,358 @@
+package slo
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// The watchdog contract under a fake clock and a hand-fed registry:
+// multi-window semantics (fire only when fast AND slow breach, clear as soon
+// as fast recovers), the three objective kinds, the once-per-fire OnBreach
+// annotation, the JSONL transition log, and DefaultObjectives' flag mapping.
+
+// harness drives a Watchdog tick-by-tick with a controllable clock.
+type harness struct {
+	reg *obs.Registry
+	now time.Time
+	wd  *Watchdog
+}
+
+func newHarness(t *testing.T, objectives []Objective, mutate func(cfg *Config)) *harness {
+	t.Helper()
+	h := &harness{reg: obs.NewRegistry(), now: time.Unix(1000, 0)}
+	cfg := Config{
+		Objectives: objectives,
+		Interval:   time.Second,
+		FastWindow: 5 * time.Second,
+		SlowWindow: 20 * time.Second,
+		Source:     func() *obs.Registry { return h.reg },
+		Now:        func() time.Time { return h.now },
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	wd, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.wd = wd
+	return h
+}
+
+// tick advances the fake clock by the interval and evaluates once.
+func (h *harness) tick() {
+	h.now = h.now.Add(time.Second)
+	h.wd.Tick()
+}
+
+func alertByName(t *testing.T, wd *Watchdog, name string) Alert {
+	t.Helper()
+	for _, a := range wd.Alerts() {
+		if a.Name == name {
+			return a
+		}
+	}
+	t.Fatalf("no alert %q in %v", name, wd.Alerts())
+	return Alert{}
+}
+
+func TestRatioFiresOnBothWindowsAndClearsFast(t *testing.T) {
+	// 10% error budget, fast burn 2 → fast window pages above 20%.
+	h := newHarness(t, []Objective{{
+		Name: "error_rate", Kind: KindRatio, Bad: "errs", Total: "reqs", Threshold: 0.10,
+	}}, nil)
+
+	// Healthy traffic long enough to fill the slow window.
+	for i := 0; i < 25; i++ {
+		h.reg.Add("reqs", 100)
+		h.tick()
+	}
+	if got := alertByName(t, h.wd, "error_rate"); got.State != "cleared" || got.Fires != 0 {
+		t.Fatalf("healthy state = %+v", got)
+	}
+
+	// A hard error burst: every request fails. The fast window saturates
+	// quickly; the slow window must confirm before the alert fires.
+	fired := -1
+	for i := 0; i < 25; i++ {
+		h.reg.Add("reqs", 100)
+		h.reg.Add("errs", 100)
+		h.tick()
+		if a := alertByName(t, h.wd, "error_rate"); a.State == "firing" {
+			fired = i
+			break
+		}
+	}
+	if fired < 0 {
+		t.Fatal("sustained 100% error rate never fired")
+	}
+	if fired < 2 {
+		t.Fatalf("fired after %d ticks — the slow window did not gate the blip", fired+1)
+	}
+	a := alertByName(t, h.wd, "error_rate")
+	if a.Fires != 1 || a.FiredAt == 0 {
+		t.Fatalf("fired alert = %+v", a)
+	}
+	if a.Fast <= 0.10*2 {
+		t.Fatalf("fast window value %v not above burned threshold", a.Fast)
+	}
+
+	// Recovery: errors stop. The alert must clear as soon as the FAST window
+	// recovers, long before the slow window forgets the burst.
+	cleared := -1
+	for i := 0; i < 25; i++ {
+		h.reg.Add("reqs", 100)
+		h.tick()
+		if a := alertByName(t, h.wd, "error_rate"); a.State == "cleared" {
+			cleared = i
+			break
+		}
+	}
+	if cleared < 0 {
+		t.Fatal("alert never cleared after recovery")
+	}
+	if cleared >= 19 {
+		t.Fatalf("cleared only after %d ticks — clear should follow the fast window, not the slow", cleared+1)
+	}
+	if a := alertByName(t, h.wd, "error_rate"); a.ClearedAt == 0 {
+		t.Fatalf("cleared alert = %+v", a)
+	}
+}
+
+func TestShortBlipDoesNotFire(t *testing.T) {
+	h := newHarness(t, []Objective{{
+		Name: "error_rate", Kind: KindRatio, Bad: "errs", Total: "reqs", Threshold: 0.10,
+	}}, nil)
+	for i := 0; i < 22; i++ {
+		h.reg.Add("reqs", 100)
+		if i == 10 { // one bad second inside otherwise healthy traffic
+			h.reg.Add("errs", 60)
+		}
+		h.tick()
+		if a := alertByName(t, h.wd, "error_rate"); a.State == "firing" {
+			t.Fatalf("blip fired at tick %d: %+v", i, a)
+		}
+	}
+}
+
+func TestLatencyObjectiveUsesWindowedQuantile(t *testing.T) {
+	h := newHarness(t, []Objective{{
+		Name: "p99", Kind: KindLatency, Hist: "lat_us", Quantile: 0.99, Threshold: 5000,
+	}}, nil)
+
+	// A long slow-latency past: lifetime p99 is terrible...
+	for i := 0; i < 30; i++ {
+		h.reg.Observe("lat_us", 90000)
+	}
+	for i := 0; i < 25; i++ {
+		h.tick()
+	}
+	// ...but the recent windows saw no new samples, so nothing fires
+	// (windowed judgment, not lifetime).
+	if a := alertByName(t, h.wd, "p99"); a.State != "cleared" {
+		t.Fatalf("stale lifetime samples fired: %+v", a)
+	}
+
+	// Fresh fast samples: windowed p99 healthy.
+	for i := 0; i < 22; i++ {
+		for j := 0; j < 50; j++ {
+			h.reg.Observe("lat_us", 800)
+		}
+		h.tick()
+	}
+	if a := alertByName(t, h.wd, "p99"); a.State != "cleared" {
+		t.Fatalf("healthy latency fired: %+v", a)
+	}
+
+	// Sustained regression above threshold fires.
+	for i := 0; i < 25; i++ {
+		for j := 0; j < 50; j++ {
+			h.reg.Observe("lat_us", 40000)
+		}
+		h.tick()
+	}
+	a := alertByName(t, h.wd, "p99")
+	if a.State != "firing" {
+		t.Fatalf("sustained 40ms p99 never fired: %+v", a)
+	}
+	if a.Fast <= 5000 {
+		t.Fatalf("fast window p99 = %v, want > threshold", a.Fast)
+	}
+}
+
+func TestGaugeObjectiveWindowedMean(t *testing.T) {
+	h := newHarness(t, []Objective{{
+		Name: "lag", Kind: KindGauge, Gauge: "repl.lag_seconds", Threshold: 2.0,
+	}}, nil)
+	h.reg.SetGauge("repl.lag_seconds", 0.1)
+	for i := 0; i < 25; i++ {
+		h.tick()
+	}
+	if a := alertByName(t, h.wd, "lag"); a.State != "cleared" {
+		t.Fatalf("healthy lag fired: %+v", a)
+	}
+	h.reg.SetGauge("repl.lag_seconds", 30)
+	for i := 0; i < 25; i++ {
+		h.tick()
+	}
+	a := alertByName(t, h.wd, "lag")
+	if a.State != "firing" || a.Fast < 2.0 {
+		t.Fatalf("sustained lag never fired: %+v", a)
+	}
+	h.reg.SetGauge("repl.lag_seconds", 0)
+	for i := 0; i < 8; i++ {
+		h.tick()
+	}
+	if a := alertByName(t, h.wd, "lag"); a.State != "firing" {
+		return // cleared once the fast-window mean dropped under threshold
+	}
+	t.Fatalf("lag alert stuck firing after recovery: %+v", alertByName(t, h.wd, "lag"))
+}
+
+func TestOnBreachAnnotatesOncePerFire(t *testing.T) {
+	calls := 0
+	h := newHarness(t, []Objective{{
+		Name: "error_rate", Kind: KindRatio, Bad: "errs", Total: "reqs", Threshold: 0.10,
+	}}, func(cfg *Config) {
+		cfg.OnBreach = func(a Alert) Annotation {
+			calls++
+			return Annotation{TraceIDs: []string{"t1", "t2"}, ProfileCPU: "cpu.pprof", ProfileHeap: "heap.pprof"}
+		}
+	})
+	for i := 0; i < 40; i++ {
+		h.reg.Add("reqs", 100)
+		h.reg.Add("errs", 100)
+		h.tick()
+	}
+	if calls != 1 {
+		t.Fatalf("OnBreach ran %d times for one continuous breach", calls)
+	}
+	a := alertByName(t, h.wd, "error_rate")
+	if len(a.TraceIDs) != 2 || a.ProfileCPU != "cpu.pprof" || a.ProfileHeap != "heap.pprof" {
+		t.Fatalf("annotation not attached: %+v", a)
+	}
+}
+
+func TestAlertLogAppendsTransitions(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "alerts.jsonl")
+	h := newHarness(t, []Objective{{
+		Name: "error_rate", Kind: KindRatio, Bad: "errs", Total: "reqs", Threshold: 0.10,
+	}}, func(cfg *Config) { cfg.LogPath = logPath })
+	defer h.wd.Stop()
+
+	// Fire...
+	for i := 0; i < 25; i++ {
+		h.reg.Add("reqs", 100)
+		h.reg.Add("errs", 100)
+		h.tick()
+	}
+	// ...and clear.
+	for i := 0; i < 25; i++ {
+		h.reg.Add("reqs", 100)
+		h.tick()
+	}
+
+	f, err := os.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	type line struct {
+		TS    time.Time `json:"ts"`
+		Name  string    `json:"name"`
+		State string    `json:"state"`
+	}
+	var lines []line
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var l line
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, l)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("log lines = %+v, want fire + clear", lines)
+	}
+	if lines[0].Name != "error_rate" || lines[0].State != "firing" ||
+		lines[1].State != "cleared" || lines[0].TS.IsZero() {
+		t.Fatalf("log transitions = %+v", lines)
+	}
+}
+
+func TestStartStopLifecycle(t *testing.T) {
+	h := newHarness(t, []Objective{{
+		Name: "error_rate", Kind: KindRatio, Bad: "errs", Total: "reqs", Threshold: 0.10,
+	}}, func(cfg *Config) { cfg.Interval = time.Millisecond })
+	h.wd.Start()
+	time.Sleep(20 * time.Millisecond)
+	h.wd.Stop()
+	h.wd.Stop() // idempotent
+	var nilWD *Watchdog
+	nilWD.Start()
+	nilWD.Stop()
+	nilWD.Tick()
+	if nilWD.Alerts() != nil || nilWD.Firing() != 0 {
+		t.Fatal("nil watchdog not inert")
+	}
+}
+
+func TestNewRejectsBadConfigs(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("no Source accepted")
+	}
+	src := func() *obs.Registry { return obs.NewRegistry() }
+	if _, err := New(Config{Source: src, Objectives: []Objective{{Name: ""}}}); err == nil {
+		t.Fatal("empty objective name accepted")
+	}
+	if _, err := New(Config{Source: src, Objectives: []Objective{
+		{Name: "a", Kind: KindGauge, Gauge: "g"}, {Name: "a", Kind: KindGauge, Gauge: "g"},
+	}}); err == nil {
+		t.Fatal("duplicate objective accepted")
+	}
+}
+
+func TestDefaultObjectives(t *testing.T) {
+	all := DefaultObjectives(1000, 2000, 0.01, 0.05, 3)
+	if len(all) != 5 {
+		t.Fatalf("objectives = %+v, want 5", all)
+	}
+	names := map[string]Objective{}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name >= all[i].Name {
+			t.Fatalf("objectives not sorted: %+v", all)
+		}
+	}
+	for _, o := range all {
+		names[o.Name] = o
+	}
+	if o := names["query_p99"]; o.Kind != KindLatency || o.Hist != "serve.latency_us" || o.Threshold != 1000 {
+		t.Fatalf("query_p99 = %+v", o)
+	}
+	if o := names["commit_visible_p99"]; o.Hist != "store.commit_visible_us" || o.Threshold != 2000 {
+		t.Fatalf("commit_visible_p99 = %+v", o)
+	}
+	if o := names["error_rate"]; o.Kind != KindRatio || o.Bad != "serve.errors" || o.Total != "serve.requests" {
+		t.Fatalf("error_rate = %+v", o)
+	}
+	if o := names["shed_rate"]; o.Bad != "serve.shed" || o.Threshold != 0.05 {
+		t.Fatalf("shed_rate = %+v", o)
+	}
+	if o := names["replica_lag_seconds"]; o.Kind != KindGauge || o.Gauge != "repl.lag_seconds" || o.Threshold != 3 {
+		t.Fatalf("replica_lag_seconds = %+v", o)
+	}
+
+	// Zero thresholds disable objectives one by one.
+	if got := DefaultObjectives(0, 0, 0, 0, 0); len(got) != 0 {
+		t.Fatalf("all-zero thresholds built %+v", got)
+	}
+	if got := DefaultObjectives(0, 0, 0.01, 0, 0); len(got) != 1 || got[0].Name != "error_rate" {
+		t.Fatalf("single objective = %+v", got)
+	}
+}

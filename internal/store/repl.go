@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/limits"
 	"repro/internal/rdf"
@@ -238,6 +239,7 @@ func (s *Store) WaitEpoch(ctx context.Context, seq uint64) error {
 // Insert/Delete the epoch advances even for a no-op batch, because the
 // replica must track the primary's epoch numbering exactly.
 func (s *Store) ApplyReplicated(r Record) (Epoch, bool, error) {
+	start := time.Now()
 	if r.Op != OpInsert && r.Op != OpDelete {
 		return Epoch{}, false, fmt.Errorf("store: apply replicated: opcode %d is not a mutation", r.Op)
 	}
@@ -263,10 +265,17 @@ func (s *Store) ApplyReplicated(r Record) (Epoch, bool, error) {
 	} else {
 		next.Remove(batch.Triples()...)
 	}
+	s.tl.StampAt(r.Epoch, StageStart, start)
 	if s.w != nil {
 		if err := s.w.append(r); err != nil {
 			return Epoch{}, false, s.writeFailed("wal append", err)
 		}
+		s.tl.StampAt(r.Epoch, StageAppend, s.w.appendedAt)
+		if !s.w.syncedAt.IsZero() {
+			s.tl.StampAt(r.Epoch, StageSync, s.w.syncedAt)
+		}
+	} else {
+		s.tl.Stamp(r.Epoch, StageAppend)
 	}
 	if err := limits.Hit(s.cfg.Faults, "store.swap"); err != nil {
 		s.noteCrash(err)
@@ -278,7 +287,10 @@ func (s *Store) ApplyReplicated(r Record) (Epoch, bool, error) {
 	s.noteCommitLocked(r)
 	if s.cfg.OnCommit != nil {
 		s.cfg.OnCommit(CommitEvent{Epoch: e.Seq, Op: r.Op, Triples: batch.Triples()})
+		s.tl.Stamp(e.Seq, StageMaintain)
 	}
+	s.tl.Stamp(e.Seq, StageApply)
+	s.cfg.Obs.Observe("store.commit_visible_us", float64(time.Since(start).Microseconds()))
 	if err := s.maybeCheckpointLocked(); err != nil {
 		return *e, true, err
 	}

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/limits"
+	"repro/internal/obs"
 	"repro/internal/rdf"
 )
 
@@ -119,6 +120,13 @@ type Config struct {
 	// into the store. No-op primary batches commit no epoch and are not
 	// reported; replicated no-op records are (the replica's epoch advances).
 	OnCommit func(CommitEvent)
+	// Obs, when set, receives the commit-pipeline telemetry: the per-stage
+	// histograms wal.sync_us and store.commit_visible_us. Stage stamps in
+	// the epoch Timeline are recorded regardless.
+	Obs *obs.Obs
+	// TimelineCap bounds the epoch timeline ring (default 512 recent
+	// epochs).
+	TimelineCap int
 }
 
 // CommitEvent describes one epoch swap for Config.OnCommit.
@@ -226,7 +234,14 @@ type Store struct {
 
 	stopSync chan struct{} // interval-syncer lifecycle
 	syncWG   sync.WaitGroup
+
+	// tl is the commit-pipeline flight recorder (timeline.go): per-epoch
+	// stage stamps for /debug/epochs and the slow-mutation log.
+	tl *Timeline
 }
+
+// Timeline exposes the store's epoch-stage flight recorder.
+func (s *Store) Timeline() *Timeline { return s.tl }
 
 // Open builds a Store from cfg.Dir: it loads the latest snapshot if any,
 // replays the WAL past torn or corrupt tails (truncating the file at the
@@ -238,6 +253,7 @@ func Open(cfg Config) (*Store, *Recovery, error) {
 		cfg:   cfg,
 		subs:  make(map[*Sub]struct{}),
 		watch: make(chan struct{}),
+		tl:    newTimeline(cfg.TimelineCap),
 	}
 	rec := &Recovery{}
 	start := time.Now()
@@ -259,7 +275,7 @@ func Open(cfg Config) (*Store, *Recovery, error) {
 			rec.SnapshotEpoch = snapEpoch
 		}
 
-		w, err := openWAL(filepath.Join(cfg.Dir, walName), cfg.Sync, cfg.Faults)
+		w, err := openWAL(filepath.Join(cfg.Dir, walName), cfg.Sync, cfg.Faults, cfg.Obs)
 		if err != nil {
 			return nil, nil, fmt.Errorf("store: open wal: %w", err)
 		}
@@ -411,17 +427,32 @@ func (s *Store) Bootstrap(g *rdf.Graph) (Epoch, error) {
 // is a no-op that neither logs nor bumps the epoch. The batch is atomic:
 // after a crash it is recovered entirely or not at all.
 func (s *Store) Insert(triples []rdf.Triple) (Epoch, int, error) {
-	return s.apply(OpInsert, triples)
+	return s.apply(OpInsert, triples, "")
 }
 
 // Delete commits one batch of removals as a new epoch, returning the new
 // epoch and how many triples were actually removed. Missing triples are
 // ignored; a batch removing nothing is a no-op.
 func (s *Store) Delete(triples []rdf.Triple) (Epoch, int, error) {
-	return s.apply(OpDelete, triples)
+	return s.apply(OpDelete, triples, "")
 }
 
-func (s *Store) apply(op byte, triples []rdf.Triple) (Epoch, int, error) {
+// InsertTraced is Insert with the originating W3C traceparent attached to
+// the committed record, so the replication layer can propagate the trace
+// context to replicas. The traceparent rides the in-memory changelog only —
+// it is never written to the WAL.
+func (s *Store) InsertTraced(triples []rdf.Triple, traceparent string) (Epoch, int, error) {
+	return s.apply(OpInsert, triples, traceparent)
+}
+
+// DeleteTraced is Delete with the originating traceparent attached; see
+// InsertTraced.
+func (s *Store) DeleteTraced(triples []rdf.Triple, traceparent string) (Epoch, int, error) {
+	return s.apply(OpDelete, triples, traceparent)
+}
+
+func (s *Store) apply(op byte, triples []rdf.Triple, traceparent string) (Epoch, int, error) {
+	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.usableWrite(); err != nil {
@@ -442,11 +473,18 @@ func (s *Store) apply(op byte, triples []rdf.Triple) (Epoch, int, error) {
 		return *cur, 0, nil
 	}
 
-	r := Record{Op: op, Epoch: cur.Seq + 1, Text: encodeTriples(triples)}
+	r := Record{Op: op, Epoch: cur.Seq + 1, Text: encodeTriples(triples), Trace: traceparent}
+	s.tl.StampAt(r.Epoch, StageStart, start)
 	if s.w != nil {
 		if err := s.w.append(r); err != nil {
 			return Epoch{}, 0, s.writeFailed("wal append", err)
 		}
+		s.tl.StampAt(r.Epoch, StageAppend, s.w.appendedAt)
+		if !s.w.syncedAt.IsZero() {
+			s.tl.StampAt(r.Epoch, StageSync, s.w.syncedAt)
+		}
+	} else {
+		s.tl.Stamp(r.Epoch, StageAppend)
 	}
 
 	// The record is durable (per policy); the swap makes it visible. A crash
@@ -462,7 +500,10 @@ func (s *Store) apply(op byte, triples []rdf.Triple) (Epoch, int, error) {
 	s.noteCommitLocked(r)
 	if s.cfg.OnCommit != nil {
 		s.cfg.OnCommit(CommitEvent{Epoch: e.Seq, Op: op, Triples: triples})
+		s.tl.Stamp(e.Seq, StageMaintain)
 	}
+	s.tl.Stamp(e.Seq, StageCommit)
+	s.cfg.Obs.Observe("store.commit_visible_us", float64(time.Since(start).Microseconds()))
 
 	if err := s.maybeCheckpointLocked(); err != nil {
 		// The mutation itself is committed and visible; the failed
@@ -521,6 +562,7 @@ func (s *Store) checkpointLocked() error {
 		return err
 	}
 	s.batches = 0
+	s.tl.Stamp(cur.Seq, StageCheckpoint)
 	return nil
 }
 

@@ -1,0 +1,153 @@
+package store
+
+import (
+	"sync"
+	"time"
+)
+
+// The epoch timeline is the commit-pipeline flight recorder: every committed
+// epoch is stamped (wall clock, nanoseconds) as it crosses each pipeline
+// stage — WAL append, fsync, materialization maintain, commit visibility,
+// checkpoint on the primary; replication ship on the primary and apply on a
+// replica — into a bounded ring. The serve layer exposes the ring as GET
+// /debug/epochs, so an operator can see exactly which stage of a slow commit
+// burned the latency, and the per-stage obs histograms (wal.sync_us,
+// mat.maintain_us, repl.ship_us, repl.apply_us, store.commit_visible_us)
+// aggregate the same stamps over time.
+
+// Stage is one pipeline station an epoch passes through.
+type Stage int
+
+const (
+	// StageStart is when the mutation entered the store's write path.
+	StageStart Stage = iota
+	// StageAppend is when the batch's WAL record was fully written.
+	StageAppend
+	// StageSync is when the record reached stable storage (SyncAlways only;
+	// under interval/none sync the stamp is absent).
+	StageSync
+	// StageMaintain is when the synchronous OnCommit fold (incremental
+	// materialization) returned.
+	StageMaintain
+	// StageCommit is when the epoch swap completed and the commit became
+	// visible to readers — the end of what a writer waits for.
+	StageCommit
+	// StageCheckpoint is when a snapshot checkpoint covering this epoch
+	// finished.
+	StageCheckpoint
+	// StageShip is when the primary wrote the record to a replication
+	// stream (last send wins when several replicas or reconnects ship it).
+	StageShip
+	// StageApply is when a replica folded the shipped record in.
+	StageApply
+
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"start", "append", "sync", "mat_maintain", "commit", "checkpoint", "ship", "replica_apply",
+}
+
+func (st Stage) String() string {
+	if st < 0 || st >= numStages {
+		return "unknown"
+	}
+	return stageNames[st]
+}
+
+// EpochStamps is one ring entry: the wall-clock nanosecond each stage saw
+// the epoch (0 = the stage has not stamped it).
+type EpochStamps struct {
+	Epoch  uint64
+	Stamps [numStages]int64
+}
+
+// Stages renders the non-zero stamps as a stage-name → unix-nanos map.
+func (e EpochStamps) Stages() map[string]int64 {
+	out := make(map[string]int64, numStages)
+	for i, ns := range e.Stamps {
+		if ns != 0 {
+			out[Stage(i).String()] = ns
+		}
+	}
+	return out
+}
+
+// timelineCap is the default ring capacity: enough recent epochs for an
+// operator (or the slow-mutation log) to look up any commit still in flight
+// anywhere in the pipeline.
+const timelineCap = 512
+
+// Timeline is the bounded per-epoch stage-stamp ring. Safe for concurrent
+// use; stamping is a mutex and an array write, cheap enough to stay always
+// on.
+type Timeline struct {
+	mu      sync.Mutex
+	entries []EpochStamps // slot = epoch % cap
+}
+
+func newTimeline(capacity int) *Timeline {
+	if capacity <= 0 {
+		capacity = timelineCap
+	}
+	return &Timeline{entries: make([]EpochStamps, capacity)}
+}
+
+// Stamp records stage st for the epoch at the current wall clock.
+func (t *Timeline) Stamp(epoch uint64, st Stage) { t.StampAt(epoch, st, time.Now()) }
+
+// StampAt records stage st for the epoch at the given instant. Epoch 0 (the
+// empty pre-bootstrap store) and stale epochs already evicted from the ring
+// are ignored.
+func (t *Timeline) StampAt(epoch uint64, st Stage, at time.Time) {
+	if t == nil || epoch == 0 || st < 0 || st >= numStages {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	slot := &t.entries[epoch%uint64(len(t.entries))]
+	if slot.Epoch != epoch {
+		if slot.Epoch > epoch {
+			return // the ring wrapped past this epoch; a late stamp must not resurrect it
+		}
+		*slot = EpochStamps{Epoch: epoch}
+	}
+	slot.Stamps[st] = at.UnixNano()
+}
+
+// Lookup returns the stamps for one epoch, if still retained.
+func (t *Timeline) Lookup(epoch uint64) (EpochStamps, bool) {
+	if t == nil || epoch == 0 {
+		return EpochStamps{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.entries[epoch%uint64(len(t.entries))]
+	return e, e.Epoch == epoch
+}
+
+// Snapshot returns the retained entries in ascending epoch order.
+func (t *Timeline) Snapshot() []EpochStamps {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]EpochStamps, 0, len(t.entries))
+	for _, e := range t.entries {
+		if e.Epoch != 0 {
+			out = append(out, e)
+		}
+	}
+	t.mu.Unlock()
+	sortStamps(out)
+	return out
+}
+
+func sortStamps(es []EpochStamps) {
+	// Insertion sort: the ring is nearly ordered already and stays small.
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && es[j-1].Epoch > es[j].Epoch; j-- {
+			es[j-1], es[j] = es[j], es[j-1]
+		}
+	}
+}

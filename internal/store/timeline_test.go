@@ -1,0 +1,142 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rdf"
+)
+
+// The epoch-timeline contract: stage stamps land in the ring, lookups are
+// exact, the ring never resurrects an epoch it already wrapped past, and a
+// real commit through a durable SyncAlways store stamps the full pipeline
+// (start → append → sync → commit) while feeding the per-stage histograms.
+
+func TestTimelineStampLookupSnapshot(t *testing.T) {
+	tl := newTimeline(8)
+	base := time.Unix(100, 0)
+	tl.StampAt(3, StageStart, base)
+	tl.StampAt(3, StageAppend, base.Add(time.Millisecond))
+	tl.StampAt(3, StageCommit, base.Add(2*time.Millisecond))
+	tl.StampAt(5, StageStart, base.Add(3*time.Millisecond))
+
+	e, ok := tl.Lookup(3)
+	if !ok || e.Epoch != 3 {
+		t.Fatalf("Lookup(3) = %+v, %v", e, ok)
+	}
+	m := e.Stages()
+	if m["start"] != base.UnixNano() || m["append"] != base.Add(time.Millisecond).UnixNano() ||
+		m["commit"] != base.Add(2*time.Millisecond).UnixNano() {
+		t.Fatalf("stages = %v", m)
+	}
+	if _, present := m["sync"]; present {
+		t.Fatalf("unstamped stage rendered: %v", m)
+	}
+
+	snap := tl.Snapshot()
+	if len(snap) != 2 || snap[0].Epoch != 3 || snap[1].Epoch != 5 {
+		t.Fatalf("snapshot = %+v, want epochs [3 5] ascending", snap)
+	}
+
+	// Epoch 0 and out-of-range stages are ignored.
+	tl.StampAt(0, StageStart, base)
+	tl.StampAt(7, Stage(-1), base)
+	tl.StampAt(7, numStages, base)
+	if _, ok := tl.Lookup(7); ok {
+		t.Fatal("invalid stamps created an entry")
+	}
+}
+
+func TestTimelineWrapEvictsAndRefusesLateStamps(t *testing.T) {
+	tl := newTimeline(4)
+	for e := uint64(1); e <= 6; e++ {
+		tl.StampAt(e, StageCommit, time.Unix(int64(e), 0))
+	}
+	// Epochs 1 and 2 share slots with 5 and 6 and must be gone.
+	if _, ok := tl.Lookup(1); ok {
+		t.Fatal("epoch 1 survived the wrap")
+	}
+	if e, ok := tl.Lookup(5); !ok || e.Epoch != 5 {
+		t.Fatalf("Lookup(5) = %+v, %v", e, ok)
+	}
+	// A late stamp for a wrapped-past epoch must not clobber the newer one.
+	tl.StampAt(1, StageCheckpoint, time.Unix(99, 0))
+	if e, _ := tl.Lookup(5); e.Stamps[StageCheckpoint] != 0 {
+		t.Fatalf("late stamp for epoch 1 resurrected onto epoch 5: %+v", e)
+	}
+	snap := tl.Snapshot()
+	if len(snap) != 4 || snap[0].Epoch != 3 || snap[3].Epoch != 6 {
+		t.Fatalf("post-wrap snapshot = %+v, want epochs 3..6", snap)
+	}
+}
+
+func TestTimelineNilSafe(t *testing.T) {
+	var tl *Timeline
+	tl.Stamp(1, StageCommit)
+	if _, ok := tl.Lookup(1); ok {
+		t.Fatal("nil timeline returned an entry")
+	}
+	if s := tl.Snapshot(); s != nil {
+		t.Fatalf("nil snapshot = %v", s)
+	}
+}
+
+func TestStoreStampsCommitPipeline(t *testing.T) {
+	o := obs.New()
+	st, _, err := Open(Config{Dir: t.TempDir(), Sync: SyncAlways, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	e, n, err := st.Insert([]rdf.Triple{rdf.T("a", "p", "b")})
+	if err != nil || n != 1 {
+		t.Fatalf("insert = %v, %d", err, n)
+	}
+	stamps, ok := st.Timeline().Lookup(e.Seq)
+	if !ok {
+		t.Fatalf("no timeline entry for committed epoch %d", e.Seq)
+	}
+	m := stamps.Stages()
+	for _, stage := range []string{"start", "append", "sync", "commit"} {
+		if m[stage] == 0 {
+			t.Fatalf("stage %q unstamped: %v", stage, m)
+		}
+	}
+	// Ordering across the pipeline: start ≤ append ≤ sync ≤ commit.
+	if !(m["start"] <= m["append"] && m["append"] <= m["sync"] && m["sync"] <= m["commit"]) {
+		t.Fatalf("stage stamps out of order: %v", m)
+	}
+
+	reg := o.Registry()
+	if hs, ok := reg.Hist("wal.sync_us"); !ok || hs.Count == 0 {
+		t.Fatalf("wal.sync_us not observed: %+v ok=%v", hs, ok)
+	}
+	if hs, ok := reg.Hist("store.commit_visible_us"); !ok || hs.Count == 0 {
+		t.Fatalf("store.commit_visible_us not observed: %+v ok=%v", hs, ok)
+	}
+}
+
+func TestStoreMemoryOnlySkipsSyncStamp(t *testing.T) {
+	st, _, err := Open(Config{}) // pure in-memory: no WAL, no fsync
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	e, _, err := st.Insert([]rdf.Triple{rdf.T("a", "p", "b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamps, ok := st.Timeline().Lookup(e.Seq)
+	if !ok {
+		t.Fatalf("no timeline entry for epoch %d", e.Seq)
+	}
+	m := stamps.Stages()
+	if m["start"] == 0 || m["append"] == 0 || m["commit"] == 0 {
+		t.Fatalf("start/append/commit unstamped: %v", m)
+	}
+	if m["sync"] != 0 {
+		t.Fatalf("memory-only store stamped a WAL fsync: %v", m)
+	}
+}

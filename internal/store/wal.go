@@ -9,8 +9,10 @@ import (
 	"io"
 	"os"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/limits"
+	"repro/internal/obs"
 )
 
 // The write-ahead log is a single append-only file of length-prefixed,
@@ -40,10 +42,17 @@ const (
 	// Record.Epoch, sent when a replica is too far behind the retained
 	// changelog to catch up record-by-record.
 	OpSnapshot byte = 3
-	// OpHeartbeat is stream-only: an empty-payload liveness frame carrying
-	// the primary's current epoch, so a replica can account lag while the
-	// write path is idle.
+	// OpHeartbeat is stream-only: a liveness frame carrying the primary's
+	// current epoch, so a replica can account lag while the write path is
+	// idle. Text, when non-empty, is the primary's wall clock at send time
+	// (decimal unix nanoseconds), letting the replica report lag in seconds
+	// as well as epochs.
 	OpHeartbeat byte = 4
+	// OpTrace is stream-only: a trace-context sidecar announcing that the
+	// next mutation frame at Record.Epoch originated under the W3C
+	// traceparent in Text. Replicas join their apply span to that trace so
+	// one distributed trace spans client → primary → replica.
+	OpTrace byte = 5
 
 	// recHeaderLen is the fixed record header: length + checksum.
 	recHeaderLen = 8
@@ -64,8 +73,15 @@ type Record struct {
 	// epoch a snapshot represents (OpSnapshot), or the primary's current
 	// epoch (OpHeartbeat).
 	Epoch uint64
-	// Text is the N-Triples payload (empty for heartbeats).
+	// Text is the N-Triples payload (a wall clock for heartbeats, a
+	// traceparent for trace sidecars).
 	Text []byte
+	// Trace is the W3C traceparent of the mutation that produced this
+	// record, when the client sent one. It is in-memory metadata only: the
+	// changelog carries it to the replication layer (which ships it as an
+	// OpTrace sidecar frame), but EncodeRecord never serializes it, so WAL
+	// files and mutation wire frames are unchanged.
+	Trace string
 }
 
 // walRec is a scanned Record plus its file offset (for tail truncation).
@@ -121,7 +137,7 @@ func ReadRecord(br *bufio.Reader) (Record, error) {
 		return Record{}, fmt.Errorf("%w: checksum mismatch", ErrBadFrame)
 	}
 	op := payload[0]
-	if op != OpInsert && op != OpDelete && op != OpSnapshot && op != OpHeartbeat {
+	if op != OpInsert && op != OpDelete && op != OpSnapshot && op != OpHeartbeat && op != OpTrace {
 		return Record{}, fmt.Errorf("%w: unknown opcode %d", ErrBadFrame, op)
 	}
 	return Record{Op: op, Epoch: binary.LittleEndian.Uint64(payload[1:9]), Text: payload[9:]}, nil
@@ -177,18 +193,25 @@ type wal struct {
 	path   string
 	policy SyncPolicy
 	faults *limits.Plan
+	o      *obs.Obs
 	size   int64
 	dirty  atomic.Bool // set by unsynced appends, cleared by the syncer
+
+	// appendedAt / syncedAt are the last append's pipeline stamps, read by
+	// the store (under its writer lock, which serializes appends) to feed
+	// the epoch timeline. syncedAt is zero when the policy did not fsync.
+	appendedAt time.Time
+	syncedAt   time.Time
 }
 
 // openWAL opens (creating if needed) the log and positions the write cursor
 // at the end. The caller scans and truncates before the first append.
-func openWAL(path string, policy SyncPolicy, faults *limits.Plan) (*wal, error) {
+func openWAL(path string, policy SyncPolicy, faults *limits.Plan, o *obs.Obs) (*wal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	return &wal{f: f, path: path, policy: policy, faults: faults}, nil
+	return &wal{f: f, path: path, policy: policy, faults: faults, o: o}, nil
 }
 
 // append writes one record and makes it durable per the sync policy. The
@@ -209,6 +232,8 @@ func (w *wal) append(r Record) error {
 		return fmt.Errorf("store: wal append: %w", err)
 	}
 	w.size += int64(len(buf))
+	w.appendedAt = time.Now()
+	w.syncedAt = time.Time{}
 	if err := limits.Hit(w.faults, "wal.sync"); err != nil {
 		// The record is fully written; whether it survives the simulated
 		// crash durably is exactly the ambiguity a real crash leaves.
@@ -218,6 +243,8 @@ func (w *wal) append(r Record) error {
 		if err := w.f.Sync(); err != nil {
 			return fmt.Errorf("store: wal sync: %w", err)
 		}
+		w.syncedAt = time.Now()
+		w.o.Observe("wal.sync_us", float64(w.syncedAt.Sub(w.appendedAt).Microseconds()))
 	} else {
 		w.dirty.Store(true)
 	}
@@ -250,7 +277,11 @@ func (w *wal) crashWrite(mode limits.CrashMode, buf []byte) {
 // sync flushes pending appends if any (interval policy tick).
 func (w *wal) sync() error {
 	if w.dirty.Swap(false) {
-		return w.f.Sync()
+		start := time.Now()
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+		w.o.Observe("wal.sync_us", float64(time.Since(start).Microseconds()))
 	}
 	return nil
 }
